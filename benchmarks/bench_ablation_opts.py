@@ -1,0 +1,124 @@
+"""Ablation of the Sec. 3.3 / 4.3.4 optimizations.
+
+DESIGN.md calls out five design choices; this bench toggles each of
+them independently and reports the code-size delta over the whole
+DSPStone suite:
+
+- on the TC25: algebraic variants, accumulator promotion, the RPT/MAC
+  idiom, combo-instruction peepholes, Liao mode minimization;
+- on the M56: parallel-move compaction (none/greedy/optimal), memory
+  bank assignment (single/greedy/anneal) and offset assignment
+  (absolute/naive/liao).
+
+Every variant is verified bit-exact before being counted.
+
+Run:  pytest benchmarks/bench_ablation_opts.py --benchmark-only -s
+or :  python benchmarks/bench_ablation_opts.py
+"""
+
+from dataclasses import replace
+
+from repro.codegen.pipeline import RecordCompiler, RecordOptions
+from repro.dspstone import all_kernels
+from repro.ir.fixedpoint import FixedPointContext
+from repro.sim.harness import run_compiled
+from repro.targets.m56 import M56
+from repro.targets.tc25 import TC25
+
+FPC = FixedPointContext(16)
+
+TC25_ABLATIONS = [
+    ("full pipeline", {}),
+    ("+ MACD fusion (beyond 1997)", {"fuse_shift_idioms": True}),
+    ("- algebraic variants", {"algebraic": False}),
+    ("- accumulator promotion", {"promote_accumulators": False}),
+    ("- repeat/MAC idiom", {"repeat_idioms": False}),
+    ("- combo peepholes", {"peephole": False}),
+    ("- mode minimization", {"minimize_modes": False}),
+]
+
+M56_ABLATIONS = [
+    ("full pipeline", {}),
+    ("compaction: none", {"compaction": "none"}),
+    ("compaction: optimal", {"compaction": "optimal"}),
+    ("banks: single", {"bank_assignment": "single"}),
+    ("banks: anneal", {"bank_assignment": "anneal"}),
+    ("offsets: absolute", {"offset_assignment": "absolute"}),
+    ("offsets: naive", {"offset_assignment": "naive"}),
+]
+
+
+def total_words(target, overrides) -> int:
+    options = replace(RecordOptions(), **overrides)
+    total = 0
+    for spec in all_kernels():
+        compiled = RecordCompiler(target, options).compile(spec.program)
+        reference = spec.program.initial_environment()
+        inputs = spec.inputs(seed=0)
+        for key, value in inputs.items():
+            reference[key] = list(value) if isinstance(value, list) \
+                else value
+        spec.program.run(reference, FPC)
+        outputs, _ = run_compiled(compiled, inputs)
+        for symbol in spec.program.symbols.values():
+            if symbol.role == "output":
+                assert outputs[symbol.name] == reference[symbol.name], \
+                    (spec.name, overrides)
+        total += compiled.words()
+    return total
+
+
+def sweep():
+    tc25 = TC25()
+    m56 = M56()
+    return (
+        [(label, total_words(tc25, overrides))
+         for label, overrides in TC25_ABLATIONS],
+        [(label, total_words(m56, overrides))
+         for label, overrides in M56_ABLATIONS],
+    )
+
+
+def report(tc25_rows, m56_rows) -> str:
+    lines = ["TC25 ablation (total words over all 10 kernels):"]
+    base = tc25_rows[0][1]
+    for label, words in tc25_rows:
+        delta = f"{words - base:+d}" if label != "full pipeline" else ""
+        lines.append(f"  {label:28s} {words:5d} {delta}")
+    lines.append("")
+    lines.append("M56 ablation (total words over all 10 kernels):")
+    base = m56_rows[0][1]
+    for label, words in m56_rows:
+        delta = f"{words - base:+d}" if label != "full pipeline" else ""
+        lines.append(f"  {label:28s} {words:5d} {delta}")
+    return "\n".join(lines)
+
+
+def test_ablation(benchmark):
+    tc25_rows, m56_rows = benchmark.pedantic(sweep, iterations=1,
+                                             rounds=1)
+    print()
+    print(report(tc25_rows, m56_rows))
+
+    tc25_full = tc25_rows[0][1]
+    for label, words in tc25_rows[1:]:
+        if label.startswith("+"):
+            assert words <= tc25_full, label     # extensions only help
+        else:
+            assert words >= tc25_full, label
+    # the headline levers each cost real size when removed
+    deltas = {label: words - tc25_full for label, words in tc25_rows}
+    assert deltas["- accumulator promotion"] > 0
+    assert deltas["- repeat/MAC idiom"] > 0
+    assert deltas["- combo peepholes"] > 0
+
+    m56_full = m56_rows[0][1]
+    by_label = dict(m56_rows)
+    assert by_label["compaction: none"] > m56_full
+    assert by_label["compaction: optimal"] <= by_label["compaction: none"]
+    assert by_label["banks: single"] >= m56_full
+    assert by_label["offsets: absolute"] >= m56_full
+
+
+if __name__ == "__main__":
+    print(report(*sweep()))

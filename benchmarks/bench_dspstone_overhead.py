@@ -1,0 +1,64 @@
+"""Sec. 3.1: the DSPStone overhead claim.
+
+"According to the results of this DSPStone benchmark project, overhead
+of compiled code (in terms of code size and clock cycles) typically
+ranges between 2 and 8."  This bench measures exactly that for our
+conventional compiler: size and cycle overhead relative to hand
+assembly across the ten kernels, and checks that the loop kernels land
+in (or above) the reported band while the retargetable pipeline closes
+most of the gap.
+
+Run:  pytest benchmarks/bench_dspstone_overhead.py --benchmark-only -s
+or :  python benchmarks/bench_dspstone_overhead.py
+"""
+
+from repro.evalx.table1 import compute_table1
+
+LOOP_KERNELS = ("n_real_updates", "n_complex_updates", "fir",
+                "iir_biquad_N_sections", "convolution")
+
+
+def measure():
+    return compute_table1(seeds=1)
+
+
+def report(rows) -> str:
+    lines = [f"{'kernel':26s} {'size x':>7s} {'cycle x':>8s} "
+             f"{'rec cyc x':>10s}",
+             "-" * 56]
+    for row in rows:
+        size_factor = row.baseline_words / row.hand_words
+        cycle_factor = row.baseline_cycles / max(row.hand_cycles, 1)
+        record_factor = row.record_cycles / max(row.hand_cycles, 1)
+        lines.append(f"{row.kernel:26s} {size_factor:>7.1f} "
+                     f"{cycle_factor:>8.1f} {record_factor:>10.1f}")
+    loop_cycles = sorted(
+        row.baseline_cycles / max(row.hand_cycles, 1)
+        for row in rows if row.kernel in LOOP_KERNELS)
+    lines.append("-" * 56)
+    lines.append(f"loop-kernel cycle overhead: min {loop_cycles[0]:.1f}, "
+                 f"median {loop_cycles[len(loop_cycles) // 2]:.1f}, "
+                 f"max {loop_cycles[-1]:.1f}  (paper: 'typically 2..8')")
+    return "\n".join(lines)
+
+
+def test_dspstone_overhead(benchmark):
+    rows = benchmark(measure)
+    print()
+    print(report(rows))
+
+    by_name = {row.kernel: row for row in rows}
+    factors = [by_name[name].baseline_cycles
+               / max(by_name[name].hand_cycles, 1)
+               for name in LOOP_KERNELS]
+    assert all(factor >= 2.0 for factor in factors)
+    factors.sort()
+    assert 2.0 <= factors[len(factors) // 2] <= 10.0
+    # the retargetable pipeline closes most of the gap
+    for name in LOOP_KERNELS:
+        row = by_name[name]
+        assert row.record_cycles <= row.baseline_cycles / 2
+
+
+if __name__ == "__main__":
+    print(report(measure()))

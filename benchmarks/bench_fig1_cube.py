@@ -1,0 +1,44 @@
+"""Fig. 1: the processor cube, regenerated from the target models.
+
+The figure classifies processors along availability / domain /
+application axes.  This bench classifies every shipped target (plus two
+ASIP corner cases) and checks that the populated corners match the
+figure's taxonomy, timing the classification (which exercises grammar
+construction -- the explicit model is the input).
+
+Run:  pytest benchmarks/bench_fig1_cube.py --benchmark-only -s
+or :  python benchmarks/bench_fig1_cube.py
+"""
+
+from repro.targets.asip import Asip, AsipParams
+from repro.targets.cube import classify, cube_table
+from repro.targets.m56 import M56
+from repro.targets.risc import Risc16
+from repro.targets.tc25 import TC25
+
+
+def build_and_classify():
+    targets = [TC25(), M56(), Risc16(), Asip(),
+               Asip(AsipParams(has_repeat=False, address_registers=2))]
+    return targets, [classify(t) for t in targets]
+
+
+def test_fig1_cube(benchmark):
+    targets, positions = benchmark(build_and_classify)
+    print()
+    print(cube_table(targets))
+
+    corners = [p.corner_name for p in positions]
+    assert corners[:4] == ["DSP core", "DSP core", "GPP core", "ASSP"]
+    assert all(p.form == "core" for p in positions)
+    # the impossible corner stays impossible
+    import pytest
+    from repro.targets.cube import CubePosition
+    with pytest.raises(ValueError):
+        CubePosition(form="packaged", domain="dsp",
+                     application="configurable")
+
+
+if __name__ == "__main__":
+    targets, _ = build_and_classify()
+    print(cube_table(targets))

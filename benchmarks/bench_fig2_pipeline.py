@@ -1,0 +1,80 @@
+"""Fig. 2: the global view of RECORD, stage by stage.
+
+The figure shows the two converging flows: the processor model enters
+through instruction-set extraction and pattern-matcher generation, the
+DFL program through parsing and flow-graph generation; instruction
+selection, compaction and address assignment meet in the middle and
+executable code comes out.  This bench drives both flows end to end
+(netlist-derived target AND hand-modelled TC25) and times the complete
+compilation, printing each stage's artifact sizes.
+
+Run:  pytest benchmarks/bench_fig2_pipeline.py --benchmark-only -s
+or :  python benchmarks/bench_fig2_pipeline.py
+"""
+
+from repro.codegen.pipeline import RecordCompiler
+from repro.dfl import analyze, compile_dfl, parse
+from repro.dspstone import kernel
+from repro.ir.trees import decompose
+from repro.ir.program import Block
+from repro.ise.examples import miniacc_netlist
+from repro.ise.extractor import extract
+from repro.ise.patterns import NetlistTarget
+from repro.sim.harness import run_compiled
+from repro.targets.tc25 import TC25
+
+
+def full_pipeline():
+    spec = kernel("fir")
+    program = spec.program
+    compiled = RecordCompiler(TC25()).compile(program)
+    outputs, state = run_compiled(compiled, spec.inputs(seed=0))
+    return compiled, outputs, state
+
+
+def stage_report() -> str:
+    spec = kernel("fir")
+    lines = ["Fig. 2 stages for kernel 'fir':"]
+
+    ast = parse(spec.source)
+    lines.append(f"  frontend: parse         -> {len(ast.decls)} decls, "
+                 f"{len(ast.body)} statements")
+    analyzed = analyze(ast)
+    lines.append(f"  frontend: analyze       -> consts {analyzed.consts}")
+    program = compile_dfl(spec.source)
+    blocks = [item for item in program.body if isinstance(item, Block)]
+    lines.append(f"  flow-graph generation   -> {len(program.body)} "
+                 f"items ({len(blocks)} blocks)")
+    trees = sum(len(decompose(block.dfg)) for block in blocks)
+    lines.append(f"  tree decomposition      -> {trees} expression trees")
+
+    netlist = miniacc_netlist()
+    patterns = extract(netlist)
+    lines.append(f"  ISE (MiniACC netlist)   -> {len(patterns)} "
+                 "instruction patterns")
+    target = NetlistTarget(netlist, patterns)
+    lines.append(f"  pattern-matcher gen     -> "
+                 f"{len(target.grammar().rules)} grammar rules")
+
+    tc25 = TC25()
+    lines.append(f"  TC25 model              -> "
+                 f"{len(tc25.grammar().rules)} grammar rules")
+    compiled = RecordCompiler(tc25).compile(program)
+    lines.append(f"  selection..finalization -> {compiled.words()} words,"
+                 f" {len(compiled.pmem_tables)} pmem tables")
+    outputs, state = run_compiled(compiled, spec.inputs(seed=0))
+    lines.append(f"  executable code         -> y = {outputs['y']} in "
+                 f"{state.cycles} cycles")
+    return "\n".join(lines)
+
+
+def test_fig2_pipeline(benchmark):
+    compiled, outputs, state = benchmark(full_pipeline)
+    print()
+    print(stage_report())
+    assert compiled.words() > 0
+    assert state.cycles > 0
+
+
+if __name__ == "__main__":
+    print(stage_report())

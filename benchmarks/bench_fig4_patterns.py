@@ -1,0 +1,97 @@
+"""Fig. 4: a data-flow graph and an instruction-pattern library.
+
+The figure shows a small DFG and five instruction patterns: move from
+memory to register, load constant into register, add immediate, multiply
+immediate with memory direct, and "add immediate to memory addressed by
+the product of two registers".  This bench builds that pattern library
+as a tree grammar, labels the figure's trees with the BURS matcher and
+reports per-pattern match counts.
+
+Run:  pytest benchmarks/bench_fig4_patterns.py --benchmark-only -s
+or :  python benchmarks/bench_fig4_patterns.py
+"""
+
+from repro.codegen.burg import BurgMatcher
+from repro.codegen.grammar import Cost, Nt, Pat, Rule, Term, TreeGrammar
+from repro.ir.trees import Tree
+
+
+def figure4_grammar() -> TreeGrammar:
+    def accept(nonterm):
+        def emit(ctx, args):
+            return nonterm
+        return emit
+
+    rules = [
+        Rule("reg", Term("ref"), Cost(1, 1), emit=accept("reg"),
+             name="move mem->reg"),
+        Rule("reg", Term("const"), Cost(1, 1), emit=accept("reg"),
+             name="load constant"),
+        Rule("reg", Pat("add", (Nt("reg"), Term("const"))), Cost(1, 1),
+             emit=accept("reg"), name="add immediate"),
+        Rule("reg", Pat("mul", (Term("ref"), Term("const"))),
+             Cost(1, 1), emit=accept("reg"),
+             name="multiply imm with mem direct"),
+        Rule("reg", Pat("add", (Pat("mul", (Nt("reg"), Nt("reg"))),
+                                Term("const"))),
+             Cost(1, 1), emit=accept("reg"),
+             name="add imm to mem addressed by product"),
+        # decomposition fallbacks (the figure's "or compose it" side)
+        Rule("reg", Pat("mul", (Nt("reg"), Nt("reg"))), Cost(1, 1),
+             emit=accept("reg"), name="multiply registers"),
+        Rule("reg", Pat("add", (Nt("reg"), Nt("reg"))), Cost(1, 1),
+             emit=accept("reg"), name="add registers"),
+    ]
+    return TreeGrammar("figure4", rules, {"reg": None})
+
+
+def figure4_trees():
+    indexed = Tree.compute(
+        "add",
+        Tree.compute("mul", Tree.ref("p"), Tree.ref("q")),
+        Tree.const(9))
+    scaled = Tree.compute(
+        "add",
+        Tree.compute("mul", Tree.ref("x"), Tree.const(5)),
+        Tree.const(7))
+    return indexed, scaled
+
+
+def label_all():
+    grammar = figure4_grammar()
+    matcher = BurgMatcher(grammar)
+    results = {}
+    for name, tree in zip(("indexed", "scaled"), figure4_trees()):
+        cost = matcher.cover_cost(tree, "reg")
+        rules = [rule.name for rule in matcher.cover_rules(tree, "reg")]
+        results[name] = (tree, cost, rules)
+    return results
+
+
+def report(results) -> str:
+    lines = ["Fig. 4 pattern library applied to the figure's trees:"]
+    for name, (tree, cost, rules) in results.items():
+        lines.append(f"  {name}: {tree}")
+        lines.append(f"    optimal cover = {cost.words} patterns:")
+        for rule in rules:
+            lines.append(f"      - {rule}")
+    return "\n".join(lines)
+
+
+def test_fig4_patterns(benchmark):
+    results = benchmark(label_all)
+    print()
+    print(report(results))
+
+    _tree, cost, rules = results["indexed"]
+    # big composite pattern wins: 2 loads + the product-addressed add
+    assert cost.words == 3
+    assert "add imm to mem addressed by product" in rules
+    _tree, cost, rules = results["scaled"]
+    # mul-imm-with-mem-direct + add-immediate = 2 patterns
+    assert cost.words == 2
+    assert "multiply imm with mem direct" in rules
+
+
+if __name__ == "__main__":
+    print(report(label_all()))

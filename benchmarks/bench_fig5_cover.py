@@ -1,0 +1,109 @@
+"""Fig. 5: covering data-flow trees with instruction patterns.
+
+The figure shows two alternative covers of the same tree and the paper
+explains that optimum covering is found by dynamic programming (Aho et
+al.).  This bench enumerates *every* legal cover of the Fig. 4 tree by
+brute force, shows the distribution of cover sizes (the figure's "two
+covers" generalized), and asserts that the BURS DP picks the minimum --
+the correctness statement behind iburg.
+
+Run:  pytest benchmarks/bench_fig5_cover.py --benchmark-only -s
+or :  python benchmarks/bench_fig5_cover.py
+"""
+
+from itertools import product
+
+from repro.codegen.burg import BurgMatcher
+from repro.codegen.grammar import Nt, Pat, Term
+from repro.ir.ops import OpKind
+
+try:
+    from benchmarks.bench_fig4_patterns import (
+        figure4_grammar, figure4_trees,
+    )
+except ImportError:      # executed as a script from benchmarks/
+    from bench_fig4_patterns import figure4_grammar, figure4_trees
+
+
+def enumerate_covers(grammar, tree, goal):
+    """All legal covers (lists of rule names) of ``tree`` to ``goal``."""
+
+    def match(pattern, node):
+        """Structural match; returns Nt bindings or None."""
+        if isinstance(pattern, Nt):
+            return [(pattern.name, node)]
+        if isinstance(pattern, Term):
+            return [] if pattern.matches(node) else None
+        if node.kind is not OpKind.COMPUTE \
+                or node.operator.name != pattern.op:
+            return None
+        bindings = []
+        for sub_pattern, child in zip(pattern.children, node.children):
+            sub = match(sub_pattern, child)
+            if sub is None:
+                return None
+            bindings.extend(sub)
+        return bindings
+
+    def covers(node, nonterm):
+        results = []
+        for rule in grammar.rules:
+            if rule.nonterm != nonterm or rule.is_chain:
+                continue
+            bindings = match(rule.pattern, node)
+            if bindings is None:
+                continue
+            child_covers = [covers(sub, nt) for nt, sub in bindings]
+            if any(not option for option in child_covers):
+                continue
+            for combination in product(*child_covers):
+                flat = [rule.name]
+                for part in combination:
+                    flat.extend(part)
+                results.append(flat)
+        return results
+
+    return covers(tree, goal)
+
+
+def run():
+    grammar = figure4_grammar()
+    matcher = BurgMatcher(grammar)
+    tree = figure4_trees()[0]
+    all_covers = enumerate_covers(grammar, tree, "reg")
+    dp_cost = matcher.cover_cost(tree, "reg").words
+    dp_rules = [rule.name for rule in matcher.cover_rules(tree, "reg")]
+    return tree, all_covers, dp_cost, dp_rules
+
+
+def report(tree, all_covers, dp_cost, dp_rules) -> str:
+    sizes = sorted(len(cover) for cover in all_covers)
+    histogram = {size: sizes.count(size) for size in sorted(set(sizes))}
+    lines = [f"tree: {tree}",
+             f"legal covers: {len(all_covers)}  "
+             f"(patterns-used -> count: {histogram})"]
+    smallest = min(all_covers, key=len)
+    largest = max(all_covers, key=len)
+    lines.append(f"  a largest cover  ({len(largest)} patterns): "
+                 + ", ".join(largest))
+    lines.append(f"  a smallest cover ({len(smallest)} patterns): "
+                 + ", ".join(smallest))
+    lines.append(f"  BURS dynamic programming picked {dp_cost} patterns: "
+                 + ", ".join(dp_rules))
+    return "\n".join(lines)
+
+
+def test_fig5_cover(benchmark):
+    tree, all_covers, dp_cost, dp_rules = benchmark(run)
+    print()
+    print(report(tree, all_covers, dp_cost, dp_rules))
+
+    assert len(all_covers) >= 2          # the figure's "two covers"
+    brute_minimum = min(len(cover) for cover in all_covers)
+    assert dp_cost == brute_minimum      # DP optimality (Aho et al.)
+    assert sorted(dp_rules) == sorted(min(all_covers, key=len)) or \
+        len(dp_rules) == brute_minimum
+
+
+if __name__ == "__main__":
+    print(report(*run()))

@@ -1,0 +1,89 @@
+"""Sec. 4.2: retargeting breadth and the codesign loop.
+
+One source suite, one compiler, many targets: the TC25- and 56k-
+flavoured DSPs, the RISC core, and a sweep of ASIP configurations.  The
+paper's argument is that an explicit target model makes this routine;
+the bench times a full retarget (compile all ten kernels for every
+target) and prints the size/cycle matrix a codesign team would read.
+
+Run:  pytest benchmarks/bench_retarget.py --benchmark-only -s
+or :  python benchmarks/bench_retarget.py
+"""
+
+from repro.codegen.pipeline import RecordCompiler
+from repro.dspstone import all_kernels
+from repro.ir.fixedpoint import FixedPointContext
+from repro.sim.harness import run_compiled
+from repro.targets.asip import Asip, AsipParams
+from repro.targets.m56 import M56
+from repro.targets.risc import Risc16
+from repro.targets.tc25 import TC25
+
+
+def _tdl_demo16():
+    import pathlib
+    from repro.tdl import load_target
+    text = pathlib.Path(__file__).parent.parent \
+        / "examples" / "targets" / "demo16.tdl"
+    return load_target(text.read_text())
+
+FPC = FixedPointContext(16)
+
+TARGETS = [
+    ("tc25", lambda: TC25()),
+    ("m56", lambda: M56()),
+    ("risc16", lambda: Risc16()),
+    ("asip/full", lambda: Asip()),
+    ("asip/no-repeat", lambda: Asip(AsipParams(has_repeat=False))),
+    ("asip/no-mac", lambda: Asip(AsipParams(has_mac=False,
+                                            has_repeat=False))),
+    ("tdl:demo16", _tdl_demo16),
+]
+
+
+def retarget_all():
+    matrix = {}
+    for label, make in TARGETS:
+        target = make()
+        words = cycles = 0
+        for spec in all_kernels():
+            compiled = RecordCompiler(target).compile(spec.program)
+            inputs = spec.inputs(seed=0)
+            reference = spec.program.initial_environment()
+            for key, value in inputs.items():
+                reference[key] = list(value) if isinstance(value, list) \
+                    else value
+            spec.program.run(reference, FPC)
+            outputs, state = run_compiled(compiled, inputs)
+            for symbol in spec.program.symbols.values():
+                if symbol.role == "output":
+                    assert outputs[symbol.name] == \
+                        reference[symbol.name], (label, spec.name)
+            words += compiled.words()
+            cycles += state.cycles
+        matrix[label] = (words, cycles)
+    return matrix
+
+
+def report(matrix) -> str:
+    lines = ["all 10 DSPStone kernels, RECORD pipeline, per target:",
+             f"  {'target':16s} {'words':>7s} {'cycles':>8s}"]
+    for label, (words, cycles) in matrix.items():
+        lines.append(f"  {label:16s} {words:>7d} {cycles:>8d}")
+    return "\n".join(lines)
+
+
+def test_retarget(benchmark):
+    matrix = benchmark.pedantic(retarget_all, iterations=1, rounds=1)
+    print()
+    print(report(matrix))
+
+    assert len(matrix) == len(TARGETS)
+    # architecture shapes show through: removing DSP features costs
+    # cycles on the ASIP family
+    assert matrix["asip/full"][1] < matrix["asip/no-repeat"][1]
+    assert matrix["asip/no-repeat"][1] <= matrix["asip/no-mac"][1]
+
+
+if __name__ == "__main__":
+    print(report(retarget_all()))

@@ -1,0 +1,58 @@
+"""Sec. 4.5: self-test program generation with a retargetable compiler.
+
+Measures decoder-fault coverage as a function of the number of
+generated test programs, on two different targets -- the retargetable
+part being that the *same* generator serves both.  Times suite
+generation + fault grading.
+
+Run:  pytest benchmarks/bench_selftest.py --benchmark-only -s
+or :  python benchmarks/bench_selftest.py
+"""
+
+from repro.selftest import generate_self_test, run_self_test
+from repro.selftest.generator import fault_universe
+from repro.targets.risc import Risc16
+from repro.targets.tc25 import TC25
+
+PROGRAM_COUNTS = (2, 6, 12, 20)
+
+
+def sweep():
+    results = {}
+    for target in (TC25(), Risc16()):
+        curve = []
+        for count in PROGRAM_COUNTS:
+            suite = generate_self_test(target, programs=count, seed=0)
+            grade = run_self_test(target, suite=suite)
+            words = sum(p.words() for p in suite.programs)
+            curve.append((count, words, grade.coverage))
+        results[target.name] = curve
+    return results
+
+
+def report(results) -> str:
+    lines = []
+    for name, curve in results.items():
+        universe = len(fault_universe(
+            TC25() if name == "tc25" else Risc16()))
+        lines.append(f"{name}: {universe} decoder faults")
+        lines.append(f"  {'programs':>9s} {'words':>6s} {'coverage':>9s}")
+        for count, words, coverage in curve:
+            lines.append(f"  {count:>9d} {words:>6d} {coverage:>8.0%}")
+    return "\n".join(lines)
+
+
+def test_selftest(benchmark):
+    results = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    print()
+    print(report(results))
+
+    for name, curve in results.items():
+        coverages = [coverage for _count, _words, coverage in curve]
+        # more programs never hurt, and the final suite catches most
+        assert all(b >= a for a, b in zip(coverages, coverages[1:])), name
+        assert coverages[-1] >= 0.7, name
+
+
+if __name__ == "__main__":
+    print(report(sweep()))

@@ -1,0 +1,34 @@
+"""Table 1: size of compiled DSPStone programs relative to assembly.
+
+The paper's headline result: a retargetable compiler (RECORD) competes
+with -- and mostly beats -- the target-specific compiler, relative to
+hand-written TMS320C25 assembly.  This bench rebuilds, verifies (bit-
+exact simulation against the MiniDFL reference) and measures all ten
+rows, printing the table next to the paper's numbers.
+
+Run:  pytest benchmarks/bench_table1.py --benchmark-only -s
+or :  python benchmarks/bench_table1.py
+"""
+
+from repro.evalx.table1 import compute_table1, format_table1
+
+
+def test_table1(benchmark):
+    rows = benchmark.pedantic(compute_table1, kwargs={"seeds": 1},
+                              iterations=1, rounds=3)
+    print()
+    print(format_table1(rows))
+
+    assert all(row.verified for row in rows)
+    wins = sum(1 for row in rows if row.winner == "record")
+    losses = sum(1 for row in rows if row.winner == "baseline")
+    assert wins >= 4 and wins > losses
+    by_name = {row.kernel: row for row in rows}
+    assert by_name["fir"].baseline_words >= 2 * by_name["fir"].record_words
+    assert by_name["iir_biquad_one_section"].winner == "baseline"
+    benchmark.extra_info["record_wins"] = wins
+    benchmark.extra_info["baseline_wins"] = losses
+
+
+if __name__ == "__main__":
+    print(format_table1(compute_table1()))

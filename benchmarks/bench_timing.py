@@ -1,0 +1,72 @@
+"""Sec. 3.2 requirement 4: compilers that calculate their code's speed.
+
+The paper argues real-time constraints should be checked by the
+compiler, not by "error-prone, time-consuming simulations".  This bench
+runs the static cycle analysis over every kernel x compiler x target
+and proves the predictions *exact* against simulation -- then times the
+analysis itself (it must be cheap enough to run on every compile).
+
+Run:  pytest benchmarks/bench_timing.py --benchmark-only -s
+or :  python benchmarks/bench_timing.py
+"""
+
+from repro.baseline.compiler import BaselineCompiler
+from repro.codegen.pipeline import RecordCompiler
+from repro.codegen.timing import predict_cycles
+from repro.dspstone import all_kernels, hand_reference
+from repro.sim.harness import run_compiled
+from repro.targets.m56 import M56
+from repro.targets.risc import Risc16
+from repro.targets.tc25 import TC25
+
+
+def build_everything():
+    compiled = []
+    tc25 = TC25()
+    for spec in all_kernels():
+        compiled.append((spec, RecordCompiler(tc25).compile(spec.program)))
+        compiled.append((spec,
+                         BaselineCompiler(tc25).compile(spec.program)))
+        compiled.append((spec, hand_reference(spec.name, tc25)))
+        compiled.append((spec, RecordCompiler(M56()).compile(spec.program)))
+        compiled.append((spec,
+                         RecordCompiler(Risc16()).compile(spec.program)))
+    return compiled
+
+
+def predict_all(compiled):
+    return [predict_cycles(entry.code).total_cycles
+            for _spec, entry in compiled]
+
+
+def report(compiled, predictions) -> str:
+    lines = [f"{'kernel':26s} {'producer':10s} {'target':8s} "
+             f"{'predicted':>10s} {'simulated':>10s}",
+             "-" * 70]
+    exact = 0
+    for (spec, entry), predicted in zip(compiled, predictions):
+        _outputs, state = run_compiled(entry, spec.inputs(seed=0))
+        match = predicted == state.cycles
+        exact += match
+        lines.append(
+            f"{spec.name:26.26s} {entry.compiler:10s} "
+            f"{entry.target.name:8.8s} {predicted:>10d} "
+            f"{state.cycles:>10d}{'' if match else '   MISMATCH'}")
+    lines.append("-" * 70)
+    lines.append(f"{exact}/{len(compiled)} predictions exact")
+    return "\n".join(lines)
+
+
+def test_timing(benchmark):
+    compiled = build_everything()
+    predictions = benchmark(predict_all, compiled)
+    text = report(compiled, predictions)
+    print()
+    print(text.splitlines()[-1])      # the tally; full table is long
+    assert text.splitlines()[-1] == \
+        f"{len(compiled)}/{len(compiled)} predictions exact"
+
+
+if __name__ == "__main__":
+    compiled = build_everything()
+    print(report(compiled, predict_all(compiled)))

@@ -1,0 +1,49 @@
+"""The processor cube (Fig. 1): classify the shipped target models.
+
+The paper classifies processors along three axes -- availability
+(packaged part vs. CAD core), domain-specific features (general vs.
+DSP) and application-specific features (fixed vs. configurable) -- and
+names the corners (off-the-shelf processor, DSP, ASIP, ASSP, cores of
+each).  Because every target in this repository is an *explicit* model,
+its cube position is derivable from the same object the compiler
+consumes.
+
+Run:  python examples/processor_cube.py
+"""
+
+from repro.targets.asip import Asip, AsipParams
+from repro.targets.cube import classify, cube_table
+from repro.targets.m56 import M56
+from repro.targets.risc import Risc16
+from repro.targets.tc25 import TC25
+
+
+def main() -> None:
+    targets = [
+        TC25(),
+        M56(),
+        Risc16(),
+        Asip(),                                     # DSP-flavoured ASIP
+        Asip(AsipParams(has_multiplier=False,        # control-flavoured
+                        has_mac=False,
+                        has_product_shifter=False,
+                        has_repeat=True)),
+    ]
+    print("Fig. 1 regenerated: the processor cube, populated with the")
+    print("repository's target models\n")
+    print(cube_table(targets))
+    print()
+    print("axes: form = {packaged, core}; domain = {general, dsp};")
+    print("      application = {fixed, configurable}")
+    print("the paper marks 'packaged + configurable' as the impossible")
+    print("corner -- fabricated silicon has frozen parameters:")
+    from repro.targets.cube import CubePosition
+    try:
+        CubePosition(form="packaged", domain="dsp",
+                     application="configurable")
+    except ValueError as error:
+        print(f"  CubePosition(...) -> ValueError: {error}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""A streaming IIR filter: MiniDFL delay lines on real hardware state.
+
+MiniDFL keeps DFL's signal-flow semantics: a program describes one
+sample tick, ``w@k`` reads the value of ``w`` from k ticks ago, and the
+compiler maintains the delay lines (on the TC25 that update becomes the
+classic ``DMOV`` idiom).  This example compiles a Q15 biquad low-pass
+section once and then *streams* samples through the simulated
+processor, with the machine's data memory carrying the filter state
+between invocations -- exactly how the code would run in a codec.
+
+Run:  python examples/streaming_filter.py
+"""
+
+import math
+
+from repro import compile_source
+from repro.ir.fixedpoint import FixedPointContext
+
+BIQUAD = """
+program lowpass;
+input  x;
+input  b0, b1, b2, a1, a2;    { Q15 coefficients }
+output y;
+var    w;
+begin
+  w := x - ((a1 * w@1) >> 15) - ((a2 * w@2) >> 15);
+  y := ((b0 * w) >> 15) + ((b1 * w@1) >> 15) + ((b2 * w@2) >> 15);
+end.
+"""
+
+
+def q15(value: float) -> int:
+    return FixedPointContext(16).to_fixed(value, 15)
+
+
+def butterworth_lowpass(cutoff: float):
+    """Direct-form-II biquad coefficients for a 2nd-order Butterworth
+    low-pass at ``cutoff`` (fraction of the sample rate)."""
+    k = math.tan(math.pi * cutoff)
+    norm = 1 / (1 + math.sqrt(2.0) * k + k * k)
+    b0 = k * k * norm
+    return {
+        "b0": q15(b0), "b1": q15(2 * b0), "b2": q15(b0),
+        "a1": q15(2 * (k * k - 1) * norm),
+        "a2": q15((1 - math.sqrt(2.0) * k + k * k) * norm),
+    }
+
+
+def main() -> None:
+    result = compile_source(BIQUAD, target="tc25", compiler="record")
+    print(result.listing())
+    print()
+
+    coefficients = butterworth_lowpass(cutoff=0.05)
+    print("Q15 coefficients:", coefficients)
+
+    # a noisy step: DC level 1000 with an alternating +/-800 overlay
+    samples = [1000 + (800 if n % 2 == 0 else -800) for n in range(40)]
+
+    state = None
+    outputs = []
+    total_cycles = 0
+    for sample in samples:
+        inputs = dict(coefficients)
+        inputs["x"] = sample
+        from repro.sim.harness import run_compiled
+        env, state = run_compiled(result.compiled, inputs, state=state)
+        outputs.append(env["y"])
+        total_cycles = state.cycles
+
+    print()
+    print("input  :", " ".join(f"{s:6d}" for s in samples[-8:]))
+    print("output :", " ".join(f"{y:6d}" for y in outputs[-8:]))
+    settled = outputs[-4:]
+    ripple_in = 1600
+    ripple_out = max(settled) - min(settled)
+    print()
+    print(f"alternating ripple at input : {ripple_in}")
+    print(f"alternating ripple at output: {ripple_out} "
+          f"({100 * ripple_out // ripple_in}% of input)")
+    print(f"DC level tracked            : ~{sum(settled) // 4} "
+          "(input DC = 1000)")
+    print(f"total machine cycles for {len(samples)} samples: "
+          f"{total_cycles}")
+    assert ripple_out < ripple_in // 4, "low-pass should kill the ripple"
+
+
+if __name__ == "__main__":
+    main()

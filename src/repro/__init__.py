@@ -1,0 +1,57 @@
+"""repro -- retargetable code generation for embedded core processors.
+
+A from-scratch Python reproduction of the system described in:
+
+    Peter Marwedel, "Code Generation for Core Processors",
+    Proc. 34th Design Automation Conference (DAC), 1997.
+
+The package implements the RECORD retargetable compiler pipeline
+(instruction-set extraction from RT netlists, BURS tree-covering code
+selection with algebraic variants, the Sec. 3.3 DSP optimizations), the
+substrates it needs (the MiniDFL source language, explicit target
+processor models, a cycle-counting instruction-set simulator), a
+conventional target-specific baseline compiler, and the DSPStone kernel
+suite with hand-written assembly references used in the paper's
+Table 1.
+
+Quickstart::
+
+    from repro import compile_kernel
+    result = compile_kernel("fir", target="tc25", compiler="record")
+    print(result.listing())
+
+Package map (see DESIGN.md for the full inventory):
+
+- ``repro.dfl``      -- MiniDFL frontend (lexer/parser/semantics/lowering)
+- ``repro.ir``       -- DFGs, expression trees, algebraic rewrites
+- ``repro.rtl``      -- RT-level netlists + justification (ECAD side)
+- ``repro.ise``      -- instruction-set extraction, netlist targets
+- ``repro.codegen``  -- BURS matcher, selector, optimizers, pipeline
+- ``repro.baseline`` -- the conventional target-specific compiler
+- ``repro.targets``  -- TC25, M56, Risc16, Asip, processor cube
+- ``repro.sim``      -- instruction-set simulator + harness
+- ``repro.dspstone`` -- the ten Table 1 kernels + hand references
+- ``repro.selftest`` -- self-test program generation (Sec. 4.5)
+- ``repro.evalx``    -- table/figure regeneration harness
+"""
+
+__version__ = "1.0.0"
+
+from repro.api import (
+    CompilationResult,
+    available_kernels,
+    available_targets,
+    compile_kernel,
+    compile_program,
+    compile_source,
+)
+
+__all__ = [
+    "CompilationResult",
+    "available_kernels",
+    "available_targets",
+    "compile_kernel",
+    "compile_program",
+    "compile_source",
+    "__version__",
+]

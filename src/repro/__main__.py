@@ -1,0 +1,157 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``list``                      -- kernels, targets, compilers
+- ``compile <kernel>``          -- show a kernel's listing
+                                  (``--target``, ``--compiler``)
+- ``run <kernel>``              -- compile, simulate with seeded inputs,
+                                  print outputs / cycles / prediction
+- ``table1``                    -- regenerate the paper's Table 1
+- ``cube``                      -- the Fig. 1 processor cube
+- ``selftest``                  -- Sec. 4.5 fault-coverage run
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _add_target_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--target", default="tc25",
+                        choices=("tc25", "m56", "risc16", "asip"),
+                        help="processor model (default: tc25)")
+
+
+def cmd_list(_args) -> int:
+    """List kernels, targets and compilers."""
+    from repro import available_kernels, available_targets
+    from repro.dspstone import kernel
+    print("kernels (Table 1 rows):")
+    for name in available_kernels():
+        print(f"  {name:26s} {kernel(name).description}")
+    print()
+    print("targets:", ", ".join(available_targets()))
+    print("compilers: record (retargetable), baseline "
+          "(target-specific, tc25 only), hand (reference, tc25 only)")
+    return 0
+
+
+def cmd_compile(args) -> int:
+    """Compile a kernel and print its listing."""
+    from repro import compile_kernel
+    result = compile_kernel(args.kernel, target=args.target,
+                            compiler=args.compiler)
+    print(result.listing())
+    return 0
+
+
+def cmd_run(args) -> int:
+    """Compile, simulate, and report timing for a kernel."""
+    from repro import compile_kernel
+    from repro.codegen.timing import predict_cycles
+    from repro.dspstone import kernel
+    spec = kernel(args.kernel)
+    result = compile_kernel(args.kernel, target=args.target,
+                            compiler=args.compiler)
+    inputs = spec.inputs(seed=args.seed)
+    outputs, cycles = result.run(inputs)
+    print(result.listing())
+    print()
+    print(f"inputs (seed {args.seed}): {inputs}")
+    print(f"outputs: {outputs}")
+    print(f"simulated cycles: {cycles}")
+    report = predict_cycles(result.compiled.code)
+    print(report.describe())
+    status = "MATCHES" if report.total_cycles == cycles else "DIFFERS"
+    print(f"static prediction {status} simulation")
+    return 0
+
+
+def cmd_table1(_args) -> int:
+    """Regenerate the paper's Table 1."""
+    from repro.evalx.table1 import compute_table1, format_table1
+    print(format_table1(compute_table1()))
+    return 0
+
+
+def cmd_cube(_args) -> int:
+    """Print the Fig. 1 processor cube for the shipped targets."""
+    from repro.targets.asip import Asip
+    from repro.targets.cube import cube_table
+    from repro.targets.m56 import M56
+    from repro.targets.risc import Risc16
+    from repro.targets.tc25 import TC25
+    print(cube_table([TC25(), M56(), Risc16(), Asip()]))
+    return 0
+
+
+def cmd_report(_args) -> int:
+    """Regenerate all measured results as one markdown report."""
+    from repro.evalx.report import full_report
+    print(full_report())
+    return 0
+
+
+def cmd_selftest(args) -> int:
+    """Generate self-test programs and grade fault coverage."""
+    from repro.selftest import run_self_test
+    from repro.targets.risc import Risc16
+    from repro.targets.tc25 import TC25
+    target = Risc16() if args.target == "risc16" else TC25()
+    report = run_self_test(target, programs=args.programs)
+    print(report.summary())
+    return 0
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Retargetable code generation for embedded core "
+                    "processors (Marwedel, DAC 1997 -- reproduction)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="kernels, targets, compilers")
+
+    compile_parser = commands.add_parser("compile",
+                                         help="show a kernel's listing")
+    compile_parser.add_argument("kernel")
+    _add_target_option(compile_parser)
+    compile_parser.add_argument("--compiler", default="record",
+                                choices=("record", "baseline", "hand"))
+
+    run_parser = commands.add_parser("run",
+                                     help="compile + simulate a kernel")
+    run_parser.add_argument("kernel")
+    _add_target_option(run_parser)
+    run_parser.add_argument("--compiler", default="record",
+                            choices=("record", "baseline", "hand"))
+    run_parser.add_argument("--seed", type=int, default=0)
+
+    commands.add_parser("table1", help="regenerate the paper's Table 1")
+    commands.add_parser("cube", help="the Fig. 1 processor cube")
+    commands.add_parser("report",
+                        help="all measured results, as markdown")
+
+    selftest_parser = commands.add_parser(
+        "selftest", help="Sec. 4.5 fault-coverage run")
+    _add_target_option(selftest_parser)
+    selftest_parser.add_argument("--programs", type=int, default=12)
+
+    args = parser.parse_args(argv)
+    handler = {
+        "list": cmd_list,
+        "compile": cmd_compile,
+        "run": cmd_run,
+        "table1": cmd_table1,
+        "cube": cmd_cube,
+        "report": cmd_report,
+        "selftest": cmd_selftest,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

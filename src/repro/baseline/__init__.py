@@ -1,0 +1,25 @@
+"""The conventional target-specific compiler (Table 1's comparison).
+
+The paper's Table 1 compares RECORD against "a target-specific compiler
+for the TI C25" -- a classic early-90s DSP C compiler.  This package is
+our reconstruction of that technology level:
+
+*strong* at the classic scalar repertoire -- constant folding and
+propagation into expressions, operand canonicalization, strength
+reduction (:mod:`repro.baseline.folding`) -- exactly the optimizations
+the paper notes RECORD lacks ("it does not contain any standard
+optimization technique (such as constant folding)");
+
+*weak* at everything DSP-specific, which is what the DSPStone project
+measured as a 2x-8x overhead (Sec. 3.1): the loop induction variable
+lives in data memory, every array access recomputes its address through
+the accumulator, values are never promoted into machine registers across
+statements or iterations, parallel/fused instructions and hardware
+repeat are never used, and mode changes are inserted naively.
+"""
+
+from repro.baseline.folding import canonicalize, fold_constants
+from repro.baseline.compiler import BaselineCompiler, BaselineOptions
+
+__all__ = ["BaselineCompiler", "BaselineOptions", "canonicalize",
+           "fold_constants"]

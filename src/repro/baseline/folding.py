@@ -1,0 +1,115 @@
+"""Classic scalar optimizations: constant folding and canonicalization.
+
+These are the "standard optimization techniques" the paper says RECORD
+lacks (Sec. 4.3.5).  They operate on expression trees before selection:
+
+- :func:`fold_constants` evaluates operator nodes whose children are all
+  constants (exact arithmetic; a fold is skipped when the result would
+  not fit the machine word, keeping the fold semantics-preserving for
+  non-ring operators downstream);
+- :func:`canonicalize` normalizes commutative operators (constant to the
+  right), removes identities (``x+0``, ``x*1``, ``x<<0``), simplifies
+  annihilators (``x*0 -> 0``), and strength-reduces multiplications by
+  powers of two into shifts.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.fixedpoint import FixedPointContext
+from repro.ir.ops import OpKind
+from repro.ir.trees import Tree
+
+
+def fold_constants(tree: Tree, fpc: FixedPointContext) -> Tree:
+    """Fold constant subtrees bottom-up (exact, width-guarded)."""
+    if tree.kind is not OpKind.COMPUTE:
+        return tree
+    children = tuple(fold_constants(child, fpc) for child in tree.children)
+    if children != tree.children:
+        tree = Tree(tree.kind, operator=tree.operator, children=children,
+                    value=tree.value, symbol=tree.symbol, index=tree.index)
+    if all(child.kind is OpKind.CONST for child in tree.children):
+        try:
+            value = fpc.apply(tree.operator,
+                              *[child.value for child in tree.children])
+        except ValueError:
+            return tree
+        if fpc.in_range(value):
+            return Tree.const(value)
+    return tree
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def canonicalize(tree: Tree) -> Tree:
+    """Normalize a (possibly folded) tree; see module docstring."""
+    if tree.kind is not OpKind.COMPUTE:
+        return tree
+    children = tuple(canonicalize(child) for child in tree.children)
+    tree = Tree(tree.kind, operator=tree.operator, children=children,
+                value=tree.value, symbol=tree.symbol, index=tree.index)
+    op = tree.operator
+
+    # Commutative: constant operand to the right.
+    if op.commutative and len(children) == 2:
+        left, right = children
+        if left.kind is OpKind.CONST and right.kind is not OpKind.CONST:
+            children = (right, left)
+            tree = Tree(OpKind.COMPUTE, operator=op, children=children)
+
+    left = children[0] if children else None
+    right = children[1] if len(children) > 1 else None
+
+    def left_fits_word() -> bool:
+        from repro.ir.ranges import fits_word
+        return fits_word(left, FixedPointContext(16))
+
+    # Identity elimination (guarded for word-port operators: removing
+    # mul/or/xor also removes the port's wrap of the operand).
+    if op.identity is not None and right is not None \
+            and right.kind is OpKind.CONST and right.value == op.identity:
+        if op.name in FixedPointContext.WORD_OPERAND_OPS \
+                and not left_fits_word():
+            pass
+        else:
+            return left
+    if op.name in ("shl", "shr") and right is not None \
+            and right.kind is OpKind.CONST and right.value == 0:
+        return left
+
+    # Annihilator: x * 0 -> 0 (pure IR: no side effects to lose).
+    if op.name == "mul" and right is not None \
+            and right.kind is OpKind.CONST and right.value == 0:
+        return Tree.const(0)
+
+    # Strength reduction: x * 2^k -> x << k (guarded: the multiplier
+    # port wraps x, a shift does not).
+    if op.name == "mul" and right is not None \
+            and right.kind is OpKind.CONST \
+            and _is_power_of_two(right.value) and right.value > 1 \
+            and left_fits_word():
+        shift = right.value.bit_length() - 1
+        return Tree.compute("shl", left, Tree.const(shift))
+
+    # Double negation.
+    if op.name == "neg" and left is not None \
+            and left.kind is OpKind.COMPUTE \
+            and left.operator.name == "neg":
+        return left.children[0]
+
+    return tree
+
+
+def optimize_tree(tree: Tree, fpc: FixedPointContext) -> Tree:
+    """fold + canonicalize to a fixpoint (bounded; each pass shrinks or
+    leaves the tree unchanged)."""
+    for _ in range(8):
+        folded = canonicalize(fold_constants(tree, fpc))
+        if folded == tree:
+            return tree
+        tree = folded
+    return tree

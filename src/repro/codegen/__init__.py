@@ -1,0 +1,32 @@
+"""Code generation: the RECORD pipeline and its optimization stages.
+
+Stage map (Fig. 2 of the paper):
+
+- :mod:`repro.codegen.asm` -- target-neutral assembly objects (operands,
+  instructions, code sequences with labels and loop scaffolding).
+- :mod:`repro.codegen.grammar` -- tree grammars: the "iburg input format"
+  that instruction patterns are converted into.
+- :mod:`repro.codegen.burg` -- the iburg-equivalent: a BURS
+  dynamic-programming labeller/reducer generated from a tree grammar.
+- :mod:`repro.codegen.selector` -- instruction selection: algebraic
+  variant enumeration x BURS covering, with cover-or-cut DAG splitting.
+- :mod:`repro.codegen.regalloc` -- heterogeneous register assignment.
+- :mod:`repro.codegen.compaction` -- parallel-instruction compaction.
+- :mod:`repro.codegen.offset` -- offset assignment for AGU auto-inc/dec.
+- :mod:`repro.codegen.membank` -- X/Y memory-bank assignment.
+- :mod:`repro.codegen.modes` -- mode-change minimization.
+- :mod:`repro.codegen.pipeline` -- the full RECORD compiler driver.
+"""
+
+from repro.codegen.asm import (
+    AsmInstr, CodeSeq, Imm, Label, LoopBegin, LoopEnd, Mem, Reg,
+)
+from repro.codegen.grammar import Nt, Pat, Rule, Term, TreeGrammar, Cost
+from repro.codegen.burg import BurgMatcher, CoverError
+
+__all__ = [
+    "AsmInstr", "CodeSeq", "Imm", "Label", "LoopBegin", "LoopEnd",
+    "Mem", "Reg",
+    "Nt", "Pat", "Rule", "Term", "TreeGrammar", "Cost",
+    "BurgMatcher", "CoverError",
+]

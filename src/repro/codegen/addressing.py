@@ -1,0 +1,292 @@
+"""Address assignment: symbolic memory operands -> addressing modes.
+
+Runs after instruction selection and loop-level optimizations:
+
+- scalars and constant-index array elements resolve to *direct*
+  addresses from the memory map;
+- induction-variable array walks inside loops become *indirect* accesses
+  through an AGU address register with a free post-modify step ("with
+  these, incrementing an address register does not require an extra
+  instruction or cycle", Sec. 3.3) -- one register per access stream,
+  initialized by an address-register load in the loop preheader;
+- on targets without direct addressing (M56-style), scalars are also
+  reached indirectly; the layout then matters and is optimized by
+  :mod:`repro.codegen.offset` (offset assignment), which feeds its
+  result back here through ``scalar_order`` in the memory map.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Set, Tuple, TYPE_CHECKING
+
+from repro.codegen.asm import AddrOf, AsmInstr, CodeSeq, Imm, Mem, Reg
+from repro.codegen.compiled import MemoryMap
+from repro.codegen.structure import LoopNode, Node, Run, flatten, parse
+
+if TYPE_CHECKING:   # pragma: no cover
+    from repro.targets.model import TargetModel
+
+
+class AddressingError(Exception):
+    """Unsupported access shape (too many streams, stride too large, ...)."""
+
+
+@dataclass(frozen=True)
+class _StreamKey:
+    symbol: str
+    coeff: int
+    offset: int
+
+
+def transform_instr_mems(instr: AsmInstr, fn, addr_fn=None) -> AsmInstr:
+    """Rebuild an instruction with every Mem operand mapped through
+    ``fn`` and every AddrOf operand through ``addr_fn`` (including
+    operands of packed parallel moves)."""
+
+    def map_operand(operand):
+        if isinstance(operand, Mem):
+            return fn(operand)
+        if isinstance(operand, AddrOf) and addr_fn is not None:
+            return addr_fn(operand)
+        return operand
+
+    new_operands = tuple(map_operand(op) for op in instr.operands)
+    new_parallel = tuple(transform_instr_mems(move, fn, addr_fn)
+                         for move in instr.parallel)
+    if new_operands == instr.operands and new_parallel == instr.parallel:
+        return instr
+    return replace(instr, operands=new_operands, parallel=new_parallel)
+
+
+class AddressAssigner:
+    """Resolves all symbolic memory operands in a code sequence."""
+
+    def __init__(self, target: "TargetModel", memory_map: MemoryMap,
+                 code: "Optional[CodeSeq]" = None):
+        self.target = target
+        self.memory_map = memory_map
+        chooser = getattr(target, "stream_registers_for", None)
+        if chooser is not None and code is not None:
+            self.stream_registers = list(chooser(code))
+        else:
+            self.stream_registers = list(
+                getattr(target, "STREAM_ADDRESS_REGISTERS", []))
+
+    # ------------------------------------------------------------------
+
+    def run(self, code: CodeSeq) -> CodeSeq:
+        """Resolve every symbolic memory operand in the sequence."""
+        nodes = parse(code)
+        self._process(nodes, used_registers=set())
+        return flatten(nodes)
+
+    # ------------------------------------------------------------------
+
+    def _process(self, nodes: List[Node], used_registers: set) -> None:
+        index = 0
+        while index < len(nodes):
+            node = nodes[index]
+            if isinstance(node, Run):
+                node.items = [
+                    transform_instr_mems(item, self._resolve_scalar,
+                                         self._resolve_addr_of)
+                    if isinstance(item, AsmInstr) else item
+                    for item in node.items
+                ]
+            else:
+                prologue = self._process_loop(node, used_registers)
+                if prologue:
+                    nodes.insert(index, Run(items=list(prologue)))
+                    index += 1
+            index += 1
+
+    def _process_loop(self, loop: LoopNode,
+                      used_registers: set) -> List[AsmInstr]:
+        occurrences = self._collect_occurrences(loop)
+        counts: Dict[_StreamKey, int] = {}
+        for key in occurrences:
+            counts[key] = counts.get(key, 0) + 1
+
+        # Chain merging: several single-site accesses to the same array
+        # with the same stride (a[2i], a[2i+1], ...) share one register
+        # when their textual order matches their offset order; each
+        # access post-modifies by the gap to the next one, and the last
+        # access completes the per-iteration stride.
+        merged: Dict[_StreamKey, Tuple[str, int]] = {}   # key->(group,post)
+        merge_groups: Dict[str, Tuple[_StreamKey, ...]] = {}
+        grouped: Dict[Tuple[str, int], List[_StreamKey]] = {}
+        for key in counts:
+            grouped.setdefault((key.symbol, key.coeff), []).append(key)
+        max_post = self.target.capabilities.max_post_modify
+        for (symbol, coeff), keys in grouped.items():
+            if len(keys) < 2 or any(counts[k] > 1 for k in keys):
+                continue
+            ordered = sorted(keys, key=lambda k: k.offset)
+            actual = [k for k in occurrences if k in set(keys)]
+            if actual != ordered:
+                continue
+            steps = [ordered[i + 1].offset - ordered[i].offset
+                     for i in range(len(ordered) - 1)]
+            steps.append(coeff - (ordered[-1].offset - ordered[0].offset))
+            if any(abs(step) > max_post for step in steps):
+                continue
+            group_name = f"{symbol}/{coeff}"
+            merge_groups[group_name] = tuple(ordered)
+            for key, step in zip(ordered, steps):
+                merged[key] = (group_name, step)
+
+        # Register allocation: one per merge group + one per loose key.
+        available = [reg for reg in self.stream_registers
+                     if reg not in used_registers]
+        group_register: Dict[str, str] = {}
+        allocation: Dict[_StreamKey, str] = {}
+        post_of: Dict[_StreamKey, int] = {}
+        multi_access: Set[_StreamKey] = set()
+
+        def take_register(what: str) -> str:
+            if not available:
+                raise AddressingError(
+                    f"loop {loop.loop_id}: out of address registers "
+                    f"while assigning {what} "
+                    f"({len(self.stream_registers)} registers total)")
+            return available.pop(0)
+
+        for group_name in merge_groups:
+            group_register[group_name] = take_register(group_name)
+        for key in counts:
+            if key in merged:
+                group_name, step = merged[key]
+                allocation[key] = group_register[group_name]
+                post_of[key] = step
+                continue
+            if abs(key.coeff) > max_post:
+                raise AddressingError(
+                    f"stride {key.coeff} exceeds target post-modify "
+                    f"capability ({max_post})")
+            allocation[key] = take_register(
+                f"{key.symbol}[{key.coeff}*i+{key.offset}]")
+            if counts[key] > 1:
+                # Several access sites per iteration: accesses leave the
+                # register untouched; a single pointer-bump at the end
+                # of the body advances the stream.
+                multi_access.add(key)
+                post_of[key] = 0
+            else:
+                post_of[key] = key.coeff
+
+        def resolve(operand: Mem) -> Mem:
+            key = self._stream_key(operand)
+            if key is not None and key in allocation:
+                return replace(operand, mode="indirect",
+                               areg=allocation[key],
+                               post_modify=post_of[key])
+            return self._resolve_scalar(operand)
+
+        inner_used = used_registers | set(allocation.values())
+        index = 0
+        while index < len(loop.body):
+            child = loop.body[index]
+            if isinstance(child, Run):
+                child.items = [
+                    transform_instr_mems(item, resolve,
+                                         self._resolve_addr_of)
+                    if isinstance(item, AsmInstr) else item
+                    for item in child.items
+                ]
+            else:
+                inner_prologue = self._process_loop(child, inner_used)
+                if inner_prologue:
+                    loop.body.insert(index, Run(items=list(inner_prologue)))
+                    index += 1
+            index += 1
+
+        # Multi-access streams: one pointer-bump per iteration, at the
+        # end of the body (every access site has executed by then).
+        bumps = [self._pointer_bump(allocation[key], key.coeff)
+                 for key in sorted(multi_access,
+                                   key=lambda k: allocation[k])]
+        if bumps:
+            if loop.body and isinstance(loop.body[-1], Run):
+                loop.body[-1].items.extend(bumps)
+            else:
+                loop.body.append(Run(items=bumps))
+
+        # Preheader: initialize each stream register to the address of
+        # its first-iteration element (merge groups: the first access).
+        # Returned to the caller, which places the loads before this
+        # loop's LoopBegin.
+        prologue: List[AsmInstr] = []
+        initialized: Set[str] = set()
+        for group_name, keys in merge_groups.items():
+            register = group_register[group_name]
+            first = keys[0]
+            address = self.memory_map.address_of(first.symbol, first.offset)
+            prologue.append(self._load_address_register(register, address))
+            initialized.add(register)
+        for key, register in allocation.items():
+            if register in initialized:
+                continue
+            initialized.add(register)
+            address = self.memory_map.address_of(key.symbol, key.offset)
+            prologue.append(self._load_address_register(register, address))
+        return prologue
+
+    def _pointer_bump(self, register: str, stride: int) -> AsmInstr:
+        maker = getattr(self.target, "make_pointer_bump", None)
+        if maker is not None:
+            return maker(register, stride)
+        # Default: TC25 MAR shape -- modify AR as an access side effect.
+        return AsmInstr(opcode="MAR",
+                        operands=(Mem(symbol=f"<{register}>",
+                                      mode="indirect", areg=register,
+                                      post_modify=stride),),
+                        words=1, cycles=1,
+                        comment=f"advance {register} by {stride}")
+
+    def _load_address_register(self, register: str,
+                               address: int) -> AsmInstr:
+        maker = getattr(self.target, "make_address_register_load", None)
+        if maker is not None:
+            return maker(register, address)
+        # Default: a 2-word immediate load (TC25 LRLK shape).
+        return AsmInstr(opcode="LRLK", operands=(Reg(register),
+                                                 Imm(address)),
+                        words=2, cycles=2)
+
+    # ------------------------------------------------------------------
+
+    def _stream_key(self, operand: Mem) -> Optional[_StreamKey]:
+        if operand.mode != "symbolic" or operand.index is None:
+            return None
+        if operand.index.coeff == 0:
+            return None
+        return _StreamKey(operand.symbol, operand.index.coeff,
+                          operand.index.offset)
+
+    def _collect_occurrences(self, loop: LoopNode) -> List[_StreamKey]:
+        """Stream accesses of this loop's direct body, in textual order
+        (one entry per access site)."""
+        occurrences: List[_StreamKey] = []
+        for item in loop.direct_items():
+            if not isinstance(item, AsmInstr):
+                continue
+            for operand in item.memory_operands():
+                key = self._stream_key(operand)
+                if key is not None:
+                    occurrences.append(key)
+        return occurrences
+
+    def _resolve_addr_of(self, operand: AddrOf) -> Imm:
+        return Imm(self.memory_map.address_of(operand.symbol,
+                                              operand.offset))
+
+    def _resolve_scalar(self, operand: Mem) -> Mem:
+        if operand.mode != "symbolic":
+            return operand
+        if operand.index is not None and operand.index.coeff != 0:
+            raise AddressingError(
+                f"induction access {operand} outside any loop")
+        offset = operand.index.offset if operand.index is not None else 0
+        address = self.memory_map.address_of(operand.symbol, offset)
+        return replace(operand, mode="direct", address=address)

@@ -1,0 +1,323 @@
+"""BURS tree-pattern matching by dynamic programming -- the iburg stand-in.
+
+Implements the classic two-pass architecture of iburg / the
+Aho-Ganapathi-Tjiang code generator the paper cites in Sec. 4.3.3:
+
+1. **label** -- a bottom-up pass computes, for every subtree and every
+   nonterminal, the cheapest derivation of that subtree to that
+   nonterminal (rule costs are additive; chain rules are closed to a
+   fixpoint per node).
+
+2. **reduce** -- a top-down pass replays the optimal derivation for a
+   goal nonterminal, calling each rule's ``emit`` function.
+
+Heterogeneous register classes are expressed through the nonterminals,
+which is exactly how tree parsing handles non-homogeneous register
+architectures (Balachandran et al. [5], Araujo/Malik [4]).
+
+One issue iburg never had to face is real here: on accumulator machines
+several children of one pattern may want to travel through the same
+volatile resource (ACC, T, P).  The reducer picks a child evaluation
+order such that no child's code clobbers a resource holding an earlier
+sibling's value, using each rule's declared ``clobbers`` set; when no
+such order exists the reduction fails with :class:`CoverError` and the
+selector (:mod:`repro.codegen.selector`) falls back to splitting the
+tree at a temporary -- the same "cover or cut" decomposition RECORD's
+heuristics perform.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
+
+from repro.codegen.asm import Mem
+from repro.codegen.grammar import (
+    Cost, EmitContext, Nt, Pat, Pattern, Rule, Term, TreeGrammar,
+)
+from repro.ir.ops import OpKind
+from repro.ir.trees import Tree
+
+
+class CoverError(Exception):
+    """The grammar cannot derive the requested goal for a tree (or no
+    legal evaluation order exists for the optimal derivation)."""
+
+
+@dataclass
+class _Derivation:
+    """Cheapest derivation of one (subtree, nonterminal) pair."""
+
+    cost: Cost
+    rule: Rule
+    # For a pattern rule: (nt_name, subtree) per Nt leaf, in preorder.
+    bindings: Tuple[Tuple[str, Tree], ...] = ()
+    # Union of clobbers along the whole derivation (incl. children).
+    clobbers: FrozenSet[str] = frozenset()
+    # For a chain rule: the source nonterminal it converts from.
+    chain_source: Optional[str] = None
+
+
+_State = Dict[str, _Derivation]
+
+
+def _match(pattern: Pattern, tree: Tree,
+           state_of) -> Optional[List[Tuple[str, Tree]]]:
+    """Structural match of ``pattern`` against ``tree``.
+
+    Returns the list of (nonterminal, subtree) bindings for the Nt
+    leaves in preorder, or ``None`` on mismatch.  ``state_of(subtree)``
+    must return the already-computed label state of a subtree (children
+    are labelled before parents in the bottom-up pass).
+    """
+    if isinstance(pattern, Nt):
+        state = state_of(tree)
+        if pattern.name not in state:
+            return None
+        return [(pattern.name, tree)]
+    if isinstance(pattern, Term):
+        return [] if pattern.matches(tree) else None
+    # Pat
+    if tree.kind is not OpKind.COMPUTE or tree.operator.name != pattern.op:
+        return None
+    if len(pattern.children) != len(tree.children):
+        return None
+    bindings: List[Tuple[str, Tree]] = []
+    for sub_pattern, sub_tree in zip(pattern.children, tree.children):
+        sub_bindings = _match(sub_pattern, sub_tree, state_of)
+        if sub_bindings is None:
+            return None
+        bindings.extend(sub_bindings)
+    return bindings
+
+
+def _terminal_payloads(pattern: Pattern, tree: Tree) -> List[object]:
+    """Payloads of Term leaves in preorder: Mem for refs, int for consts."""
+    if isinstance(pattern, Nt):
+        return []
+    if isinstance(pattern, Term):
+        if pattern.kind == "const":
+            return [tree.value]
+        return [Mem(tree.symbol, tree.index)]
+    payloads: List[object] = []
+    for sub_pattern, sub_tree in zip(pattern.children, tree.children):
+        payloads.extend(_terminal_payloads(sub_pattern, sub_tree))
+    return payloads
+
+
+def _leaf_slots(pattern: Pattern) -> List[str]:
+    """Kinds of leaves in preorder: 'nt' or 'term'."""
+    if isinstance(pattern, Nt):
+        return ["nt"]
+    if isinstance(pattern, Term):
+        return ["term"]
+    slots: List[str] = []
+    for child in pattern.children:
+        slots.extend(_leaf_slots(child))
+    return slots
+
+
+class BurgMatcher:
+    """A labeller/reducer generated from a tree grammar.
+
+    ``metric`` selects the optimization objective: ``"size"`` (code
+    words; the paper's Table 1 metric) or ``"speed"`` (cycles).
+    """
+
+    def __init__(self, grammar: TreeGrammar, metric: str = "size"):
+        self.grammar = grammar
+        self.metric = metric
+        Cost().key(metric)   # validate metric early
+        # Persistent label cache: states depend only on the (fixed)
+        # grammar and the subtree, so they are shared across label()
+        # calls -- the selector labels many algebraic variants that
+        # overlap heavily in subtrees.
+        self._states: Dict[Tree, _State] = {}
+
+    # ------------------------------------------------------------------
+    # Labelling
+    # ------------------------------------------------------------------
+
+    def label(self, tree: Tree) -> Dict[Tree, _State]:
+        """Compute optimal-derivation states for every distinct subtree
+        (cached across calls; the grammar is immutable per matcher)."""
+        self._label_node(tree, self._states)
+        return self._states
+
+    def _label_node(self, tree: Tree, states: Dict[Tree, _State]) -> None:
+        if tree in states:
+            return
+        for child in tree.children:
+            self._label_node(child, states)
+        state: _State = {}
+        states[tree] = state
+
+        def state_of(subtree: Tree) -> _State:
+            return states[subtree]
+
+        if tree.kind is OpKind.COMPUTE:
+            candidates = self.grammar.rules_for_op(tree.operator.name)
+        else:
+            candidates = self.grammar.leaf_rules()
+        for rule in candidates:
+            bindings = _match(rule.pattern, tree, state_of)
+            if bindings is None:
+                continue
+            if rule.guard is not None and not rule.guard(tree):
+                continue
+            cost = rule.cost
+            clobbers = set(rule.clobbers)
+            feasible = True
+            for nt_name, subtree in bindings:
+                derivation = states[subtree].get(nt_name)
+                if derivation is None:
+                    feasible = False
+                    break
+                cost = cost + derivation.cost
+                clobbers |= derivation.clobbers
+            if not feasible:
+                continue
+            self._consider(state, rule.nonterm, _Derivation(
+                cost=cost, rule=rule, bindings=tuple(bindings),
+                clobbers=frozenset(clobbers)))
+        self._close_chains(state)
+
+    def _consider(self, state: _State, nonterm: str,
+                  derivation: _Derivation) -> None:
+        existing = state.get(nonterm)
+        if existing is None or \
+                derivation.cost.key(self.metric) < existing.cost.key(self.metric):
+            state[nonterm] = derivation
+
+    def _close_chains(self, state: _State) -> None:
+        """Relax chain rules to a fixpoint (grammars are tiny: iterate)."""
+        changed = True
+        while changed:
+            changed = False
+            for source_nt in list(state):
+                source = state[source_nt]
+                for rule in self.grammar.chain_rules_from(source_nt):
+                    cost = rule.cost + source.cost
+                    clobbers = frozenset(set(rule.clobbers) | source.clobbers)
+                    existing = state.get(rule.nonterm)
+                    if existing is None or \
+                            cost.key(self.metric) < existing.cost.key(self.metric):
+                        state[rule.nonterm] = _Derivation(
+                            cost=cost, rule=rule, clobbers=clobbers,
+                            chain_source=source_nt)
+                        changed = True
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def cover_cost(self, tree: Tree, goal: str) -> Optional[Cost]:
+        """Cheapest cost of deriving ``tree`` to ``goal``, or None."""
+        states = self.label(tree)
+        derivation = states[tree].get(goal)
+        return derivation.cost if derivation else None
+
+    def cover_rules(self, tree: Tree, goal: str) -> List[Rule]:
+        """The rules of the optimal cover in reduce order (for display,
+        e.g. regenerating Fig. 5)."""
+        states = self.label(tree)
+        rules: List[Rule] = []
+
+        def walk(node: Tree, nonterm: str) -> None:
+            derivation = states[node].get(nonterm)
+            if derivation is None:
+                raise CoverError(
+                    f"no derivation of {node} to {nonterm!r}")
+            if derivation.chain_source is not None:
+                walk(node, derivation.chain_source)
+            else:
+                for nt_name, subtree in derivation.bindings:
+                    walk(subtree, nt_name)
+            rules.append(derivation.rule)
+
+        walk(tree, goal)
+        return rules
+
+    # ------------------------------------------------------------------
+    # Reduction
+    # ------------------------------------------------------------------
+
+    def reduce(self, tree: Tree, goal: str, ctx: EmitContext) -> object:
+        """Emit code for the optimal cover of ``tree`` to ``goal``.
+
+        Returns the location object produced by the root rule's emit.
+        Raises :class:`CoverError` when no derivation exists or when no
+        legal child evaluation order exists.
+        """
+        states = self.label(tree)
+        if goal not in states[tree]:
+            raise CoverError(
+                f"grammar {self.grammar.name!r} cannot derive {tree} "
+                f"to goal {goal!r}")
+        return self._reduce_node(tree, goal, states, ctx)
+
+    def _reduce_node(self, tree: Tree, nonterm: str,
+                     states: Dict[Tree, _State],
+                     ctx: EmitContext) -> object:
+        derivation = states[tree][nonterm]
+        rule = derivation.rule
+        if derivation.chain_source is not None:
+            source_loc = self._reduce_node(tree, derivation.chain_source,
+                                           states, ctx)
+            return rule.emit(ctx, [source_loc])
+
+        order = self._evaluation_order(derivation, states)
+        locs: Dict[int, object] = {}
+        for binding_index in order:
+            nt_name, subtree = derivation.bindings[binding_index]
+            locs[binding_index] = self._reduce_node(subtree, nt_name,
+                                                    states, ctx)
+        args = self._build_args(rule, tree, derivation, locs)
+        return rule.emit(ctx, args)
+
+    def _evaluation_order(self, derivation: _Derivation,
+                          states: Dict[Tree, _State]) -> List[int]:
+        """Order of Nt bindings such that no later child clobbers an
+        earlier child's delivery resource."""
+        bindings = derivation.bindings
+        if len(bindings) <= 1:
+            return list(range(len(bindings)))
+        info = []
+        for index, (nt_name, subtree) in enumerate(bindings):
+            child = states[subtree][nt_name]
+            delivers = self.grammar.resource_of(nt_name)
+            info.append((index, delivers, child.clobbers))
+        for order in itertools.permutations(range(len(bindings))):
+            valid = True
+            for i_position in range(len(order)):
+                delivers = info[order[i_position]][1]
+                if delivers is None:
+                    continue
+                for j_position in range(i_position + 1, len(order)):
+                    if delivers in info[order[j_position]][2]:
+                        valid = False
+                        break
+                if not valid:
+                    break
+            if valid:
+                return list(order)
+        raise CoverError(
+            f"no legal evaluation order for rule {derivation.rule.name!r}")
+
+    def _build_args(self, rule: Rule, tree: Tree, derivation: _Derivation,
+                    locs: Dict[int, object]) -> List[object]:
+        """Interleave Nt locations and Term payloads in pattern preorder."""
+        payloads = _terminal_payloads(rule.pattern, tree)
+        slots = _leaf_slots(rule.pattern)
+        args: List[object] = []
+        nt_index = 0
+        term_index = 0
+        for slot in slots:
+            if slot == "nt":
+                args.append(locs[nt_index])
+                nt_index += 1
+            else:
+                args.append(payloads[term_index])
+                term_index += 1
+        return args

@@ -1,0 +1,254 @@
+"""Code compaction: packing parallel move slots (Sec. 3.3).
+
+"Many of the popular DSPs include so-called parallel instructions.  For
+example, the Motorola MC 56000 allows parallel move operations ...  Not
+taking advantage of this parallelism means loosing a factor of two in
+the performance."  The paper notes both heuristic compactors (Timmer,
+Strik, Nicolau) and the newer exact formulations (Leupers/Marwedel
+[24]: "optimal algorithms have become feasible").
+
+This module provides both:
+
+- :func:`greedy_compaction` -- upward move packing (the classic list-
+  scheduling flavour): each move instruction is hoisted over
+  independent instructions into the latest earlier ALU instruction with
+  a free slot of the right bus;
+- :func:`optimal_compaction` -- exhaustive branch-and-bound over
+  packing decisions for small straight-line blocks (the ablation
+  oracle; falls back to greedy above ``max_block``).
+
+Parallel-move semantics (and hence the legality rules) follow the 56k:
+the host operation and all its packed moves *read the pre-instruction
+state*, then all results commit.  Packing a later move M into host H is
+therefore legal iff M is independent of every instruction it hoists
+over, M does not read anything H writes, and M and H write disjoint
+locations.
+
+The target supplies a :class:`SlotModel` describing its buses and its
+def/use sets; compaction itself is target-independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.codegen.asm import AsmInstr, CodeSeq
+
+
+class SlotModel:
+    """Target description consumed by the compactor.
+
+    Subclasses implement:
+
+    - :meth:`slot_of` -- the move bus an instruction occupies (e.g.
+      ``"xmove"``/``"ymove"``), or ``None`` for non-move instructions;
+    - :meth:`can_host` -- whether an instruction accepts parallel moves;
+    - :meth:`defs` / :meth:`uses` -- written / read location tokens.
+
+    Memory tokens: ``m:<bank>:<addr>`` for a direct access and
+    ``m:<bank>`` for an access whose address is not statically known
+    (the bank token conflicts with every token of that bank).
+    """
+
+    slots: Tuple[str, ...] = ()
+
+    def slot_of(self, instr: AsmInstr) -> Optional[str]:
+        """The move bus ``instr`` occupies, or None for non-moves."""
+        raise NotImplementedError
+
+    def can_host(self, instr: AsmInstr) -> bool:
+        """Whether ``instr`` accepts parallel moves in its slots."""
+        raise NotImplementedError
+
+    def defs(self, instr: AsmInstr) -> Set[str]:
+        """Location tokens written by ``instr`` (see class docs)."""
+        raise NotImplementedError
+
+    def uses(self, instr: AsmInstr) -> Set[str]:
+        """Location tokens read by ``instr`` (see class docs)."""
+        raise NotImplementedError
+
+
+def tokens_conflict(first: Set[str], second: Set[str]) -> bool:
+    """Conflict test aware of whole-bank memory tokens."""
+    if first & second:
+        return True
+    for token in first:
+        if token.startswith("m:") and token.count(":") == 1:
+            prefix = token + ":"
+            if any(other == token or other.startswith(prefix)
+                   for other in second):
+                return True
+    for token in second:
+        if token.startswith("m:") and token.count(":") == 1:
+            prefix = token + ":"
+            if any(other == token or other.startswith(prefix)
+                   for other in first):
+                return True
+    return False
+
+
+def _aggregate_defs(model: SlotModel, instr: AsmInstr) -> Set[str]:
+    """defs of an instruction including its packed parallel moves."""
+    tokens = set(model.defs(instr))
+    for packed in instr.parallel:
+        tokens |= model.defs(packed)
+    return tokens
+
+
+def _aggregate_uses(model: SlotModel, instr: AsmInstr) -> Set[str]:
+    """uses of an instruction including its packed parallel moves."""
+    tokens = set(model.uses(instr))
+    for packed in instr.parallel:
+        tokens |= model.uses(packed)
+    return tokens
+
+
+def _independent(model: SlotModel, move: AsmInstr,
+                 other: AsmInstr) -> bool:
+    """True when ``move`` may be reordered across ``other`` (including
+    everything already packed into ``other``)."""
+    move_defs, move_uses = model.defs(move), model.uses(move)
+    other_defs = _aggregate_defs(model, other)
+    other_uses = _aggregate_uses(model, other)
+    return not (tokens_conflict(move_uses, other_defs)
+                or tokens_conflict(move_defs, other_defs)
+                or tokens_conflict(move_defs, other_uses))
+
+
+def _can_pack(model: SlotModel, move: AsmInstr, host: AsmInstr) -> bool:
+    """Legality of executing ``move`` in parallel with ``host`` when
+    ``move`` originally came after ``host``."""
+    move_defs, move_uses = model.defs(move), model.uses(move)
+    host_defs = model.defs(host)
+    for packed in host.parallel:
+        if tokens_conflict(move_defs, model.defs(packed)) \
+                or tokens_conflict(move_uses, model.defs(packed)) \
+                or tokens_conflict(move_defs, model.uses(packed)):
+            return False
+    return not (tokens_conflict(move_uses, host_defs)
+                or tokens_conflict(move_defs, host_defs))
+
+
+def _used_slots(model: SlotModel, host: AsmInstr) -> Set[str]:
+    return {model.slot_of(packed) for packed in host.parallel}
+
+
+def greedy_compaction(instrs: Sequence[AsmInstr],
+                      model: SlotModel) -> List[AsmInstr]:
+    """Upward move packing over one straight-line block."""
+    result: List[AsmInstr] = []
+    for instr in instrs:
+        slot = model.slot_of(instr)
+        if slot is None:
+            result.append(instr)
+            continue
+        host_index: Optional[int] = None
+        for candidate in range(len(result) - 1, -1, -1):
+            occupant = result[candidate]
+            if model.can_host(occupant) \
+                    and slot not in _used_slots(model, occupant) \
+                    and _can_pack(model, instr, occupant):
+                host_index = candidate
+                break
+            if not _independent(model, instr, occupant):
+                break
+        if host_index is None:
+            result.append(instr)
+        else:
+            host = result[host_index]
+            result[host_index] = AsmInstr(
+                opcode=host.opcode, operands=host.operands,
+                words=host.words, cycles=host.cycles, modes=host.modes,
+                parallel=host.parallel + (instr,),
+                comment=host.comment)
+    return result
+
+
+def optimal_compaction(instrs: Sequence[AsmInstr], model: SlotModel,
+                       max_block: int = 16) -> List[AsmInstr]:
+    """Branch-and-bound over packing decisions (exact for small blocks).
+
+    Explores, for every move, all legal hosts plus the standalone
+    choice, minimizing the resulting instruction count; prunes branches
+    that cannot beat the incumbent (each remaining move can at best
+    disappear into a slot).  Falls back to :func:`greedy_compaction`
+    beyond ``max_block`` instructions.
+    """
+    if len(instrs) > max_block:
+        return greedy_compaction(instrs, model)
+    best: List[List[AsmInstr]] = [greedy_compaction(instrs, model)]
+    remaining_non_moves = [0] * (len(instrs) + 1)
+    for position in range(len(instrs) - 1, -1, -1):
+        remaining_non_moves[position] = remaining_non_moves[position + 1] \
+            + (0 if model.slot_of(instrs[position]) is not None else 1)
+
+    def search(index: int, result: List[AsmInstr]) -> None:
+        # Sound lower bound: placed instructions never disappear and
+        # non-move instructions each need their own word; only moves
+        # may vanish into slots.
+        if len(result) + remaining_non_moves[index] >= len(best[0]):
+            return
+        if index == len(instrs):
+            best[0] = list(result)
+            return
+        instr = instrs[index]
+        slot = model.slot_of(instr)
+        if slot is None:
+            result.append(instr)
+            search(index + 1, result)
+            result.pop()
+            return
+        # Option A: every legal host.
+        for candidate in range(len(result) - 1, -1, -1):
+            occupant = result[candidate]
+            if model.can_host(occupant) \
+                    and slot not in _used_slots(model, occupant) \
+                    and _can_pack(model, instr, occupant):
+                packed = AsmInstr(
+                    opcode=occupant.opcode, operands=occupant.operands,
+                    words=occupant.words, cycles=occupant.cycles,
+                    modes=occupant.modes,
+                    parallel=occupant.parallel + (instr,),
+                    comment=occupant.comment)
+                result[candidate] = packed
+                search(index + 1, result)
+                result[candidate] = occupant
+            if not _independent(model, instr, occupant):
+                break
+        # Option B: standalone.
+        result.append(instr)
+        search(index + 1, result)
+        result.pop()
+
+    search(0, [])
+    return best[0]
+
+
+def compact_code(code: CodeSeq, model: SlotModel,
+                 strategy: str = "greedy") -> CodeSeq:
+    """Compact every straight-line run of a code sequence.
+
+    Runs are delimited by anything that is not a plain instruction
+    (labels, loop markers) -- moves never migrate across control flow.
+    """
+    compactor = {"greedy": greedy_compaction,
+                 "optimal": optimal_compaction,
+                 "none": lambda instrs, _model: list(instrs)}[strategy]
+    result = CodeSeq()
+    run: List[AsmInstr] = []
+
+    def flush() -> None:
+        if run:
+            result.extend(compactor(run, model))
+            run.clear()
+
+    for item in code:
+        if isinstance(item, AsmInstr):
+            run.append(item)
+        else:
+            flush()
+            result.append(item)
+    flush()
+    return result

@@ -1,0 +1,135 @@
+"""The artifact both compilers produce: a finalized, runnable program.
+
+A :class:`CompiledProgram` bundles everything the simulator and the
+benchmark harness need: the finalized code, the data memory map, any
+program-memory coefficient tables (the TC25 ``MAC`` idiom), and
+compilation statistics for the reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, TYPE_CHECKING
+
+from repro.codegen.asm import CodeSeq
+from repro.ir.program import Program, Symbol
+
+if TYPE_CHECKING:   # pragma: no cover
+    from repro.targets.model import TargetModel
+
+
+@dataclass(frozen=True)
+class PmemTable:
+    """A coefficient table placed in program memory.
+
+    The table image is built from the data of ``symbol``: entry ``k``
+    holds ``symbol[start + stride * k]`` for ``k in 0..count-1``.  This
+    models burning de-facto constant input arrays into program memory,
+    which is what hand-written TMS320C25 FIR code does (see DESIGN.md,
+    substitutions).
+    """
+
+    label: str
+    symbol: str
+    start: int
+    stride: int
+    count: int
+
+    def build(self, values: List[int]) -> List[int]:
+        """Materialize the table image from the symbol's data."""
+        image = []
+        for k in range(self.count):
+            index = self.start + self.stride * k
+            if not 0 <= index < len(values):
+                raise ValueError(
+                    f"table {self.label}: index {index} out of range "
+                    f"for {self.symbol}[{len(values)}]")
+            image.append(values[index])
+        return image
+
+
+@dataclass
+class MemoryMap:
+    """Data-memory layout: symbol -> base address (arrays contiguous)."""
+
+    addresses: Dict[str, int] = field(default_factory=dict)
+    sizes: Dict[str, int] = field(default_factory=dict)
+    total: int = 0
+
+    def address_of(self, symbol: str, offset: int = 0) -> int:
+        """Absolute data address of ``symbol[offset]`` (bounds-checked)."""
+        if symbol not in self.addresses:
+            raise KeyError(f"symbol {symbol!r} not in memory map")
+        size = self.sizes[symbol]
+        if not 0 <= offset < size:
+            raise IndexError(
+                f"offset {offset} out of range for {symbol}[{size}]")
+        return self.addresses[symbol] + offset
+
+    def contains(self, symbol: str) -> bool:
+        """Whether the map allocated storage for ``symbol``."""
+        return symbol in self.addresses
+
+
+def build_memory_map(symbols: Mapping[str, Symbol],
+                     extra_scalars: List[str],
+                     scalar_order: Optional[List[str]] = None,
+                     bank_of: Optional[Mapping[str, str]] = None,
+                     ) -> MemoryMap:
+    """Lay out data memory.
+
+    Scalars (declared and compiler temporaries) come first -- in
+    ``scalar_order`` if the offset-assignment stage computed one --
+    followed by arrays in declaration order.  ``bank_of`` is recorded
+    for banked targets (bank assignment keeps per-bank address spaces;
+    our banked machine model uses disjoint address ranges per bank, so a
+    single linear map still works: bank simply selects the range).
+    """
+    memory_map = MemoryMap()
+    scalars = [name for name, sym in symbols.items() if not sym.is_array]
+    scalars += [name for name in extra_scalars if name not in symbols]
+    if scalar_order is not None:
+        missing = [name for name in scalars if name not in scalar_order]
+        unknown = [name for name in scalar_order if name not in scalars]
+        if unknown:
+            raise ValueError(f"scalar_order names unknown symbols: "
+                             f"{unknown}")
+        ordered = list(scalar_order) + missing
+    else:
+        ordered = scalars
+    address = 0
+    for name in ordered:
+        memory_map.addresses[name] = address
+        memory_map.sizes[name] = 1
+        address += 1
+    for name, symbol in symbols.items():
+        if symbol.is_array:
+            memory_map.addresses[name] = address
+            memory_map.sizes[name] = symbol.size
+            address += symbol.size
+    memory_map.total = address
+    return memory_map
+
+
+@dataclass
+class CompiledProgram:
+    """A finalized, simulatable compilation result."""
+
+    name: str
+    target: "TargetModel"
+    code: CodeSeq
+    memory_map: MemoryMap
+    symbols: Dict[str, Symbol]
+    pmem_tables: List[PmemTable] = field(default_factory=list)
+    compiler: str = ""
+    stats: Dict[str, object] = field(default_factory=dict)
+
+    def words(self) -> int:
+        """Static code size in instruction words (Table 1's metric)."""
+        return self.code.words()
+
+    def listing(self) -> str:
+        """Annotated assembly listing with a header line."""
+        header = (f"; {self.name}  [{self.compiler} -> {self.target.name}]"
+                  f"  {self.words()} words")
+        return header + "\n" + self.code.render()

@@ -1,0 +1,257 @@
+"""Offset assignment: data layout for AGU auto-increment addressing.
+
+Sec. 3.3 of the paper: "it is desirable to assign variables to memory
+such that as many variable accesses as possible refer to adjacent
+memory locations.  Bartley [6], Liao [26] and Leupers [21] have
+described algorithms for this optimization."
+
+The *simple offset assignment* (SOA) problem: given the access sequence
+of a set of scalar variables, order them in memory so that consecutive
+accesses are to adjacent cells as often as possible (every non-adjacent
+step costs an explicit address-register load).  Liao showed SOA is
+equivalent to finding a maximum-weight Hamiltonian path cover of the
+*access graph* (nodes = variables, edge weight = number of adjacent
+access pairs), and that Bartley's greedy edge-selection heuristic
+approximates it well.
+
+Provided solvers:
+
+- :func:`naive_order` -- first-use order (the ablation baseline);
+- :func:`liao_order` -- the Bartley/Liao greedy max-weight path cover;
+- :func:`exhaustive_order` -- exact optimum by permutation search
+  (small variable counts; used to validate the heuristic in tests);
+- :func:`general_offset_assignment` -- GOA: partition the variables
+  over k address registers (Leupers-style greedy partitioning), where
+  each register serves its partition's subsequence.
+
+The cost model (:func:`assignment_cost`) counts address-register loads
+under a unit-stride AGU; it is shared by the solvers, the M56 back end
+and the ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import permutations
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+# ----------------------------------------------------------------------
+# Cost model
+# ----------------------------------------------------------------------
+
+def assignment_cost(sequence: Sequence[str], order: Sequence[str],
+                    setup_cost: int = 1) -> int:
+    """Address-register loads needed to walk ``sequence`` when variables
+    are laid out in ``order`` (unit-stride post-increment AGU).
+
+    The first access costs ``setup_cost``; each later access costs one
+    more load iff it is not within +/-1 of the previous address (free
+    post-increment/decrement/none otherwise).
+    """
+    if not sequence:
+        return 0
+    position = {name: index for index, name in enumerate(order)}
+    missing = [name for name in sequence if name not in position]
+    if missing:
+        raise ValueError(f"sequence uses variables not in the layout: "
+                         f"{sorted(set(missing))}")
+    cost = setup_cost
+    current = position[sequence[0]]
+    for name in sequence[1:]:
+        target = position[name]
+        if abs(target - current) > 1:
+            cost += 1
+        current = target
+    return cost
+
+
+def access_graph(sequence: Sequence[str]) -> Dict[Tuple[str, str], int]:
+    """Liao's access graph: weight[(u, v)] = number of adjacent (u, v)
+    pairs in the sequence (undirected, keyed with u < v)."""
+    weights: Dict[Tuple[str, str], int] = {}
+    for first, second in zip(sequence, sequence[1:]):
+        if first == second:
+            continue
+        key = (first, second) if first < second else (second, first)
+        weights[key] = weights.get(key, 0) + 1
+    return weights
+
+
+def _variables_in_first_use_order(sequence: Sequence[str]) -> List[str]:
+    seen: Dict[str, None] = {}
+    for name in sequence:
+        seen.setdefault(name, None)
+    return list(seen)
+
+
+# ----------------------------------------------------------------------
+# Solvers
+# ----------------------------------------------------------------------
+
+def naive_order(sequence: Sequence[str]) -> List[str]:
+    """First-use order -- what a compiler with no offset assignment
+    produces (declaration order, essentially)."""
+    return _variables_in_first_use_order(sequence)
+
+
+def liao_order(sequence: Sequence[str]) -> List[str]:
+    """Bartley/Liao greedy max-weight path cover of the access graph.
+
+    Edges are considered by decreasing weight; an edge is accepted if
+    both endpoints still have degree < 2 in the chosen set and it does
+    not close a cycle.  The chosen edges form disjoint paths, which are
+    concatenated into the memory order.
+
+    The greedy cover is a heuristic and can occasionally lose to the
+    trivial first-use order (path concatenation order is not part of
+    the theory); like practical implementations, this returns whichever
+    of the two layouts costs less, so it never regresses the baseline.
+    """
+    variables = _variables_in_first_use_order(sequence)
+    weights = access_graph(sequence)
+    edges = sorted(weights.items(),
+                   key=lambda item: (-item[1], item[0]))
+    degree: Dict[str, int] = {name: 0 for name in variables}
+    # Union-find over path components to reject cycles.
+    parent: Dict[str, str] = {name: name for name in variables}
+
+    def find(node: str) -> str:
+        while parent[node] != node:
+            parent[node] = parent[parent[node]]
+            node = parent[node]
+        return node
+
+    adjacency: Dict[str, List[str]] = {name: [] for name in variables}
+    for (u, v), _w in edges:
+        if degree[u] >= 2 or degree[v] >= 2:
+            continue
+        if find(u) == find(v):
+            continue
+        parent[find(u)] = find(v)
+        degree[u] += 1
+        degree[v] += 1
+        adjacency[u].append(v)
+        adjacency[v].append(u)
+
+    order: List[str] = []
+    visited: Dict[str, None] = {}
+    for name in variables:
+        if name in visited or degree[name] > 1:
+            continue
+        # walk the path from this endpoint
+        current, previous = name, None
+        while current is not None and current not in visited:
+            visited[current] = None
+            order.append(current)
+            next_node = None
+            for neighbour in adjacency[current]:
+                if neighbour != previous and neighbour not in visited:
+                    next_node = neighbour
+                    break
+            previous, current = current, next_node
+    for name in variables:       # isolated nodes with degree 2 cycles?
+        if name not in visited:
+            visited[name] = None
+            order.append(name)
+    fallback = naive_order(sequence)
+    if assignment_cost(sequence, fallback) < \
+            assignment_cost(sequence, order):
+        return fallback
+    return order
+
+
+def exhaustive_order(sequence: Sequence[str],
+                     max_variables: int = 8) -> List[str]:
+    """Exact optimum by permutation search (test oracle)."""
+    variables = _variables_in_first_use_order(sequence)
+    if len(variables) > max_variables:
+        raise ValueError(
+            f"exhaustive search limited to {max_variables} variables, "
+            f"got {len(variables)}")
+    best = variables
+    best_cost = assignment_cost(sequence, variables)
+    for candidate in permutations(variables):
+        cost = assignment_cost(sequence, candidate)
+        if cost < best_cost:
+            best = list(candidate)
+            best_cost = cost
+    return list(best)
+
+
+# ----------------------------------------------------------------------
+# General offset assignment (k address registers)
+# ----------------------------------------------------------------------
+
+@dataclass
+class GoaResult:
+    """Partition of variables over address registers plus layouts.
+
+    ``partitions[k]`` is the variable set served by register k, and
+    ``orders[k]`` its memory order; the full memory layout is the
+    concatenation of the orders.  ``cost`` is the total address-load
+    count (each register pays its own setup).
+    """
+
+    partitions: List[List[str]]
+    orders: List[List[str]]
+    cost: int
+
+    @property
+    def layout(self) -> List[str]:
+        combined: List[str] = []
+        for order in self.orders:
+            combined.extend(order)
+        return combined
+
+
+def general_offset_assignment(sequence: Sequence[str], registers: int,
+                              solver=liao_order) -> GoaResult:
+    """GOA by greedy variable-to-register partitioning (Leupers-style).
+
+    Variables are assigned one by one (in decreasing access frequency)
+    to the register whose subsequence cost grows least; each partition's
+    layout is then solved as an independent SOA instance.
+    """
+    if registers < 1:
+        raise ValueError("need at least one address register")
+    variables = _variables_in_first_use_order(sequence)
+    frequency = {name: 0 for name in variables}
+    for name in sequence:
+        frequency[name] += 1
+    by_frequency = sorted(variables,
+                          key=lambda name: (-frequency[name], name))
+    assignment: Dict[str, int] = {}
+
+    def partition_cost(register: int) -> int:
+        members = {name for name, reg in assignment.items()
+                   if reg == register}
+        subsequence = [name for name in sequence if name in members]
+        if not subsequence:
+            return 0
+        return assignment_cost(subsequence, solver(subsequence))
+
+    for name in by_frequency:
+        best_register, best_total = 0, None
+        for register in range(registers):
+            assignment[name] = register
+            total = partition_cost(register)
+            if best_total is None or total < best_total:
+                best_register, best_total = register, total
+            del assignment[name]
+        assignment[name] = best_register
+
+    partitions: List[List[str]] = [[] for _ in range(registers)]
+    for name in variables:
+        partitions[assignment[name]].append(name)
+    orders: List[List[str]] = []
+    total_cost = 0
+    for members in partitions:
+        member_set = set(members)
+        subsequence = [name for name in sequence if name in member_set]
+        order = solver(subsequence) if subsequence else []
+        orders.append(order)
+        if subsequence:
+            total_cost += assignment_cost(subsequence, order)
+    return GoaResult(partitions=partitions, orders=orders,
+                     cost=total_cost)

@@ -1,0 +1,232 @@
+"""The RECORD compiler pipeline (Fig. 2 of the paper).
+
+Stage order::
+
+    Program (from the MiniDFL frontend or built programmatically)
+      |  per block: DAG -> tree decomposition (repro.ir.trees)
+      |  per tree:  algebraic variants x BURS covering (selector)
+      v
+    marker-structured symbolic code
+      |  loop optimizations  (accumulator promotion, RPT/MAC idiom)
+      |  peephole fusions    (LTA/LTP, parallel-move packing hooks)
+      |  address assignment  (streams -> AGU registers, scalars -> direct)
+      |  mode minimization   (Liao-style)
+      |  loop finalization   (RPTK / BANZ / DO, target-specific)
+      v
+    CompiledProgram (simulatable, measurable)
+
+Every stage is switchable through :class:`RecordOptions` so the
+ablation benchmarks can quantify each design choice separately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Set, Tuple, TYPE_CHECKING
+
+from repro.codegen.addressing import AddressAssigner
+from repro.codegen.asm import AsmInstr, CodeSeq, Label, LoopBegin, LoopEnd, Mem
+from repro.codegen.compiled import (
+    CompiledProgram, MemoryMap, PmemTable, build_memory_map,
+)
+from repro.codegen.grammar import EmitContext
+from repro.codegen.modes import minimize_mode_changes
+from repro.codegen.selector import Selector
+from repro.codegen.structure import LoopNode, Run, parse
+from repro.ir.program import Block, Loop, Program, ProgramItem
+from repro.ir.trees import decompose
+
+if TYPE_CHECKING:   # pragma: no cover
+    from repro.targets.model import TargetModel
+
+
+@dataclass(frozen=True)
+class RecordOptions:
+    """Switchboard for the RECORD pipeline (ablation points)."""
+
+    metric: str = "size"
+    algebraic: bool = True
+    variant_limit: int = 64
+    promote_accumulators: bool = True
+    repeat_idioms: bool = True
+    # Fuse a MAC sum loop with the following delay-line shift loop into
+    # one RPT/MACD (the hand-written FIR idiom).  OFF by default: 1997
+    # RECORD did not have it, and Table 1's shape depends on that --
+    # see benchmarks/bench_ablation_opts.py for the measured effect.
+    fuse_shift_idioms: bool = False
+    peephole: bool = True
+    minimize_modes: bool = True
+    scalar_order: Optional[Tuple[str, ...]] = None   # offset assignment
+    offset_assignment: str = "liao"    # banked/indirect targets
+    bank_assignment: str = "greedy"    # banked targets
+    compaction: str = "greedy"         # targets with parallel slots
+
+
+class CompileError(Exception):
+    """A program cannot be compiled for the chosen target."""
+
+
+class RecordCompiler:
+    """The retargetable compiler: consumes only the explicit target model."""
+
+    name = "record"
+
+    def __init__(self, target: "TargetModel",
+                 options: Optional[RecordOptions] = None):
+        self.target = target
+        self.options = options or RecordOptions()
+
+    # ------------------------------------------------------------------
+
+    def compile(self, program: Program) -> CompiledProgram:
+        """Run the full RECORD pipeline on a lowered program."""
+        options = self.options
+        selector = Selector(self.target.grammar(), metric=options.metric,
+                            algebraic=options.algebraic,
+                            variant_limit=options.variant_limit,
+                            fpc=self.target.fpc)
+        ctx = EmitContext()
+        temp_counter = [0]
+        loop_counter = [0]
+        self._select_items(program.body, selector, ctx, temp_counter,
+                           loop_counter)
+        code = ctx.code
+
+        read_only = read_only_input_arrays(program)
+        code, tables = self.target.loop_optimizations(
+            code, read_only,
+            promote_accumulators=options.promote_accumulators,
+            repeat_idioms=options.repeat_idioms,
+            fuse_shift_idioms=options.fuse_shift_idioms)
+
+        if options.peephole:
+            code = self.target.peephole(code)
+
+        extra_scalars = collect_extra_scalars(code, program)
+        address_hook = getattr(self.target, "assign_addresses", None)
+        if address_hook is not None:
+            # Banked / indirect-only targets own their address story
+            # (bank assignment, offset assignment, repricing).
+            code, memory_map = address_hook(code, program, extra_scalars,
+                                            options)
+        else:
+            memory_map = build_memory_map(
+                program.symbols, extra_scalars,
+                scalar_order=list(options.scalar_order)
+                if options.scalar_order else None)
+            code = AddressAssigner(self.target, memory_map,
+                                   code).run(code)
+
+        compaction_hook = getattr(self.target, "compact", None)
+        if compaction_hook is not None:
+            code = compaction_hook(code, options)
+
+        code = minimize_mode_changes(code, self.target,
+                                     naive=not options.minimize_modes)
+
+        code = finalize_loops(code, self.target)
+
+        return CompiledProgram(
+            name=program.name,
+            target=self.target,
+            code=code,
+            memory_map=memory_map,
+            symbols=dict(program.symbols),
+            pmem_tables=list(tables),
+            compiler=self.name,
+            stats={
+                "selection": selector.stats,
+                "words": code.words(),
+            },
+        )
+
+    # ------------------------------------------------------------------
+
+    def _select_items(self, items: List[ProgramItem], selector: Selector,
+                      ctx: EmitContext, temp_counter: List[int],
+                      loop_counter: List[int]) -> None:
+        for item in items:
+            if isinstance(item, Block):
+                assignments = decompose(item.dfg,
+                                        temp_counter_start=temp_counter[0],
+                                        fpc=self.target.fpc)
+                temp_counter[0] += sum(1 for a in assignments if a.is_temp)
+                selector.select_block(assignments, ctx)
+            elif isinstance(item, Loop):
+                loop_id = loop_counter[0]
+                loop_counter[0] += 1
+                ctx.code.append(LoopBegin(count=item.count,
+                                          loop_id=loop_id))
+                self._select_items(item.body, selector, ctx, temp_counter,
+                                   loop_counter)
+                ctx.code.append(LoopEnd(loop_id=loop_id))
+            else:
+                raise CompileError(f"unexpected program item {item!r}")
+
+
+# ----------------------------------------------------------------------
+# Shared helpers (used by the baseline compiler as well)
+# ----------------------------------------------------------------------
+
+def read_only_input_arrays(program: Program) -> Dict[str, int]:
+    """Input arrays the program never writes (pmem-table candidates)."""
+    written: Set[str] = set()
+
+    def scan(items: List[ProgramItem]) -> None:
+        for item in items:
+            if isinstance(item, Block):
+                for output in item.dfg.outputs:
+                    written.add(output.symbol)
+            elif isinstance(item, Loop):
+                scan(item.body)
+
+    scan(program.body)
+    return {
+        name: symbol.size
+        for name, symbol in program.symbols.items()
+        if symbol.is_array and symbol.role == "input"
+        and name not in written
+    }
+
+
+def collect_extra_scalars(code: CodeSeq, program: Program) -> List[str]:
+    """Compiler-generated scalars referenced by the code but not declared
+    (decomposition temporaries, selector scratch cells, induction
+    variables of the baseline)."""
+    seen: List[str] = []
+    known = set(program.symbols)
+    for item in code:
+        if not isinstance(item, AsmInstr):
+            continue
+        for operand in item.memory_operands():
+            if operand.mode == "symbolic" and operand.symbol not in known \
+                    and operand.symbol not in seen:
+                seen.append(operand.symbol)
+    return seen
+
+
+def finalize_loops(code: CodeSeq, target: "TargetModel") -> CodeSeq:
+    """Realize loop markers as target instructions, innermost-first."""
+    nodes = parse(code)
+    out = CodeSeq()
+
+    def emit(node_list, depth: int) -> None:
+        for node in node_list:
+            if isinstance(node, Run):
+                out.extend(node.items)
+                continue
+            body = CodeSeq()
+            saved = out.items
+            try:
+                out.items = body.items
+                emit(node.body, depth + 1)
+            finally:
+                out.items = saved
+            prologue, epilogue = target.finalize_loop(
+                node.count, list(body.items), node.loop_id, depth)
+            out.extend(prologue)
+            out.extend(body.items)
+            out.extend(epilogue)
+
+    emit(nodes, depth=0)
+    return out

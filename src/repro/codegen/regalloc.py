@@ -1,0 +1,185 @@
+"""Register assignment.
+
+Two flavours, matching the paper's discussion (Sec. 3.3):
+
+- **Heterogeneous register sets** (Wess, Araujo, Rimey, Bradlee,
+  Hartmann): on the DSP targets this is handled *by tree parsing* --
+  special registers are grammar nonterminals (``acc``, ``treg``,
+  ``preg``, ``xr``, ``yr``), so the BURS cover *is* the register
+  assignment.  Nothing to do here; see the target grammars.
+
+- **Homogeneous register files** (the RISC corner of the processor
+  cube): the selector emits three-address code over virtual registers
+  ``v0, v1, ...`` and this module assigns physical registers by linear
+  scan with furthest-next-use spilling.
+
+Virtual-register live ranges in this compiler never cross control-flow
+boundaries (every statement starts and ends in memory), so liveness and
+allocation work on straight-line runs -- which keeps the allocator
+exact rather than heuristic over a CFG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.codegen.asm import AsmInstr, CodeSeq, Mem, Reg
+
+
+class AllocationError(Exception):
+    """A virtual register escapes its run, or no spill space available."""
+
+
+def _is_virtual(name: str) -> bool:
+    return name.startswith("v") and name[1:].isdigit()
+
+
+def virtual_registers(instr: AsmInstr) -> List[str]:
+    """Names of the virtual-register operands, in operand order."""
+    return [op.name for op in instr.operands
+            if isinstance(op, Reg) and _is_virtual(op.name)]
+
+
+@dataclass
+class RunAllocation:
+    """Result of allocating one straight-line run."""
+
+    instrs: List[AsmInstr]
+    spills: int
+
+
+def allocate_registers(code: CodeSeq, pool: Sequence[str],
+                       non_defining_opcodes: frozenset = frozenset({
+                           "SW", "BNEZ"}),
+                       spill_cells: Optional[List[Mem]] = None,
+                       spill_maker=None) -> Tuple[CodeSeq, int]:
+    """Linear-scan allocation of virtual registers over ``pool``.
+
+    Convention: the first virtual-register operand of an instruction is
+    its definition and the rest are uses (three-address form; loads
+    define), except for opcodes in ``non_defining_opcodes``, which only
+    read.  A definition may reuse the register of an operand dying at
+    the same instruction (the machine reads before it writes).
+
+    Spilling: when the pool is exhausted the live virtual with the
+    furthest next use is spilled; ``spill_maker(cell, reg, is_store)``
+    must build the store/reload instruction.  Returns the rewritten
+    code and the number of spill operations inserted.
+    """
+    result: List = []
+    run: List[AsmInstr] = []
+    total_spills = 0
+
+    def flush() -> None:
+        nonlocal total_spills
+        if run:
+            allocated = _allocate_run(run, pool, non_defining_opcodes,
+                                      spill_cells, spill_maker)
+            result.extend(allocated.instrs)
+            total_spills += allocated.spills
+            run.clear()
+
+    for item in code:
+        if isinstance(item, AsmInstr):
+            run.append(item)
+        else:
+            flush()
+            result.append(item)
+    flush()
+    return CodeSeq(result), total_spills
+
+
+def _allocate_run(instrs: List[AsmInstr], pool: Sequence[str],
+                  non_defining_opcodes: frozenset,
+                  spill_cells: Optional[List[Mem]],
+                  spill_maker) -> RunAllocation:
+    last_use: Dict[str, int] = {}
+    for index, instr in enumerate(instrs):
+        for name in virtual_registers(instr):
+            last_use[name] = index
+
+    mapping: Dict[str, str] = {}          # virtual -> physical
+    free: List[str] = list(pool)
+    spilled: Dict[str, Mem] = {}          # virtual -> spill cell
+    spills = 0
+    out: List[AsmInstr] = []
+
+    def next_use_after(name: str, position: int) -> int:
+        for later in range(position + 1, len(instrs)):
+            if name in virtual_registers(instrs[later]):
+                return later
+        return len(instrs) + 1
+
+    def take_register(name: str, position: int,
+                      protected: frozenset = frozenset()) -> str:
+        nonlocal spills
+        if free:
+            register = free.pop(0)
+            mapping[name] = register
+            return register
+        if spill_maker is None or not spill_cells:
+            raise AllocationError(
+                f"register pressure exceeds pool {list(pool)} and no "
+                "spill support configured")
+        # Spill the live virtual with the furthest next use, never one
+        # of the current instruction's own operands.
+        candidates = [live for live in mapping if live not in protected]
+        if not candidates:
+            raise AllocationError("all live registers pinned by the "
+                                  "current instruction")
+        victim = max(candidates,
+                     key=lambda live: next_use_after(live, position))
+        cell = spill_cells.pop(0)
+        out.append(spill_maker(cell, Reg(mapping[victim]),
+                               is_store=True))
+        spilled[victim] = cell
+        register = mapping.pop(victim)
+        spills += 1
+        mapping[name] = register
+        return register
+
+    for index, instr in enumerate(instrs):
+        virtuals = virtual_registers(instr)
+        defines = None
+        if virtuals and instr.opcode not in non_defining_opcodes:
+            candidate = virtuals[0]
+            if candidate not in mapping and candidate not in spilled:
+                defines = candidate
+
+        protected = frozenset(virtuals)
+        # 1) make sure every *use* is in a register (reload if spilled)
+        for name in virtuals:
+            if name == defines:
+                continue
+            if name in spilled:
+                register = take_register(name, index, protected)
+                cell = spilled.pop(name)
+                out.append(spill_maker(cell, Reg(register),
+                                       is_store=False))
+                spills += 1
+                if spill_cells is not None:
+                    spill_cells.append(cell)
+            elif name not in mapping:
+                raise AllocationError(
+                    f"virtual register {name} used before definition "
+                    "(escapes its straight-line run?)")
+
+        # 2) snapshot use bindings, then release registers dying here --
+        #    the definition may reuse them (read-before-write machines).
+        bindings = dict(mapping)
+        for name in list(mapping):
+            if last_use.get(name, -1) <= index and name != defines:
+                free.append(mapping.pop(name))
+
+        # 3) assign the definition
+        if defines is not None:
+            take_register(defines, index, protected)
+            bindings[defines] = mapping[defines]
+
+        new_operands = tuple(
+            Reg(bindings[op.name])
+            if isinstance(op, Reg) and _is_virtual(op.name) else op
+            for op in instr.operands)
+        out.append(replace(instr, operands=new_operands))
+    return RunAllocation(instrs=out, spills=spills)

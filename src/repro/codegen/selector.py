@@ -1,0 +1,241 @@
+"""Instruction selection: algebraic variants x BURS covering.
+
+Implements RECORD's selection strategy (Sec. 4.3.3): "RECORD uses
+algebraic rules for transforming the original data flow tree into
+equivalent ones and calls the iburg-matcher with each tree.  The tree
+requiring the smallest number of covering patterns is then selected."
+
+Two extra mechanisms make selection total on real input:
+
+- **store wrapping**: an assignment ``dest := tree`` is matched as the
+  tree ``store(ref dest, tree)`` against the ``stmt`` goal, so stores are
+  ordinary grammar rules (SACL, DMOV, parallel moves, ...);
+- **cover-or-cut**: when no variant of a tree is coverable (or the
+  optimal cover has no legal evaluation order on an accumulator
+  machine), the selector cuts a coverable subtree out into a compiler
+  temporary and retries -- the "heuristic decomposition" the paper
+  describes for graphs that tree covering cannot digest directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.codegen.burg import BurgMatcher, CoverError
+from repro.codegen.grammar import Cost, EmitContext, TreeGrammar
+from repro.ir.algebraic import DEFAULT_RULES, RewriteRule, enumerate_variants
+from repro.ir.dfg import ArrayIndex
+from repro.ir.fixedpoint import FixedPointContext
+from repro.ir.ops import OpKind
+from repro.ir.ranges import fits_word
+from repro.ir.trees import Tree, TreeAssignment
+
+
+class SelectionError(Exception):
+    """No derivation exists for an assignment, even after cutting."""
+
+
+@dataclass
+class SelectionStats:
+    """Aggregated statistics across all selected assignments."""
+
+    assignments: int = 0
+    variants_tried: int = 0
+    variants_won: int = 0        # times a non-original variant was cheaper
+    cuts: int = 0
+    # cuts whose value may exceed the machine word: the spill wraps it,
+    # which is only safe when the consumer port wraps anyway -- counted
+    # so wide spills are observable (see ir.ranges)
+    wide_spills: int = 0
+    # times the coverage-only variant rescue was needed (algebraic=False)
+    rescues: int = 0
+    total_cost: Cost = field(default_factory=Cost)
+
+
+def wrap_store(symbol: str, index: Optional[ArrayIndex],
+               tree: Tree) -> Tree:
+    """Build the ``store(ref dest, value)`` tree used for matching."""
+    return Tree.compute("store", Tree.ref(symbol, index), tree)
+
+
+class Selector:
+    """Selects instructions for tree assignments into an EmitContext."""
+
+    GOAL = "stmt"
+
+    def __init__(self, grammar: TreeGrammar, metric: str = "size",
+                 algebraic: bool = True,
+                 rewrite_rules: Optional[Sequence[RewriteRule]] = None,
+                 variant_limit: int = 64,
+                 fpc: Optional[FixedPointContext] = None):
+        self.matcher = BurgMatcher(grammar, metric)
+        self.metric = metric
+        self.algebraic = algebraic
+        self.rewrite_rules = list(rewrite_rules) if rewrite_rules is not None \
+            else list(DEFAULT_RULES)
+        self.variant_limit = variant_limit
+        self.fpc = fpc if fpc is not None else FixedPointContext(16)
+        self.stats = SelectionStats()
+
+    # ------------------------------------------------------------------
+
+    def select_block(self, assignments: Sequence[TreeAssignment],
+                     ctx: EmitContext) -> None:
+        """Select instructions for a decomposed block, in order."""
+        for assignment in assignments:
+            self.select_assignment(assignment, ctx)
+
+    def select_assignment(self, assignment: TreeAssignment,
+                          ctx: EmitContext) -> Cost:
+        """Emit code for one assignment; returns the chosen cover cost."""
+        self.stats.assignments += 1
+        cost = self._select(assignment.symbol, assignment.index,
+                            assignment.tree, ctx)
+        self.stats.total_cost = self.stats.total_cost + cost
+        return cost
+
+    # ------------------------------------------------------------------
+
+    def _variants(self, tree: Tree) -> List[Tree]:
+        if not self.algebraic:
+            return [tree]
+        return enumerate_variants(tree, self.rewrite_rules,
+                                  self.variant_limit)
+
+    def _select(self, symbol: str, index: Optional[ArrayIndex],
+                tree: Tree, ctx: EmitContext,
+                goal: Optional[str] = None) -> Cost:
+        goal = goal or self.GOAL
+        variants = self._variants(tree)
+        self.stats.variants_tried += len(variants)
+        scored: List[Tuple[Tuple[int, int], int, Tree]] = []
+        for position, variant in enumerate(variants):
+            wrapped = wrap_store(symbol, index, variant)
+            cost = self.matcher.cover_cost(wrapped, goal)
+            if cost is not None:
+                scored.append((cost.key(self.metric), position, variant))
+        if not scored and not self.algebraic:
+            # Correctness rescue: even a compiler that does not *search*
+            # algebraic variants for cost must still know that e.g.
+            # ``a - b`` can be built as ``a + (-b)`` when the direct
+            # form has no cover.  Enumerate rewrites once, coverage-only.
+            for position, variant in enumerate(
+                    enumerate_variants(tree, self.rewrite_rules,
+                                       self.variant_limit)):
+                wrapped = wrap_store(symbol, index, variant)
+                cost = self.matcher.cover_cost(wrapped, goal)
+                if cost is not None:
+                    scored.append((cost.key(self.metric), position,
+                                   variant))
+            if scored:
+                self.stats.rescues += 1
+        scored.sort()
+        for _, position, variant in scored:
+            wrapped = wrap_store(symbol, index, variant)
+            checkpoint = len(ctx.code.items)
+            try:
+                self.matcher.reduce(wrapped, goal, ctx)
+            except CoverError:
+                # Roll back partial emission and try the next variant.
+                del ctx.code.items[checkpoint:]
+                continue
+            if position != 0:
+                self.stats.variants_won += 1
+            return self.matcher.cover_cost(wrapped, goal)
+        return self._cut_and_retry(symbol, index, tree, ctx, goal)
+
+    def _cut_and_retry(self, symbol: str, index: Optional[ArrayIndex],
+                       tree: Tree, ctx: EmitContext,
+                       goal: str) -> Cost:
+        """Cut a coverable compute subtree into a temporary and retry.
+
+        A cut value that may exceed the machine word first tries the
+        target's double-width spill path (``wstmt`` goal + wide-reload
+        rule), which preserves the extended-precision semantics; only
+        when the target has none -- or the wide slot cannot be consumed
+        where the subtree sat -- does the cut fall back to a word-sized
+        cell (counted in ``stats.wide_spills``: the value wraps there,
+        which is only harmless for wrap-consuming positions).
+        """
+        candidate = self._find_cut(tree)
+        if candidate is None:
+            raise SelectionError(
+                f"no derivation for '{symbol} := {tree}' in grammar "
+                f"{self.matcher.grammar.name!r}, and no subtree is "
+                "independently coverable")
+        self.stats.cuts += 1
+        wide = not fits_word(candidate, self.fpc)
+        if wide and "wstmt" in self.matcher.grammar.nonterminals:
+            result = self._try_wide_cut(symbol, index, tree, candidate,
+                                        ctx, goal)
+            if result is not None:
+                return result
+        if wide:
+            self.stats.wide_spills += 1
+        temp = ctx.scratch()
+        cut_cost = self._select(temp.symbol, None, candidate, ctx)
+        replaced = _replace_subtree(tree, candidate, Tree.ref(temp.symbol))
+        rest_cost = self._select(symbol, index, replaced, ctx, goal)
+        return cut_cost + rest_cost
+
+    def _try_wide_cut(self, symbol: str, index: Optional[ArrayIndex],
+                      tree: Tree, candidate: Tree, ctx: EmitContext,
+                      goal: str) -> Optional[Cost]:
+        checkpoint = len(ctx.code.items)
+        slot = ctx.wide_scratch()
+        try:
+            cut_cost = self._select(slot.symbol, None, candidate, ctx,
+                                    goal="wstmt")
+            replaced = _replace_subtree(tree, candidate,
+                                        Tree.ref(slot.symbol))
+            rest_cost = self._select(symbol, index, replaced, ctx, goal)
+        except SelectionError:
+            del ctx.code.items[checkpoint:]
+            return None
+        return cut_cost + rest_cost
+
+    def _find_cut(self, tree: Tree) -> Optional[Tree]:
+        """Largest proper compute subtree coverable as a statement;
+        falls back to cutting a constant leaf into a memory cell (for
+        targets without the needed immediate instruction)."""
+        candidates: List[Tuple[int, int, Tree]] = []
+        constants: List[Tree] = []
+        order = 0
+        for subtree in tree.postorder():
+            order += 1
+            if subtree is tree:
+                continue
+            if subtree.kind is OpKind.CONST:
+                constants.append(subtree)
+                continue
+            if subtree.kind is not OpKind.COMPUTE:
+                continue
+            wrapped = wrap_store("$probe", None, subtree)
+            if self.matcher.cover_cost(wrapped, self.GOAL) is not None:
+                # prefer cut points whose value provably fits the word:
+                # a spill wraps, so word-sized cuts are always safe
+                candidates.append((fits_word(subtree, self.fpc),
+                                   subtree.size(), -order, subtree))
+        if candidates:
+            candidates.sort(key=lambda entry: entry[:3], reverse=True)
+            return candidates[0][3]
+        for constant in constants:
+            wrapped = wrap_store("$probe", None, constant)
+            if self.matcher.cover_cost(wrapped, self.GOAL) is not None:
+                return constant
+        return None
+
+
+def _replace_subtree(tree: Tree, target: Tree, replacement: Tree) -> Tree:
+    """Replace every occurrence of ``target`` (structural equality)."""
+    if tree == target:
+        return replacement
+    if not tree.children:
+        return tree
+    children = tuple(_replace_subtree(child, target, replacement)
+                     for child in tree.children)
+    if children == tree.children:
+        return tree
+    return Tree(tree.kind, operator=tree.operator, children=children,
+                value=tree.value, symbol=tree.symbol, index=tree.index)

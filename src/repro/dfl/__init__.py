@@ -1,0 +1,39 @@
+"""MiniDFL -- the DSP source language of this reproduction.
+
+The original RECORD compiler consumed Mentor Graphics' proprietary DFL
+("Data Flow Language") [30].  MiniDFL is our open substitution: a small
+declarative DSP language with
+
+- scalar and array signals with ``input`` / ``output`` / ``const`` roles,
+- fixed-point-friendly integer arithmetic with an explicit ``sat()``
+  saturation operator,
+- counted ``for`` loops over compile-time bounds,
+- affine array indexing in the loop induction variable, and
+- the classic DFL *delay* operator ``x@k`` (the value of ``x`` from ``k``
+  invocations ago), lowered onto compiler-maintained delay lines.
+
+A MiniDFL program describes the work of one sample tick; running the
+program repeatedly processes a stream, with delay lines shifted once per
+tick -- exactly the signal-flow semantics DFL had.
+
+Pipeline:  source text --lexer--> tokens --parser--> AST
+           --semantics--> checked AST --lowering--> repro.ir.Program
+"""
+
+from repro.dfl.errors import DflError, DflSyntaxError, DflSemanticError
+from repro.dfl.lexer import Token, tokenize
+from repro.dfl.parser import parse
+from repro.dfl.semantics import analyze
+from repro.dfl.lowering import lower, compile_dfl
+
+__all__ = [
+    "DflError",
+    "DflSyntaxError",
+    "DflSemanticError",
+    "Token",
+    "tokenize",
+    "parse",
+    "analyze",
+    "lower",
+    "compile_dfl",
+]

@@ -1,0 +1,113 @@
+"""Abstract syntax tree for MiniDFL.
+
+The AST stays close to the source; all resolution (constant folding of
+declared consts, affine index analysis, delay-line materialization)
+happens in :mod:`repro.dfl.semantics` and :mod:`repro.dfl.lowering`.
+Every node carries its source position for diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Position:
+    line: int = 0
+    column: int = 0
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Expr:
+    pos: Position = field(default_factory=Position, compare=False)
+
+
+@dataclass(frozen=True)
+class Num(Expr):
+    value: int = 0
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """A scalar read, a const reference, or a loop-variable occurrence."""
+    name: str = ""
+
+
+@dataclass(frozen=True)
+class Index(Expr):
+    """Array element read ``name[expr]``."""
+    name: str = ""
+    index: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class Delay(Expr):
+    """DFL delay ``name@k``: value of the scalar signal k ticks ago."""
+    name: str = ""
+    depth: int = 1
+
+
+@dataclass(frozen=True)
+class Unary(Expr):
+    op: str = ""            # "-", "~", "abs", "sat"
+    operand: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class Binary(Expr):
+    op: str = ""            # "+", "-", "*", "<<", ">>", "&", "|", "^",
+    left: Optional[Expr] = None          # "min", "max"
+    right: Optional[Expr] = None
+
+
+# ----------------------------------------------------------------------
+# Declarations and statements
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Decl:
+    """``role name`` / ``role name[size]`` / ``const name = value``.
+
+    ``size_expr`` is resolved to an int by semantic analysis (it may
+    mention previously declared consts).
+    """
+    role: str                      # "input", "output", "var", "const"
+    name: str
+    size_expr: Optional[Expr] = None
+    value_expr: Optional[Expr] = None    # const declarations only
+    pos: Position = field(default_factory=Position, compare=False)
+
+
+@dataclass(frozen=True)
+class Assign:
+    """``target := expr`` or ``target[index] := expr``."""
+    target: str
+    index: Optional[Expr]
+    expr: Expr
+    pos: Position = field(default_factory=Position, compare=False)
+
+
+@dataclass(frozen=True)
+class For:
+    """``for var in lo .. hi do body end``; bounds are const expressions."""
+    var: str
+    low: Expr
+    high: Expr
+    body: Tuple["Stmt", ...]
+    pos: Position = field(default_factory=Position, compare=False)
+
+
+Stmt = object  # Union[Assign, For]; kept loose for isinstance dispatch
+
+
+@dataclass(frozen=True)
+class ProgramAst:
+    name: str
+    decls: Tuple[Decl, ...]
+    body: Tuple[Stmt, ...]
+    pos: Position = field(default_factory=Position, compare=False)

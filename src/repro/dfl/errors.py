@@ -1,0 +1,29 @@
+"""Diagnostics for the MiniDFL frontend.
+
+All frontend errors carry a source position so that users get
+``file:line:column``-style messages instead of stack traces -- one of the
+dependability requirements (Sec. 3.2, req. 3) that pushed embedded
+developers toward high-level languages in the first place.
+"""
+
+from __future__ import annotations
+
+
+class DflError(Exception):
+    """Base class for all MiniDFL frontend diagnostics."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.message = message
+        self.line = line
+        self.column = column
+        location = f"{line}:{column}: " if line else ""
+        super().__init__(f"{location}{message}")
+
+
+class DflSyntaxError(DflError):
+    """Lexical or grammatical error in the source text."""
+
+
+class DflSemanticError(DflError):
+    """Well-formed syntax with inconsistent meaning (undeclared symbol,
+    bad array bound, loop variable misuse, ...)."""

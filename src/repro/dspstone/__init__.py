@@ -1,0 +1,27 @@
+"""The DSPStone kernel suite (Zivojnovic et al. [42]) -- Table 1's workload.
+
+Ten kernels, written in MiniDFL, matching the rows of the paper's
+Table 1: real_update, complex_multiply, complex_update, n_real_updates,
+n_complex_updates, fir, iir_biquad_one_section, iir_biquad_N_sections,
+dot_product, convolution.
+
+Each kernel ships with:
+
+- its MiniDFL source and lowered :class:`repro.ir.Program`,
+- a seeded input generator producing realistic operand ranges
+  (Q15-scaled coefficients for the fractional kernels),
+- the paper's Table 1 row (target-specific compiler %, RECORD %) for
+  the EXPERIMENTS.md comparison, and
+- a hand-written TMS320C25 assembly reference
+  (:mod:`repro.dspstone.reference`) -- the 100% denominator -- which the
+  test suite executes and checks bit-exactly against the MiniDFL
+  reference semantics.
+"""
+
+from repro.dspstone.kernels import (
+    KERNEL_NAMES, KernelSpec, all_kernels, kernel,
+)
+from repro.dspstone.reference import hand_reference
+
+__all__ = ["KERNEL_NAMES", "KernelSpec", "all_kernels", "kernel",
+           "hand_reference"]

@@ -1,0 +1,107 @@
+"""Additional DSPStone kernels beyond the paper's Table 1 rows.
+
+DSPStone [42] contains more kernels than Table 1 reports; these are the
+ones expressible in MiniDFL v1 (single-induction affine indexing):
+
+- ``lms``: the adaptive FIR filter -- filtering, error computation and
+  coefficient update with a Q15 step size, plus the delay-line shift.
+  Exercises multi-access streams (``h[i]`` is read and written in the
+  same iteration) and cross-statement scalar forwarding.
+- ``matrix_1x3``: a 1x3 vector times 3x3 matrix product over a
+  flattened, stride-3-walked coefficient array.  Exercises stream chain
+  merging (offsets 0/1/2 at stride 3 share one address register).
+
+The true matrix-times-matrix kernels need two induction variables in
+one index expression (``a[N*i+k]``), which MiniDFL v1 deliberately does
+not have -- see DESIGN.md, restrictions.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from repro.dspstone.kernels import KernelSpec, _ints, _q15
+
+LMS_TAPS = 8
+
+
+EXTRA_SPECS: List[KernelSpec] = [
+    KernelSpec(
+        name="lms",
+        description=f"{LMS_TAPS}-tap Q15 LMS adaptive filter "
+                    "(filter + error + coefficient update)",
+        paper_baseline_pct=0, paper_record_pct=0,     # not a Table 1 row
+        source=f"""
+program lms;
+const N = {LMS_TAPS};
+const MU = 1024;         {{ adaptation step, Q8 scaling }}
+input  x0, d;            {{ new sample, desired response }}
+var    x[N];             {{ delay line (state) }}
+var    h[N];             {{ adaptive coefficients (state) }}
+output y, e;
+var    acc, mu_e;
+begin
+  x[0] := x0;
+  acc := 0;
+  for i in 0 .. N-1 do
+    acc := acc + ((h[i] * x[i]) >> 15);
+  end;
+  y := acc;
+  e := d - acc;
+  mu_e := (MU * e) >> 8;
+  for j in 0 .. N-1 do
+    h[j] := h[j] + ((mu_e * x[j]) >> 15);
+  end;
+  for k in 0 .. N-2 do
+    x[N-1-k] := x[N-2-k];
+  end;
+end.
+""",
+        make_inputs=lambda rng: {
+            "x0": rng.randint(-2000, 2000),
+            "d": rng.randint(-2000, 2000),
+            "x": _ints(rng, LMS_TAPS, -2000, 2000),
+            "h": _q15(rng, LMS_TAPS),
+        },
+    ),
+    KernelSpec(
+        name="matrix_1x3",
+        description="1x3 vector times 3x3 matrix (flattened, stride-3 "
+                    "coefficient walk)",
+        paper_baseline_pct=0, paper_record_pct=0,     # not a Table 1 row
+        source="""
+program matrix_1x3;
+input  a[9];             { row-major 3x3 matrix }
+input  x[3];
+output y[3];
+begin
+  for i in 0 .. 2 do
+    y[i] := a[3*i]*x[0] + a[3*i+1]*x[1] + a[3*i+2]*x[2];
+  end;
+end.
+""",
+        make_inputs=lambda rng: {
+            "a": _ints(rng, 9, -120, 120),
+            "x": _ints(rng, 3, -120, 120),
+        },
+    ),
+]
+
+_BY_NAME: Dict[str, KernelSpec] = {spec.name: spec
+                                   for spec in EXTRA_SPECS}
+
+
+def extra_kernel(name: str) -> KernelSpec:
+    """Look up an extra (non-Table-1) kernel by name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        known = ", ".join(sorted(_BY_NAME))
+        raise KeyError(f"unknown extra kernel {name!r}; available: "
+                       f"{known}")
+
+
+def all_extra_kernels() -> List[KernelSpec]:
+    """All extra kernels, in definition order."""
+    return list(EXTRA_SPECS)

@@ -1,0 +1,366 @@
+"""MiniDFL sources and metadata for the ten DSPStone kernels.
+
+Operand-range conventions (chosen so that intermediate products fit the
+32-bit accumulator of the TC25 with margin -- see DESIGN.md):
+
+- integer kernels: operands in [-1000, 1000];
+- fractional (Q15) kernels: coefficients in [-30000, 30000] used with
+  ``>> 15`` rescaling, signals in [-2000, 2000].
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.dfl import compile_dfl
+from repro.ir.program import Program
+
+FIR_TAPS = 16
+CONV_LENGTH = 16
+N_UPDATES = 16
+N_COMPLEX = 8
+BIQUAD_SECTIONS = 4
+
+
+@dataclass
+class KernelSpec:
+    """One DSPStone kernel: source, program, inputs, paper row."""
+
+    name: str
+    description: str
+    source: str
+    # Paper Table 1 row: (target-specific compiler %, RECORD %) of hand
+    # assembly size.
+    paper_baseline_pct: int
+    paper_record_pct: int
+    make_inputs: Callable[[random.Random], Dict[str, object]] = None
+    program_: Optional[Program] = field(default=None, repr=False)
+
+    @property
+    def program(self) -> Program:
+        if self.program_ is None:
+            self.program_ = compile_dfl(self.source)
+        return self.program_
+
+    def inputs(self, seed: int = 0) -> Dict[str, object]:
+        """Seeded, deterministic input environment for the kernel."""
+        return self.make_inputs(random.Random(seed))
+
+
+def _ints(rng: random.Random, count: int, lo: int = -1000,
+          hi: int = 1000) -> List[int]:
+    return [rng.randint(lo, hi) for _ in range(count)]
+
+
+def _q15(rng: random.Random, count: int) -> List[int]:
+    return [rng.randint(-30000, 30000) for _ in range(count)]
+
+
+_SPECS: List[KernelSpec] = []
+
+
+def _register(spec: KernelSpec) -> None:
+    _SPECS.append(spec)
+
+
+# ----------------------------------------------------------------------
+# 1. real_update: d = a*b + c
+# ----------------------------------------------------------------------
+
+_register(KernelSpec(
+    name="real_update",
+    description="single real multiply-accumulate: d = a*b + c",
+    paper_baseline_pct=60, paper_record_pct=60,
+    source="""
+program real_update;
+input  a, b, c;
+output d;
+begin
+  d := a*b + c;
+end.
+""",
+    make_inputs=lambda rng: {"a": rng.randint(-170, 170),
+                             "b": rng.randint(-170, 170),
+                             "c": rng.randint(-1000, 1000)},
+))
+
+
+# ----------------------------------------------------------------------
+# 2. complex_multiply: c = a * b (complex)
+# ----------------------------------------------------------------------
+
+_register(KernelSpec(
+    name="complex_multiply",
+    description="complex multiply: cr+j*ci = (ar+j*ai)*(br+j*bi)",
+    paper_baseline_pct=84, paper_record_pct=79,
+    source="""
+program complex_multiply;
+input  ar, ai, br, bi;
+output cr, ci;
+begin
+  cr := ar*br - ai*bi;
+  ci := ar*bi + ai*br;
+end.
+""",
+    make_inputs=lambda rng: {name: rng.randint(-120, 120)
+                             for name in ("ar", "ai", "br", "bi")},
+))
+
+
+# ----------------------------------------------------------------------
+# 3. complex_update: d = c + a*b (complex)
+# ----------------------------------------------------------------------
+
+_register(KernelSpec(
+    name="complex_update",
+    description="complex update: d = c + a*b (complex MAC)",
+    paper_baseline_pct=148, paper_record_pct=86,
+    source="""
+program complex_update;
+input  ar, ai, br, bi, cr, ci;
+output dr, di;
+begin
+  dr := cr + ar*br - ai*bi;
+  di := ci + ar*bi + ai*br;
+end.
+""",
+    make_inputs=lambda rng: {name: rng.randint(-120, 120)
+                             for name in ("ar", "ai", "br", "bi",
+                                          "cr", "ci")},
+))
+
+
+# ----------------------------------------------------------------------
+# 4. n_real_updates: d[i] = a[i]*b[i] + c[i]
+# ----------------------------------------------------------------------
+
+_register(KernelSpec(
+    name="n_real_updates",
+    description=f"{N_UPDATES} independent real updates "
+                "d[i] = a[i]*b[i] + c[i]",
+    paper_baseline_pct=180, paper_record_pct=100,
+    source=f"""
+program n_real_updates;
+const N = {N_UPDATES};
+input  a[N], b[N], c[N];
+output d[N];
+begin
+  for i in 0 .. N-1 do
+    d[i] := a[i]*b[i] + c[i];
+  end;
+end.
+""",
+    make_inputs=lambda rng: {"a": _ints(rng, N_UPDATES, -170, 170),
+                             "b": _ints(rng, N_UPDATES, -170, 170),
+                             "c": _ints(rng, N_UPDATES)},
+))
+
+
+# ----------------------------------------------------------------------
+# 5. n_complex_updates: d[i] = c[i] + a[i]*b[i], complex, interleaved
+# ----------------------------------------------------------------------
+
+_register(KernelSpec(
+    name="n_complex_updates",
+    description=f"{N_COMPLEX} complex updates on re/im-interleaved "
+                "arrays",
+    paper_baseline_pct=182, paper_record_pct=118,
+    source=f"""
+program n_complex_updates;
+const N = {N_COMPLEX};
+input  a[2*N], b[2*N], c[2*N];
+output d[2*N];
+begin
+  for i in 0 .. N-1 do
+    d[2*i]   := c[2*i]   + a[2*i]*b[2*i]   - a[2*i+1]*b[2*i+1];
+    d[2*i+1] := c[2*i+1] + a[2*i]*b[2*i+1] + a[2*i+1]*b[2*i];
+  end;
+end.
+""",
+    make_inputs=lambda rng: {"a": _ints(rng, 2 * N_COMPLEX, -120, 120),
+                             "b": _ints(rng, 2 * N_COMPLEX, -120, 120),
+                             "c": _ints(rng, 2 * N_COMPLEX)},
+))
+
+
+# ----------------------------------------------------------------------
+# 6. fir: y = sum(h[i]*x[i]) >> 15, with delay-line shift
+# ----------------------------------------------------------------------
+
+_register(KernelSpec(
+    name="fir",
+    description=f"{FIR_TAPS}-tap Q15 FIR filter with delay-line update",
+    paper_baseline_pct=700, paper_record_pct=200,
+    source=f"""
+program fir;
+const N = {FIR_TAPS};
+input  x0;          {{ new sample }}
+input  h[N];        {{ Q15 coefficients }}
+var    x[N];        {{ delay line (persistent state) }}
+output y;
+var    acc;
+begin
+  x[0] := x0;
+  acc := 0;
+  for i in 0 .. N-1 do
+    acc := acc + ((h[i] * x[i]) >> 15);
+  end;
+  {{ shift the delay line towards higher indexes (DMOV direction) }}
+  for k in 0 .. N-2 do
+    x[N-1-k] := x[N-2-k];
+  end;
+  y := acc;
+end.
+""",
+    make_inputs=lambda rng: {"x0": rng.randint(-2000, 2000),
+                             "h": _q15(rng, FIR_TAPS),
+                             "x": _ints(rng, FIR_TAPS, -2000, 2000)},
+))
+
+
+# ----------------------------------------------------------------------
+# 7. iir_biquad_one_section (direct form II, Q15)
+# ----------------------------------------------------------------------
+
+_register(KernelSpec(
+    name="iir_biquad_one_section",
+    description="one direct-form-II biquad section, Q15 coefficients",
+    paper_baseline_pct=130, paper_record_pct=145,
+    source="""
+program iir_biquad_one_section;
+input  x;
+input  b0, b1, b2, a1, a2;   { Q15 }
+output y;
+var    w;
+begin
+  w := x - ((a1 * w@1) >> 15) - ((a2 * w@2) >> 15);
+  y := ((b0 * w) >> 15) + ((b1 * w@1) >> 15) + ((b2 * w@2) >> 15);
+end.
+""",
+    make_inputs=lambda rng: {
+        "x": rng.randint(-2000, 2000),
+        "b0": rng.randint(-30000, 30000),
+        "b1": rng.randint(-30000, 30000),
+        "b2": rng.randint(-30000, 30000),
+        "a1": rng.randint(-15000, 15000),
+        "a2": rng.randint(-15000, 15000),
+        ".h.w": _ints(rng, 2, -2000, 2000),
+    },
+))
+
+
+# ----------------------------------------------------------------------
+# 8. iir_biquad_N_sections (cascade, per-section state arrays)
+# ----------------------------------------------------------------------
+
+_register(KernelSpec(
+    name="iir_biquad_N_sections",
+    description=f"cascade of {BIQUAD_SECTIONS} biquad sections, Q15",
+    paper_baseline_pct=300, paper_record_pct=258,
+    source=f"""
+program iir_biquad_N_sections;
+const NS = {BIQUAD_SECTIONS};
+input  x;
+input  b0[NS], b1[NS], b2[NS], a1[NS], a2[NS];   {{ Q15 }}
+var    w1[NS], w2[NS];                           {{ section states }}
+output y;
+var    s, w;
+begin
+  s := x;
+  for j in 0 .. NS-1 do
+    w := s - ((a1[j]*w1[j]) >> 15) - ((a2[j]*w2[j]) >> 15);
+    s := ((b0[j]*w) >> 15) + ((b1[j]*w1[j]) >> 15)
+         + ((b2[j]*w2[j]) >> 15);
+    w2[j] := w1[j];
+    w1[j] := w;
+  end;
+  y := s;
+end.
+""",
+    make_inputs=lambda rng: {
+        "x": rng.randint(-2000, 2000),
+        "b0": _q15(rng, BIQUAD_SECTIONS),
+        "b1": _q15(rng, BIQUAD_SECTIONS),
+        "b2": _q15(rng, BIQUAD_SECTIONS),
+        "a1": [rng.randint(-15000, 15000)
+               for _ in range(BIQUAD_SECTIONS)],
+        "a2": [rng.randint(-15000, 15000)
+               for _ in range(BIQUAD_SECTIONS)],
+        "w1": _ints(rng, BIQUAD_SECTIONS, -2000, 2000),
+        "w2": _ints(rng, BIQUAD_SECTIONS, -2000, 2000),
+    },
+))
+
+
+# ----------------------------------------------------------------------
+# 9. dot_product (DSPStone: vector length 2, straight-line)
+# ----------------------------------------------------------------------
+
+_register(KernelSpec(
+    name="dot_product",
+    description="dot product of two length-2 vectors (straight-line)",
+    paper_baseline_pct=120, paper_record_pct=120,
+    source="""
+program dot_product;
+input  a[2], b[2];
+output y;
+begin
+  y := a[0]*b[0] + a[1]*b[1];
+end.
+""",
+    make_inputs=lambda rng: {"a": _ints(rng, 2, -120, 120),
+                             "b": _ints(rng, 2, -120, 120)},
+))
+
+
+# ----------------------------------------------------------------------
+# 10. convolution: y = sum x[i]*h[N-1-i]
+# ----------------------------------------------------------------------
+
+_register(KernelSpec(
+    name="convolution",
+    description=f"length-{CONV_LENGTH} convolution sum "
+                "y = sum x[i]*h[N-1-i]",
+    paper_baseline_pct=500, paper_record_pct=600,
+    source=f"""
+program convolution;
+const N = {CONV_LENGTH};
+input  x[N], h[N];
+output y;
+var    acc;
+begin
+  acc := 0;
+  for i in 0 .. N-1 do
+    acc := acc + x[i] * h[N-1-i];
+  end;
+  y := acc;
+end.
+""",
+    make_inputs=lambda rng: {"x": _ints(rng, CONV_LENGTH, -120, 120),
+                             "h": _ints(rng, CONV_LENGTH, -120, 120)},
+))
+
+
+# ----------------------------------------------------------------------
+# Public accessors
+# ----------------------------------------------------------------------
+
+KERNEL_NAMES: Tuple[str, ...] = tuple(spec.name for spec in _SPECS)
+
+_BY_NAME: Dict[str, KernelSpec] = {spec.name: spec for spec in _SPECS}
+
+
+def kernel(name: str) -> KernelSpec:
+    """Look up a kernel by its Table 1 row name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        known = ", ".join(KERNEL_NAMES)
+        raise KeyError(f"unknown kernel {name!r}; available: {known}")
+
+
+def all_kernels() -> List[KernelSpec]:
+    """All ten kernels, in Table 1 row order."""
+    return list(_SPECS)

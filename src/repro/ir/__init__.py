@@ -1,0 +1,47 @@
+"""Intermediate representation for the retargetable compiler.
+
+The IR mirrors what the RECORD compiler (Marwedel, DAC 1997, Sec. 4.3)
+works on internally:
+
+- :mod:`repro.ir.ops` -- the operator vocabulary shared by the frontend,
+  the instruction-set extractor and the code selector.
+- :mod:`repro.ir.fixedpoint` -- bit-true fixed-point arithmetic semantics
+  (wrap-around and saturating modes), used both to *define* what programs
+  mean and to check that generated code is bit-exact.
+- :mod:`repro.ir.dfg` -- data-flow graphs for straight-line code regions.
+- :mod:`repro.ir.trees` -- expression trees plus the heuristic
+  decomposition of DFGs into trees that tree-covering code selection needs.
+- :mod:`repro.ir.algebraic` -- algebraic variant enumeration (RECORD calls
+  the tree matcher once per equivalent tree and keeps the cheapest cover).
+- :mod:`repro.ir.program` -- structured programs: straight-line blocks and
+  counted loops, which is all the DSPStone kernels require.
+"""
+
+from repro.ir.ops import Op, OpKind, OPS
+from repro.ir.fixedpoint import FixedPointContext, Overflow
+from repro.ir.dfg import DataFlowGraph, Node, ArrayIndex, Output
+from repro.ir.trees import Tree, decompose, tree_of_node
+from repro.ir.algebraic import enumerate_variants, RewriteRule, DEFAULT_RULES
+from repro.ir.program import Program, Block, Loop, Assignment
+
+__all__ = [
+    "Op",
+    "OpKind",
+    "OPS",
+    "FixedPointContext",
+    "Overflow",
+    "DataFlowGraph",
+    "Node",
+    "ArrayIndex",
+    "Output",
+    "Tree",
+    "decompose",
+    "tree_of_node",
+    "enumerate_variants",
+    "RewriteRule",
+    "DEFAULT_RULES",
+    "Program",
+    "Block",
+    "Loop",
+    "Assignment",
+]

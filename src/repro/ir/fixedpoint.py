@@ -1,0 +1,153 @@
+"""Bit-true fixed-point arithmetic.
+
+Requirement 5 of Sec. 3.2 of the paper: development platforms for embedded
+DSP software must support "fixed point arithmetic, saturating arithmetic
+operators, and a definable precision of numbers".  This module is the
+single source of truth for what arithmetic *means* in this repository:
+
+- the MiniDFL reference interpreter evaluates programs with it,
+- the instruction-set simulators implement their datapaths with it,
+- the test suite uses it to check that compiled code is bit-exact.
+
+A :class:`FixedPointContext` fixes the word width and the overflow
+behaviour (wrap-around vs. saturating).  Values are stored as Python ints
+already reduced into the representable range; all operations return
+reduced values.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.ir.ops import Op
+
+
+class Overflow(enum.Enum):
+    """Overflow handling mode.
+
+    Real DSPs switch between these at run time (the TMS320C25's ``SOVM`` /
+    ``ROVM`` instructions); minimizing such mode changes is one of the
+    Sec. 3.3 optimizations (:mod:`repro.codegen.modes`).
+    """
+
+    WRAP = "wrap"
+    SATURATE = "saturate"
+
+
+@dataclass(frozen=True)
+class FixedPointContext:
+    """Two's-complement fixed-point arithmetic at a given word width.
+
+    Attributes:
+        width: word width in bits (e.g. 16 for the TC25 data word).
+        overflow: wrap-around or saturating reduction of results.
+    """
+
+    width: int = 16
+    overflow: Overflow = Overflow.WRAP
+
+    def __post_init__(self) -> None:
+        if self.width < 2:
+            raise ValueError(f"width must be >= 2, got {self.width}")
+
+    @property
+    def min_value(self) -> int:
+        return -(1 << (self.width - 1))
+
+    @property
+    def max_value(self) -> int:
+        return (1 << (self.width - 1)) - 1
+
+    def wrap(self, value: int) -> int:
+        """Reduce ``value`` by two's-complement wrap-around."""
+        mask = (1 << self.width) - 1
+        value &= mask
+        if value > self.max_value:
+            value -= 1 << self.width
+        return value
+
+    def saturate(self, value: int) -> int:
+        """Clamp ``value`` into the representable range."""
+        if value > self.max_value:
+            return self.max_value
+        if value < self.min_value:
+            return self.min_value
+        return value
+
+    def reduce(self, value: int) -> int:
+        """Reduce an unbounded int according to the overflow mode."""
+        if self.overflow is Overflow.SATURATE:
+            return self.saturate(value)
+        return self.wrap(value)
+
+    def in_range(self, value: int) -> bool:
+        """Whether ``value`` is representable at this width."""
+        return self.min_value <= value <= self.max_value
+
+    def with_overflow(self, overflow: Overflow) -> "FixedPointContext":
+        """Same width, different overflow mode."""
+        return FixedPointContext(self.width, overflow)
+
+    # ------------------------------------------------------------------
+    # Operator application
+    # ------------------------------------------------------------------
+
+    # Operators whose *operands* pass through word-width machine ports:
+    # the multiplier (16x16), the logic unit, and compare/select.  Their
+    # inputs wrap to the word width; everything else (the accumulation
+    # chain: add/sub/neg/abs/shifts/sat) is evaluated at extended
+    # precision, exactly as a 32-bit-accumulator DSP does.
+    WORD_OPERAND_OPS = frozenset({
+        "mul", "and", "or", "xor", "not", "min", "max",
+    })
+
+    def apply(self, operator: Op, *operands: int) -> int:
+        """Apply an IR operator with *expression semantics*.
+
+        MiniDFL expressions are evaluated at extended precision and only
+        reduced when stored to a variable -- matching accumulator DSPs,
+        whose 32-bit ACC/P registers hold expression intermediates and
+        wrap/saturate on the way back to 16-bit memory.  Exceptions, per
+        :data:`WORD_OPERAND_OPS`: operators realized by word-width
+        machine ports wrap their operands first.  ``sat`` clamps its
+        (extended) operand to the word range; shift amounts are
+        validated against a double-width intermediate.
+        """
+        if operator.py is None:
+            raise ValueError(f"operator {operator.name} has no semantics")
+        if operator.name == "sat":
+            return self.saturate(operands[0])
+        if operator.name == "wrap":
+            return self.wrap(operands[0])
+        if operator.name in ("shl", "shr"):
+            amount = operands[1]
+            if amount < 0 or amount >= 2 * self.width:
+                raise ValueError(
+                    f"shift amount {amount} invalid for width {self.width}")
+        if operator.name in self.WORD_OPERAND_OPS:
+            operands = tuple(self.wrap(value) for value in operands)
+        return operator.py(*operands)
+
+    # ------------------------------------------------------------------
+    # Fractional helpers (Q-format), used by DSP kernels
+    # ------------------------------------------------------------------
+
+    def to_fixed(self, x: float, frac_bits: int) -> int:
+        """Quantize a float into Q(width-1-frac_bits).frac_bits format."""
+        scaled = int(round(x * (1 << frac_bits)))
+        return self.saturate(scaled)
+
+    def to_float(self, value: int, frac_bits: int) -> float:
+        """Interpret a fixed-point integer as a fractional value."""
+        return value / float(1 << frac_bits)
+
+    def fractional_multiply(self, a: int, b: int, frac_bits: int) -> int:
+        """Multiply two fractional values, rescaling the product.
+
+        The double-width product is shifted right by ``frac_bits`` (the
+        TC25 product-shift-mode ``PM`` register exists exactly to do this
+        for free on the way out of the P register).
+        """
+        product = a * b
+        return self.reduce(product >> frac_bits)

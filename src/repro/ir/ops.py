@@ -1,0 +1,128 @@
+"""Operator vocabulary of the IR.
+
+Every operator that can appear in a MiniDFL program, an extracted
+instruction pattern, or a tree-grammar rule is declared here, once.  The
+instruction-set extractor (:mod:`repro.ise`) and the code selector
+(:mod:`repro.codegen`) both speak this vocabulary, which is what lets a
+pattern extracted from an RT netlist cover a node produced by the frontend
+-- the "bridge between ECAD and compiler domains" the paper describes.
+
+Operators carry their algebraic properties (commutativity, identity
+element) so that :mod:`repro.ir.algebraic` can derive rewrite rules
+instead of hard-coding them per operator.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+
+class OpKind(enum.Enum):
+    """Classification of IR node kinds.
+
+    ``CONST`` and ``REF`` are leaves; ``COMPUTE`` nodes apply one of the
+    operators in :data:`OPS`.
+    """
+
+    CONST = "const"
+    REF = "ref"
+    COMPUTE = "compute"
+
+
+@dataclass(frozen=True)
+class Op:
+    """A single IR operator.
+
+    Attributes:
+        name: canonical lower-case mnemonic (``"add"``, ``"mul"``, ...).
+        arity: number of operands.
+        commutative: ``op(a, b) == op(b, a)`` for all inputs.
+        associative: ``op(op(a, b), c) == op(a, op(b, c))``.
+        identity: right identity element, or ``None`` if there is none.
+        py: reference semantics on plain Python ints (infinite precision);
+            width handling and saturation live in
+            :mod:`repro.ir.fixedpoint`, not here.
+    """
+
+    name: str
+    arity: int
+    commutative: bool = False
+    associative: bool = False
+    identity: Optional[int] = None
+    py: Optional[Callable[..., int]] = None
+
+    def __repr__(self) -> str:
+        return f"Op({self.name})"
+
+
+def _shift_left(a: int, b: int) -> int:
+    if b < 0:
+        raise ValueError(f"negative shift amount {b}")
+    return a << b
+
+
+def _shift_right(a: int, b: int) -> int:
+    if b < 0:
+        raise ValueError(f"negative shift amount {b}")
+    return a >> b
+
+
+# The operator table.  ``mac`` (multiply-accumulate) never appears in
+# source programs; it exists so that extracted instruction patterns and
+# grammar rules can express fused multiply-add datapaths.
+OPS: Dict[str, Op] = {
+    op.name: op
+    for op in [
+        Op("add", 2, commutative=True, associative=True, identity=0,
+           py=lambda a, b: a + b),
+        Op("sub", 2, identity=0, py=lambda a, b: a - b),
+        # NOTE: mul is *not* marked associative: its operands pass
+        # through the word-width multiplier port (see
+        # FixedPointContext.WORD_OPERAND_OPS), so reassociation can
+        # change which intermediate gets wrapped.
+        Op("mul", 2, commutative=True, identity=1,
+           py=lambda a, b: a * b),
+        Op("neg", 1, py=lambda a: -a),
+        Op("abs", 1, py=lambda a: abs(a)),
+        Op("and", 2, commutative=True, associative=True,
+           py=lambda a, b: a & b),
+        Op("or", 2, commutative=True, associative=True, identity=0,
+           py=lambda a, b: a | b),
+        Op("xor", 2, commutative=True, associative=True, identity=0,
+           py=lambda a, b: a ^ b),
+        Op("not", 1, py=lambda a: ~a),
+        Op("shl", 2, py=_shift_left),
+        Op("shr", 2, py=_shift_right),
+        Op("min", 2, commutative=True, associative=True, py=min),
+        Op("max", 2, commutative=True, associative=True, py=max),
+        # Fused multiply-accumulate: mac(acc, a, b) = acc + a * b.
+        Op("mac", 3, py=lambda acc, a, b: acc + a * b),
+        # Fused multiply-subtract: msu(acc, a, b) = acc - a * b.
+        Op("msu", 3, py=lambda acc, a, b: acc - a * b),
+        # Explicit saturation of a (possibly wider) value to the machine
+        # word; semantics are supplied by the fixed-point context.
+        Op("sat", 1, py=lambda a: a),
+        # Reduction to the machine word by two's-complement wrap-around.
+        # Inserted by the frontend where a value crosses a *variable
+        # assignment* boundary within a block (store-to-load forwarding
+        # must deliver what memory would have delivered); the width is
+        # supplied by the fixed-point context.
+        Op("wrap", 1, py=lambda a: a),
+        # Pseudo-operator used only at instruction-selection time to give
+        # the assignment "dest := value" a tree shape the tree grammar can
+        # match: store(dest_ref, value).  It never appears in DFGs and is
+        # never evaluated.
+        Op("store", 2),
+    ]
+}
+
+
+def op(name: str) -> Op:
+    """Look up an operator by name, with a helpful error message."""
+    try:
+        return OPS[name]
+    except KeyError:
+        known = ", ".join(sorted(OPS))
+        raise KeyError(f"unknown operator {name!r}; known operators: {known}")

@@ -1,0 +1,171 @@
+"""Structured programs: declarations, blocks and counted loops.
+
+The DSPStone kernels (and embedded DSP inner loops generally) are
+straight-line regions nested inside counted loops, so the program IR is
+deliberately structured rather than a general CFG: a body is a sequence
+of :class:`Block` (one data-flow graph each) and :class:`Loop` (constant
+trip count, nested body).  Counted loops are exactly what DSP hardware
+loop / repeat instructions implement, which both back ends exploit.
+
+:meth:`Program.run` is the bit-true reference interpreter -- the ground
+truth every compiled result is tested against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, MutableMapping, Optional, Union
+
+from repro.ir.dfg import DataFlowGraph
+from repro.ir.fixedpoint import FixedPointContext
+from repro.ir.trees import TreeAssignment
+
+# Re-export for convenience: an assignment in examples/tests is a
+# TreeAssignment; blocks store whole DFGs.
+Assignment = TreeAssignment
+
+
+@dataclass(frozen=True)
+class Symbol:
+    """A declared program symbol.
+
+    Attributes:
+        name: source-level identifier.
+        size: ``None`` for scalars, element count for arrays.
+        role: ``"input"``, ``"output"``, ``"local"`` or ``"const"``.
+        init: optional initial value(s).
+    """
+
+    name: str
+    size: Optional[int] = None
+    role: str = "local"
+    init: Optional[object] = None
+
+    @property
+    def is_array(self) -> bool:
+        return self.size is not None
+
+
+@dataclass
+class Block:
+    """A straight-line region holding one data-flow graph."""
+
+    dfg: DataFlowGraph
+    label: str = ""
+
+
+@dataclass
+class Loop:
+    """A counted loop: ``for var in 0 .. count-1``."""
+
+    var: str
+    count: int
+    body: List["ProgramItem"] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError(f"loop count must be >= 1, got {self.count}")
+
+
+ProgramItem = Union[Block, Loop]
+
+
+@dataclass
+class Program:
+    """A complete MiniDFL program after lowering."""
+
+    name: str
+    symbols: Dict[str, Symbol] = field(default_factory=dict)
+    body: List[ProgramItem] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    def declare(self, symbol: Symbol) -> Symbol:
+        """Register a symbol; duplicate names are an error."""
+        if symbol.name in self.symbols:
+            raise ValueError(f"symbol {symbol.name!r} declared twice")
+        self.symbols[symbol.name] = symbol
+        return symbol
+
+    def symbol(self, name: str) -> Symbol:
+        """Look up a declared symbol by name."""
+        try:
+            return self.symbols[name]
+        except KeyError:
+            raise KeyError(f"undeclared symbol {name!r}")
+
+    def inputs(self) -> List[Symbol]:
+        """Symbols declared with the ``input`` role."""
+        return [s for s in self.symbols.values() if s.role == "input"]
+
+    def outputs(self) -> List[Symbol]:
+        """Symbols declared with the ``output`` role."""
+        return [s for s in self.symbols.values() if s.role == "output"]
+
+    # ------------------------------------------------------------------
+    # Reference interpretation
+    # ------------------------------------------------------------------
+
+    def initial_environment(self) -> Dict[str, object]:
+        """Environment with declared initializers and zeroed storage."""
+        env: Dict[str, object] = {}
+        for symbol in self.symbols.values():
+            if symbol.is_array:
+                values = list(symbol.init) if symbol.init is not None \
+                    else [0] * symbol.size
+                if len(values) != symbol.size:
+                    raise ValueError(
+                        f"initializer for {symbol.name!r} has "
+                        f"{len(values)} elements, declared {symbol.size}")
+                env[symbol.name] = values
+            else:
+                env[symbol.name] = int(symbol.init) if symbol.init is not None else 0
+        return env
+
+    def run(self, env: MutableMapping[str, object],
+            fpc: FixedPointContext) -> MutableMapping[str, object]:
+        """Execute the program bit-true against ``env`` (mutated in place)."""
+        self._run_items(self.body, env, fpc, induction_value=0)
+        return env
+
+    def _run_items(self, items: Iterable[ProgramItem],
+                   env: MutableMapping[str, object],
+                   fpc: FixedPointContext, induction_value: int) -> None:
+        for item in items:
+            if isinstance(item, Block):
+                item.dfg.evaluate(env, fpc, induction_value)
+            elif isinstance(item, Loop):
+                for iteration in range(item.count):
+                    self._run_items(item.body, env, fpc,
+                                    induction_value=iteration)
+            else:
+                raise TypeError(f"unexpected program item {item!r}")
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    def dump(self) -> str:
+        """Human-readable structured listing of the whole program."""
+        lines = [f"program {self.name}"]
+        for symbol in self.symbols.values():
+            shape = f"[{symbol.size}]" if symbol.is_array else ""
+            lines.append(f"  {symbol.role} {symbol.name}{shape}")
+        lines.extend(self._dump_items(self.body, indent=1))
+        return "\n".join(lines)
+
+    def _dump_items(self, items: Iterable[ProgramItem],
+                    indent: int) -> List[str]:
+        pad = "  " * indent
+        lines: List[str] = []
+        for item in items:
+            if isinstance(item, Block):
+                lines.append(f"{pad}block {item.label}".rstrip())
+                for row in item.dfg.dump().splitlines():
+                    lines.append(f"{pad}  {row}")
+            else:
+                lines.append(f"{pad}loop {item.var} x{item.count}:")
+                lines.extend(self._dump_items(item.body, indent + 1))
+        return lines

@@ -1,0 +1,24 @@
+"""Instruction-set extraction (ISE) -- Sec. 4.3.2, Fig. 3, ref. [23].
+
+"For each memory or register input, ISE traverses the netlist from that
+input to memory or register outputs (opposite to the direction of the
+data-flow).  For each traversal, it collects the transformations that
+are applied to the data ... and also the control requirements ...
+The net effect of ISE is to generate, for each register or memory, a
+list of assignable expressions and the corresponding instruction bit
+settings."
+
+- :mod:`repro.ise.extractor` -- the traversal itself.
+- :mod:`repro.ise.patterns` -- extracted patterns, and their conversion
+  into a tree grammar ("ISE output to iburg input format conversion" in
+  Fig. 2) plus a ready-to-use :class:`NetlistTarget` processor model.
+- :mod:`repro.ise.examples` -- example netlists: the paper's Fig. 3
+  datapath and MiniACC, a small accumulator machine used to demonstrate
+  the full netlist-to-binary bridge.
+"""
+
+from repro.ise.extractor import InstructionPattern, PTree, extract
+from repro.ise.patterns import NetlistTarget, patterns_to_grammar
+
+__all__ = ["InstructionPattern", "PTree", "extract",
+           "NetlistTarget", "patterns_to_grammar"]

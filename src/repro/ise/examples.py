@@ -1,0 +1,104 @@
+"""Example netlists for ISE.
+
+- :func:`figure3_netlist` -- the paper's Fig. 3 datapath: a register
+  file feeding an ALU whose second input comes from an accumulator,
+  with a constant '0' steering the ALU to ADD.  ISE extracts (among
+  others) the figure's pattern ``Reg[bb] := Reg[aa] + acc`` with its
+  instruction-bit settings.
+
+- :func:`miniacc_netlist` -- MiniACC, a complete single-accumulator
+  machine (data memory, ACC, ALU with add/sub/and/or/mul, immediate
+  path).  Running ISE over it and feeding the result to the RECORD
+  pipeline compiles and *executes* straight-line MiniDFL programs with
+  no hand-written target description at all -- the paper's ECAD-to-
+  compiler bridge, end to end.
+"""
+
+from __future__ import annotations
+
+from repro.rtl.components import (
+    Alu, Constant, InstructionField, Memory, Mux, Register, RegisterFile,
+)
+from repro.rtl.netlist import Netlist, Port
+
+
+def figure3_netlist() -> Netlist:
+    """The Fig. 3 example: Reg[bb] := Reg[aa] + acc (and friends)."""
+    net = Netlist("figure3")
+    regs = net.add(RegisterFile("Reg", size=8))
+    acc = net.add(Register("acc"))
+    alu = net.add(Alu("alu", {0: "add", 1: "sub"}))
+    aa = net.add(InstructionField("aa", 3))
+    bb = net.add(InstructionField("bb", 3))
+    c1 = net.add(InstructionField("c1", 1))      # ALU control
+    c2 = net.add(InstructionField("c2", 1))      # acc load enable
+    we = net.add(InstructionField("we", 1))      # regfile write enable
+
+    net.connect(Port(aa, "out"), Port(regs, "raddr"))
+    net.connect(Port(bb, "out"), Port(regs, "waddr"))
+    net.connect(Port(we, "out"), Port(regs, "we"))
+    net.connect(Port(regs, "out"), Port(alu, "a"))
+    net.connect(Port(acc, "out"), Port(alu, "b"))
+    net.connect(Port(c1, "out"), Port(alu, "ctl"))
+    net.connect(Port(alu, "out"), Port(regs, "in"))
+    net.connect(Port(alu, "out"), Port(acc, "in"))
+    net.connect(Port(c2, "out"), Port(acc, "load"))
+    net.validate()
+    return net
+
+
+def miniacc_netlist(memory_size: int = 64,
+                    immediate_bits: int = 8) -> Netlist:
+    """MiniACC: a complete accumulator machine as an RT netlist.
+
+    Datapath::
+
+        dmem[daddr] --+--> opb_mux --> ALU.b
+        imm ----------+                ALU.a <-- ACC
+                                       ALU --> wb_mux --> ACC (load)
+        dmem.in <-- ACC            (via load_mux) -----> dmem (we)
+
+    Extractable instruction classes:
+    ``ACC := mem | imm``, ``ACC := ACC op mem``, ``ACC := ACC op imm``,
+    ``ACC := op(ACC)``, ``mem := ACC``.
+    """
+    net = Netlist("miniacc")
+    dmem = net.add(Memory("dmem", memory_size))
+    acc = net.add(Register("acc"))
+    alu = net.add(Alu("alu", {
+        0: "add", 1: "sub", 2: "and", 3: "or", 4: "xor", 5: "mul",
+        6: "neg", 7: "not",
+    }))
+    daddr = net.add(InstructionField("daddr", 6))
+    imm = net.add(InstructionField("imm", immediate_bits))
+    aluctl = net.add(InstructionField("aluctl", 3))
+    opb_sel = net.add(InstructionField("opb_sel", 1))
+    wb_sel = net.add(InstructionField("wb_sel", 1))
+    acc_ld = net.add(InstructionField("acc_ld", 1))
+    mem_we = net.add(InstructionField("mem_we", 1))
+
+    # Operand B: memory or immediate.
+    opb = net.add(Mux("opb_mux", 2))
+    net.connect(Port(daddr, "out"), Port(dmem, "addr"))
+    net.connect(Port(dmem, "out"), Port(opb, "in0"))
+    net.connect(Port(imm, "out"), Port(opb, "in1"))
+    net.connect(Port(opb_sel, "out"), Port(opb, "sel"))
+
+    # ALU: a = ACC, b = operand mux.
+    net.connect(Port(acc, "out"), Port(alu, "a"))
+    net.connect(Port(opb, "out"), Port(alu, "b"))
+    net.connect(Port(aluctl, "out"), Port(alu, "ctl"))
+
+    # ACC write-back: ALU result or pass-through of operand B (loads).
+    wb = net.add(Mux("wb_mux", 2))
+    net.connect(Port(alu, "out"), Port(wb, "in0"))
+    net.connect(Port(opb, "out"), Port(wb, "in1"))
+    net.connect(Port(wb_sel, "out"), Port(wb, "sel"))
+    net.connect(Port(wb, "out"), Port(acc, "in"))
+    net.connect(Port(acc_ld, "out"), Port(acc, "load"))
+
+    # Memory write port: from ACC.
+    net.connect(Port(acc, "out"), Port(dmem, "in"))
+    net.connect(Port(mem_we, "out"), Port(dmem, "we"))
+    net.validate()
+    return net

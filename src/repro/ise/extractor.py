@@ -1,0 +1,287 @@
+"""The ISE traversal: netlist -> instruction patterns.
+
+For every storage component the extractor justifies the write enable,
+resolves the write address, and enumerates every expression the data
+input can compute, each with the instruction-bit assignment that steers
+the datapath accordingly.  The result is the paper's "list of assignable
+expressions and the corresponding instruction bit settings" (Fig. 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.ops import Op
+from repro.rtl.components import (
+    Alu, Constant, InstructionField, Memory, Mux, Register, RegisterFile,
+)
+from repro.rtl.justify import (
+    BitAssignment, justify_value, merge_assignments,
+)
+from repro.rtl.netlist import Netlist, Port
+
+
+# ----------------------------------------------------------------------
+# Pattern trees
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PTree:
+    """A node of an extracted expression tree.
+
+    ``kind``:
+      - ``"op"``: ``operator`` applied to ``children``;
+      - ``"read"``: a storage read (``storage`` plus the instruction
+        field selecting the address, or None for a plain register);
+      - ``"imm"``: an immediate operand taken from instruction field
+        ``field_name``;
+      - ``"const"``: a hard-wired constant ``value``.
+    """
+
+    kind: str
+    operator: Optional[Op] = None
+    children: Tuple["PTree", ...] = ()
+    storage: Optional[str] = None
+    addr_field: Optional[str] = None
+    field_name: Optional[str] = None
+    value: Optional[int] = None
+
+    def __str__(self) -> str:
+        if self.kind == "op":
+            args = ", ".join(str(child) for child in self.children)
+            return f"{self.operator.name}({args})"
+        if self.kind == "read":
+            if self.addr_field is None:
+                return self.storage
+            return f"{self.storage}[{self.addr_field}]"
+        if self.kind == "imm":
+            return f"#{self.field_name}"
+        return f"#{self.value}"
+
+    def leaves(self) -> List["PTree"]:
+        """Terminal leaves (reads/immediates/constants) in preorder."""
+        if self.kind == "op":
+            collected: List[PTree] = []
+            for child in self.children:
+                collected.extend(child.leaves())
+            return collected
+        return [self]
+
+    def size(self) -> int:
+        """Number of nodes in the pattern tree."""
+        return 1 + sum(child.size() for child in self.children)
+
+
+@dataclass(frozen=True)
+class InstructionPattern:
+    """One extracted instruction: destination, expression, bit settings.
+
+    ``bits`` fixes the *control* fields; fields named by ``imm`` or
+    ``read``/destination address leaves remain free -- they are the
+    instruction's operands.
+    """
+
+    name: str
+    dest_storage: str
+    dest_addr_field: Optional[str]
+    dest_fixed_addr: Optional[int]
+    tree: PTree
+    bits: BitAssignment
+
+    def describe(self) -> str:
+        """Fig. 3-style text: destination, expression, bit settings."""
+        if self.dest_addr_field is not None:
+            dest = f"{self.dest_storage}[{self.dest_addr_field}]"
+        elif self.dest_fixed_addr is not None:
+            dest = f"{self.dest_storage}[{self.dest_fixed_addr}]"
+        else:
+            dest = self.dest_storage
+        bits = ", ".join(f"{k}={v}" for k, v in sorted(self.bits.items()))
+        return f"{dest} := {self.tree}   [{bits}]"
+
+
+# ----------------------------------------------------------------------
+# Extraction
+# ----------------------------------------------------------------------
+
+class ExtractionLimit:
+    """Bounds for the enumeration (netlists are small; generous)."""
+
+    def __init__(self, max_alternatives: int = 256, max_depth: int = 8):
+        self.max_alternatives = max_alternatives
+        self.max_depth = max_depth
+
+
+def extract(netlist: Netlist,
+            limit: Optional[ExtractionLimit] = None
+            ) -> List[InstructionPattern]:
+    """Run ISE over every storage of the netlist."""
+    netlist.validate()
+    if limit is None:
+        limit = ExtractionLimit()
+    patterns: List[InstructionPattern] = []
+    for storage in netlist.storages():
+        patterns.extend(_extract_for_storage(netlist, storage, limit))
+    return patterns
+
+
+def _extract_for_storage(netlist: Netlist, storage,
+                         limit: ExtractionLimit
+                         ) -> List[InstructionPattern]:
+    if isinstance(storage, Register):
+        enable_port, addr_port = Port(storage, "load"), None
+    elif isinstance(storage, RegisterFile):
+        enable_port, addr_port = Port(storage, "we"), Port(storage,
+                                                           "waddr")
+    elif isinstance(storage, Memory):
+        enable_port, addr_port = Port(storage, "we"), Port(storage,
+                                                           "addr")
+    else:
+        return []
+
+    enable_options = justify_value(netlist, enable_port, 1)
+    if not enable_options:
+        return []
+
+    dest_addr_field: Optional[str] = None
+    dest_fixed_addr: Optional[int] = None
+    if addr_port is not None:
+        driver = netlist.driver_of(addr_port)
+        if isinstance(driver.component, InstructionField):
+            dest_addr_field = driver.component.name
+        elif isinstance(driver.component, Constant):
+            dest_fixed_addr = driver.component.value
+        else:
+            # Write address computed through the datapath (AGUs etc.):
+            # out of scope for this extractor.
+            return []
+
+    expressions = _expand(netlist, Port(storage, "in"), limit,
+                          depth=limit.max_depth)
+    patterns: List[InstructionPattern] = []
+    for tree, tree_bits in expressions:
+        for enable_bits in enable_options:
+            bits = merge_assignments(tree_bits, enable_bits)
+            if bits is None:
+                continue
+            bits = _quiesce_other_storages(netlist, storage, bits)
+            if bits is None:
+                continue
+            dest = storage.name
+            patterns.append(InstructionPattern(
+                name=f"{dest}<-{tree}",
+                dest_storage=dest,
+                dest_addr_field=dest_addr_field,
+                dest_fixed_addr=dest_fixed_addr,
+                tree=tree,
+                bits=bits,
+            ))
+            if len(patterns) >= limit.max_alternatives:
+                return patterns
+    return patterns
+
+
+def _quiesce_other_storages(netlist: Netlist, active_storage,
+                            bits: BitAssignment
+                            ) -> Optional[BitAssignment]:
+    """Extend ``bits`` so every *other* storage's write enable is 0
+    (single-transfer instructions; parallel transfers are the
+    compaction stage's business, not ISE's)."""
+    merged = bits
+    for storage in netlist.storages():
+        if storage.name == active_storage.name:
+            continue
+        if isinstance(storage, Register):
+            port = Port(storage, "load")
+        else:
+            port = Port(storage, "we")
+        options = justify_value(netlist, port, 0)
+        chosen = None
+        for option in options:
+            candidate = merge_assignments(merged, option)
+            if candidate is not None:
+                chosen = candidate
+                break
+        if chosen is None:
+            return None
+        merged = chosen
+    return merged
+
+
+def _expand(netlist: Netlist, sink: Port, limit: ExtractionLimit,
+            depth: int) -> List[Tuple[PTree, BitAssignment]]:
+    """All (expression, bits) the data input ``sink`` can receive."""
+    driver = netlist.driver_of(sink)
+    if driver is None:
+        return []
+    component = driver.component
+    if depth <= 0:
+        return []
+
+    if isinstance(component, Constant):
+        return [(PTree(kind="const", value=component.value), {})]
+    if isinstance(component, InstructionField):
+        return [(PTree(kind="imm", field_name=component.name), {})]
+    if isinstance(component, Register):
+        return [(PTree(kind="read", storage=component.name), {})]
+    if isinstance(component, (RegisterFile, Memory)):
+        addr_name = "raddr" if isinstance(component, RegisterFile) \
+            else "addr"
+        addr_driver = netlist.driver_of(Port(component, addr_name))
+        if isinstance(addr_driver.component, InstructionField):
+            return [(PTree(kind="read", storage=component.name,
+                           addr_field=addr_driver.component.name), {})]
+        return []      # computed read addresses: out of scope
+    if isinstance(component, Mux):
+        results: List[Tuple[PTree, BitAssignment]] = []
+        for index in range(component.inputs):
+            selector_options = justify_value(
+                netlist, Port(component, "sel"), index)
+            if not selector_options:
+                continue
+            for tree, tree_bits in _expand(
+                    netlist, Port(component, f"in{index}"), limit,
+                    depth - 1):
+                for selector_bits in selector_options:
+                    merged = merge_assignments(tree_bits, selector_bits)
+                    if merged is not None:
+                        results.append((tree, merged))
+                        if len(results) >= limit.max_alternatives:
+                            return results
+        return results
+    if isinstance(component, Alu):
+        results = []
+        a_options = _expand(netlist, Port(component, "a"), limit,
+                            depth - 1)
+        b_options = None
+        for code, operator in component.operations.items():
+            control_options = justify_value(
+                netlist, Port(component, "ctl"), code)
+            if not control_options:
+                continue
+            if operator.arity == 1:
+                operand_sets = [((a,), bits) for a, bits in a_options]
+            else:
+                if b_options is None:
+                    b_options = _expand(netlist, Port(component, "b"),
+                                        limit, depth - 1)
+                operand_sets = []
+                for a_tree, a_bits in a_options:
+                    for b_tree, b_bits in b_options:
+                        merged = merge_assignments(a_bits, b_bits)
+                        if merged is not None:
+                            operand_sets.append(((a_tree, b_tree),
+                                                 merged))
+            for children, child_bits in operand_sets:
+                for control_bits in control_options:
+                    bits = merge_assignments(child_bits, control_bits)
+                    if bits is None:
+                        continue
+                    results.append((PTree(kind="op", operator=operator,
+                                          children=tuple(children)),
+                                    bits))
+                    if len(results) >= limit.max_alternatives:
+                        return results
+        return results
+    return []

@@ -1,0 +1,243 @@
+"""From extracted patterns to a working compiler back end.
+
+Two artifacts are derived from an ISE run:
+
+1. :func:`patterns_to_grammar` -- the "ISE output to iburg input format
+   conversion" of Fig. 2: each extracted pattern becomes a tree-grammar
+   rule.  Plain registers become nonterminals (that is how tree parsing
+   handles heterogeneous special registers), memory reads become ``ref``
+   terminals, immediate fields become guarded ``const`` terminals.
+
+2. :class:`NetlistTarget` -- a complete :class:`TargetModel` whose
+   simulator *is* the netlist: executing an emitted instruction replays
+   the extracted expression against machine state.  Together with the
+   RECORD pipeline this closes the paper's headline loop: an RT netlist
+   in, executable (and simulated) binary code out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.codegen.asm import AsmInstr, Imm, Mem
+from repro.codegen.grammar import (
+    Cost, Nt, Pat, Pattern, Rule, Term, TreeGrammar,
+)
+from repro.ir.ops import OpKind
+from repro.ir.trees import Tree
+from repro.ise.extractor import InstructionPattern, PTree, extract
+from repro.rtl.components import InstructionField, Memory, Register
+from repro.rtl.netlist import Netlist
+from repro.sim.machine import MachineState, SimulationError
+from repro.targets.model import TargetCapabilities, TargetModel
+
+
+class ConversionError(Exception):
+    """An extracted pattern cannot be expressed as a grammar rule."""
+
+
+def _field_width(netlist: Netlist, field_name: str) -> int:
+    component = netlist.components[field_name]
+    if not isinstance(component, InstructionField):
+        raise ConversionError(f"{field_name!r} is not an instruction "
+                              "field")
+    return component.width
+
+
+def _to_pattern(netlist: Netlist, node: PTree) -> Pattern:
+    if node.kind == "op":
+        children = tuple(_to_pattern(netlist, child)
+                         for child in node.children)
+        return Pat(node.operator.name, children)
+    if node.kind == "read":
+        storage = netlist.components[node.storage]
+        if isinstance(storage, Register):
+            return Nt(node.storage)
+        if isinstance(storage, Memory):
+            return Term("ref")
+        raise ConversionError(
+            f"register-file read {node} not supported by the converter")
+    if node.kind == "imm":
+        width = _field_width(netlist, node.field_name)
+        top = (1 << width) - 1
+        return Term("const", lambda t, _top=top: 0 <= t.value <= _top,
+                    f"#u{width}")
+    if node.kind == "const":
+        value = node.value
+        return Term("const", lambda t, _v=value: t.value == _v,
+                    f"#{node.value}")
+    raise ConversionError(f"unknown PTree kind {node.kind!r}")
+
+
+def _make_emit(pattern: InstructionPattern, mem_dest: bool,
+               result: Optional[str]):
+    def emit(ctx, args):
+        operands = []
+        for arg in args:
+            if isinstance(arg, Mem):
+                operands.append(arg)
+            elif isinstance(arg, int):
+                operands.append(Imm(arg))
+            # register locations are implicit in the opcode
+        ctx.emit(AsmInstr(opcode=pattern.name, operands=tuple(operands),
+                          words=1, cycles=1))
+        return result
+    return emit
+
+
+def patterns_to_grammar(netlist: Netlist,
+                        patterns: List[InstructionPattern],
+                        name: Optional[str] = None) -> TreeGrammar:
+    """Convert extracted patterns into a tree grammar.
+
+    Patterns writing a plain register R produce ``R <- pattern`` rules;
+    patterns writing data memory produce ``stmt <- store(ref, pattern)``
+    rules.  Patterns the converter cannot express (register-file
+    operands, computed addresses) are skipped -- ISE may legitimately
+    find datapath transfers the compiler never needs.
+    """
+    rules: List[Rule] = [
+        Rule("mem", Term("ref"), Cost(0, 0),
+             emit=lambda ctx, args: args[0], name="mem-ref"),
+    ]
+    nt_resources: Dict[str, Optional[str]] = {"mem": None}
+    for pattern in patterns:
+        try:
+            value_pattern = _to_pattern(netlist, pattern.tree)
+        except ConversionError:
+            continue
+        dest = netlist.components[pattern.dest_storage]
+        if isinstance(dest, Register):
+            nt_resources[dest.name] = dest.name
+            rules.append(Rule(
+                nonterm=dest.name,
+                pattern=value_pattern,
+                cost=Cost(1, 1),
+                emit=_make_emit(pattern, mem_dest=False,
+                                result=dest.name),
+                name=pattern.name,
+                clobbers=frozenset({dest.name}),
+            ))
+        elif isinstance(dest, Memory):
+            if pattern.dest_addr_field is None:
+                continue
+            rules.append(Rule(
+                nonterm="stmt",
+                pattern=Pat("store", (Term("ref"), value_pattern)),
+                cost=Cost(1, 1),
+                emit=_make_emit(pattern, mem_dest=True, result=None),
+                name=pattern.name,
+            ))
+        # Register-file destinations: skipped by this converter.
+    grammar_name = name or f"ise:{netlist.name}"
+    return TreeGrammar(grammar_name, rules, nt_resources)
+
+
+class NetlistTarget(TargetModel):
+    """A processor model generated entirely from an RT netlist.
+
+    The simulator executes emitted instructions by replaying the
+    extracted expression trees against machine state -- semantically
+    equivalent to stepping the netlist with the justified instruction
+    bits (a property the test suite checks against
+    :meth:`repro.rtl.netlist.Netlist.step`).
+
+    Netlist targets describe datapaths, not sequencers, so only
+    straight-line programs can be compiled (no loop realization).
+    """
+
+    def __init__(self, netlist: Netlist,
+                 patterns: Optional[List[InstructionPattern]] = None):
+        self.netlist = netlist
+        self.name = f"netlist:{netlist.name}"
+        self.word_bits = netlist.word_bits
+        super().__init__()
+        self.patterns = patterns if patterns is not None \
+            else extract(netlist)
+        self._by_name = {p.name: p for p in self.patterns}
+        self._grammar = patterns_to_grammar(netlist, self.patterns)
+        memories = [c for c in netlist.components.values()
+                    if isinstance(c, Memory)]
+        if len(memories) != 1:
+            raise ConversionError(
+                "NetlistTarget expects exactly one data memory, got "
+                f"{len(memories)}")
+        self.memory = memories[0]
+        self.capabilities = TargetCapabilities(
+            address_registers=0, direct_addressing=True)
+
+    # -- TargetModel ------------------------------------------------------
+
+    def grammar(self) -> TreeGrammar:
+        return self._grammar
+
+    def initial_state(self) -> MachineState:
+        regs = {c.name: 0 for c in self.netlist.components.values()
+                if isinstance(c, Register)}
+        return MachineState(regs=regs,
+                            mem=[0] * self.memory.size)
+
+    def execute(self, state: MachineState,
+                instr: AsmInstr) -> Optional[str]:
+        pattern = self._by_name.get(instr.opcode)
+        if pattern is None:
+            raise SimulationError(
+                f"{self.name}: unknown opcode {instr.opcode!r}")
+        operands = list(instr.operands)
+        mem_dest_address: Optional[int] = None
+        dest = self.netlist.components[pattern.dest_storage]
+        if isinstance(dest, Memory):
+            dest_operand = operands.pop(0)
+            mem_dest_address = self._mem_address(state, dest_operand)
+        value = self._evaluate(state, pattern.tree, operands)
+        if operands:
+            raise SimulationError(
+                f"{instr.opcode}: too many operands")
+        if mem_dest_address is not None:
+            state.store(mem_dest_address, self.fpc.wrap(value))
+        else:
+            state.regs[pattern.dest_storage] = self.fpc.wrap(value)
+        return None
+
+    def finalize_loop(self, count, body, loop_id, depth):
+        """Netlist targets model datapaths, not sequencers: reject."""
+        raise SimulationError(
+            f"{self.name}: netlist targets have no sequencer; only "
+            "straight-line programs are supported")
+
+    # -- helpers ------------------------------------------------------------
+
+    def _mem_address(self, state: MachineState, operand) -> int:
+        if not isinstance(operand, Mem) or operand.mode != "direct":
+            raise SimulationError(
+                f"unresolved memory operand {operand}")
+        return operand.address
+
+    def _evaluate(self, state: MachineState, node: PTree,
+                  operands: List) -> int:
+        if node.kind == "op":
+            values = [self._evaluate(state, child, operands)
+                      for child in node.children]
+            return self.fpc.wrap(self.fpc.apply(node.operator, *values))
+        if node.kind == "const":
+            # The matched tree constant travelled as an operand (the
+            # grammar guard already ensured it equals the wired value).
+            operand = operands.pop(0)
+            if not isinstance(operand, Imm) or operand.value != node.value:
+                raise SimulationError(
+                    f"expected wired constant {node.value}, got {operand}")
+            return node.value
+        if node.kind == "imm":
+            operand = operands.pop(0)
+            if not isinstance(operand, Imm):
+                raise SimulationError(
+                    f"expected immediate operand, got {operand}")
+            return operand.value
+        if node.kind == "read":
+            storage = self.netlist.components[node.storage]
+            if isinstance(storage, Register):
+                return state.regs[node.storage]
+            operand = operands.pop(0)
+            return state.load(self._mem_address(state, operand))
+        raise SimulationError(f"bad pattern node {node.kind!r}")

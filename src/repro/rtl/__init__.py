@@ -1,0 +1,35 @@
+"""RT-level netlist modeling -- the ECAD side of the bridge.
+
+RECORD's distinguishing input format (Sec. 4.3.1): the target processor
+may be described as an RT-level *netlist* rather than an instruction
+set, "because some ASIPs may be defined at that level and because this
+simplifies the analysis of architectural tradeoffs.  Furthermore, it
+provides a bridge between ECAD (netlist) and compiler (instruction set)
+domains."
+
+This package provides:
+
+- :mod:`repro.rtl.components` -- the RT component library (instruction
+  fields, constants, registers, register files, memories, ALUs, muxes);
+- :mod:`repro.rtl.netlist` -- netlist construction, structural checks,
+  and cycle-accurate netlist simulation (used to *prove* that extracted
+  instruction patterns mean what they claim);
+- :mod:`repro.rtl.justify` -- control-requirement justification: finding
+  instruction-bit settings that steer muxes / ALU control inputs /
+  write enables to required values (Fig. 3's "control requirements ...
+  can be found by justification").
+"""
+
+from repro.rtl.components import (
+    Alu, Component, Constant, InstructionField, Memory, Mux, Register,
+    RegisterFile,
+)
+from repro.rtl.netlist import Netlist, NetlistError, Port
+from repro.rtl.justify import JustificationError, justify_value
+
+__all__ = [
+    "Alu", "Component", "Constant", "InstructionField", "Memory", "Mux",
+    "Register", "RegisterFile",
+    "Netlist", "NetlistError", "Port",
+    "JustificationError", "justify_value",
+]

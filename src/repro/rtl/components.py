@@ -1,0 +1,188 @@
+"""RT component library.
+
+Every component declares typed ports; data ports carry machine words,
+control ports carry small selector values.  The instruction-set
+extractor reasons over these components symbolically, and the netlist
+simulator evaluates them bit-true.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.ops import OPS, Op
+
+
+@dataclass(frozen=True)
+class PortSpec:
+    """A port declaration: name plus direction/kind."""
+
+    name: str
+    direction: str       # "in" | "out"
+    kind: str = "data"   # "data" | "control"
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("in", "out"):
+            raise ValueError(f"bad port direction {self.direction!r}")
+        if self.kind not in ("data", "control"):
+            raise ValueError(f"bad port kind {self.kind!r}")
+
+
+class Component:
+    """Base class: a named component with declared ports."""
+
+    def __init__(self, name: str, ports: List[PortSpec]):
+        self.name = name
+        self.ports: Dict[str, PortSpec] = {}
+        for spec in ports:
+            if spec.name in self.ports:
+                raise ValueError(
+                    f"{name}: duplicate port {spec.name!r}")
+            self.ports[spec.name] = spec
+
+    def port_spec(self, port: str) -> PortSpec:
+        """The declaration of port ``port`` (KeyError with hints)."""
+        try:
+            return self.ports[port]
+        except KeyError:
+            raise KeyError(f"{self.name} has no port {port!r}; "
+                           f"ports: {sorted(self.ports)}")
+
+    @property
+    def is_storage(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class InstructionField(Component):
+    """A bit field of the instruction word (output only).
+
+    Fields are both the *control* knobs justification assigns (opcode
+    bits, mux selectors) and the *operand* slots of extracted patterns
+    (register numbers, memory addresses, immediates).
+    """
+
+    def __init__(self, name: str, width: int):
+        if width < 1:
+            raise ValueError(f"field {name}: width must be >= 1")
+        super().__init__(name, [PortSpec("out", "out", "control")])
+        self.width = width
+
+    @property
+    def max_value(self) -> int:
+        return (1 << self.width) - 1
+
+
+class Constant(Component):
+    """A hard-wired constant."""
+
+    def __init__(self, name: str, value: int):
+        super().__init__(name, [PortSpec("out", "out", "control")])
+        self.value = value
+
+
+class Register(Component):
+    """A single word register with a load enable.
+
+    Ports: ``in`` (data), ``out`` (data), ``load`` (control; the
+    register keeps its value unless load == 1).
+    """
+
+    def __init__(self, name: str):
+        super().__init__(name, [
+            PortSpec("in", "in", "data"),
+            PortSpec("out", "out", "data"),
+            PortSpec("load", "in", "control"),
+        ])
+
+    @property
+    def is_storage(self) -> bool:
+        return True
+
+
+class RegisterFile(Component):
+    """A register file with one read and one write port.
+
+    Ports: ``in``, ``out`` (data); ``raddr``, ``waddr``, ``we``
+    (control).
+    """
+
+    def __init__(self, name: str, size: int):
+        if size < 1:
+            raise ValueError(f"register file {name}: size must be >= 1")
+        super().__init__(name, [
+            PortSpec("in", "in", "data"),
+            PortSpec("out", "out", "data"),
+            PortSpec("raddr", "in", "control"),
+            PortSpec("waddr", "in", "control"),
+            PortSpec("we", "in", "control"),
+        ])
+        self.size = size
+
+    @property
+    def is_storage(self) -> bool:
+        return True
+
+
+class Memory(Component):
+    """A data memory with one read and one write port (address shared).
+
+    Ports: ``in``, ``out`` (data); ``addr``, ``we`` (control).
+    """
+
+    def __init__(self, name: str, size: int):
+        if size < 1:
+            raise ValueError(f"memory {name}: size must be >= 1")
+        super().__init__(name, [
+            PortSpec("in", "in", "data"),
+            PortSpec("out", "out", "data"),
+            PortSpec("addr", "in", "control"),
+            PortSpec("we", "in", "control"),
+        ])
+        self.size = size
+
+    @property
+    def is_storage(self) -> bool:
+        return True
+
+
+class Alu(Component):
+    """A functional unit supporting a set of IR operators.
+
+    ``operations`` maps control codes to operator names; unary
+    operators ignore port ``b``.  Ports: ``a``, ``b`` (data), ``ctl``
+    (control), ``out`` (data).
+    """
+
+    def __init__(self, name: str, operations: Dict[int, str]):
+        super().__init__(name, [
+            PortSpec("a", "in", "data"),
+            PortSpec("b", "in", "data"),
+            PortSpec("ctl", "in", "control"),
+            PortSpec("out", "out", "data"),
+        ])
+        if not operations:
+            raise ValueError(f"ALU {name}: needs at least one operation")
+        self.operations: Dict[int, Op] = {}
+        for code, op_name in operations.items():
+            if op_name not in OPS:
+                raise ValueError(f"ALU {name}: unknown operator "
+                                 f"{op_name!r}")
+            self.operations[code] = OPS[op_name]
+
+
+class Mux(Component):
+    """An n-way multiplexer: ``in0 .. in{n-1}``, ``sel``, ``out``."""
+
+    def __init__(self, name: str, inputs: int, kind: str = "data"):
+        if inputs < 2:
+            raise ValueError(f"mux {name}: needs >= 2 inputs")
+        ports = [PortSpec(f"in{k}", "in", kind) for k in range(inputs)]
+        ports.append(PortSpec("sel", "in", "control"))
+        ports.append(PortSpec("out", "out", kind))
+        super().__init__(name, ports)
+        self.inputs = inputs
+        self.kind = kind

@@ -1,0 +1,81 @@
+"""Control-requirement justification.
+
+Fig. 3 of the paper: traversing a netlist collects, besides the data
+transformation, "the control requirements (e.g. set ALU input to '0' to
+perform an add).  Control requirements have to be met by proper
+conditions for instruction bits, which can be found by justification."
+
+:func:`justify_value` computes every assignment of instruction fields
+that forces a control input port to a required value, propagating
+backwards through constants, instruction fields and (control) muxes.
+Conflicting requirements prune alternatives; an empty result means the
+requirement is unjustifiable (the datapath cannot be steered that way).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.rtl.components import Constant, InstructionField, Mux
+from repro.rtl.netlist import Netlist, Port
+
+BitAssignment = Dict[str, int]
+
+
+class JustificationError(Exception):
+    """A control requirement cannot be satisfied by any bit assignment."""
+
+
+def merge_assignments(first: BitAssignment,
+                      second: BitAssignment) -> Optional[BitAssignment]:
+    """Union of two bit assignments, or None on conflict."""
+    merged = dict(first)
+    for name, value in second.items():
+        if merged.get(name, value) != value:
+            return None
+        merged[name] = value
+    return merged
+
+
+def justify_value(netlist: Netlist, sink: Port, value: int,
+                  limit: int = 64) -> List[BitAssignment]:
+    """All field assignments forcing input port ``sink`` to ``value``.
+
+    ``limit`` caps the number of alternatives explored (mux fan-in can
+    multiply them).
+    """
+    driver = netlist.driver_of(sink)
+    if driver is None:
+        raise JustificationError(f"{sink} is undriven")
+    return _justify_output(netlist, driver, value, limit)
+
+
+def _justify_output(netlist: Netlist, port: Port, value: int,
+                    limit: int) -> List[BitAssignment]:
+    component = port.component
+    if isinstance(component, InstructionField):
+        if 0 <= value <= component.max_value:
+            return [{component.name: value}]
+        return []
+    if isinstance(component, Constant):
+        return [{}] if component.value == value else []
+    if isinstance(component, Mux):
+        alternatives: List[BitAssignment] = []
+        for index in range(component.inputs):
+            selector_options = justify_value(
+                netlist, Port(component, "sel"), index, limit)
+            if not selector_options:
+                continue
+            input_options = justify_value(
+                netlist, Port(component, f"in{index}"), value, limit)
+            for selector_bits in selector_options:
+                for input_bits in input_options:
+                    merged = merge_assignments(selector_bits, input_bits)
+                    if merged is not None:
+                        alternatives.append(merged)
+                        if len(alternatives) >= limit:
+                            return alternatives
+        return alternatives
+    # Data-path components (ALUs, storages) cannot be steered to a
+    # constant by bit assignment in this model.
+    return []

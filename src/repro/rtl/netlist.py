@@ -1,0 +1,242 @@
+"""Netlist construction and bit-true simulation.
+
+A :class:`Netlist` owns components and point-to-point connections
+(each input port has exactly one driver; an output may fan out).  The
+simulator (:meth:`Netlist.step`) evaluates one instruction cycle:
+combinational values propagate from storage outputs / constants /
+instruction fields through ALUs and muxes, then all enabled storage
+writes commit simultaneously -- exactly the semantics the instruction-
+set extractor assumes, which is what the ISE property tests check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.ir.fixedpoint import FixedPointContext
+from repro.rtl.components import (
+    Alu, Component, Constant, InstructionField, Memory, Mux, Register,
+    RegisterFile,
+)
+
+
+class NetlistError(Exception):
+    """Structural problem: dangling input, double driver, bad port."""
+
+
+@dataclass(frozen=True)
+class Port:
+    """A (component, port-name) endpoint."""
+
+    component: Component
+    name: str
+
+    def __str__(self) -> str:
+        return f"{self.component.name}.{self.name}"
+
+
+@dataclass
+class StorageState:
+    """Run-time contents of the netlist's storages."""
+
+    registers: Dict[str, int]
+    register_files: Dict[str, List[int]]
+    memories: Dict[str, List[int]]
+
+    def copy(self) -> "StorageState":
+        """Deep copy (mutating the copy leaves the original intact)."""
+        return StorageState(
+            registers=dict(self.registers),
+            register_files={k: list(v)
+                            for k, v in self.register_files.items()},
+            memories={k: list(v) for k, v in self.memories.items()})
+
+
+class Netlist:
+    """A named set of components plus input-port driver connections."""
+
+    def __init__(self, name: str, word_bits: int = 16):
+        self.name = name
+        self.word_bits = word_bits
+        self.fpc = FixedPointContext(word_bits)
+        self.components: Dict[str, Component] = {}
+        # input Port -> driving output Port
+        self._driver: Dict[Tuple[str, str], Port] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add(self, component: Component) -> Component:
+        """Register a component; duplicate names are an error."""
+        if component.name in self.components:
+            raise NetlistError(
+                f"component {component.name!r} added twice")
+        self.components[component.name] = component
+        return component
+
+    def connect(self, source: Port, sink: Port) -> None:
+        """Drive input ``sink`` from output ``source``."""
+        source_spec = source.component.port_spec(source.name)
+        sink_spec = sink.component.port_spec(sink.name)
+        if source_spec.direction != "out":
+            raise NetlistError(f"{source} is not an output")
+        if sink_spec.direction != "in":
+            raise NetlistError(f"{sink} is not an input")
+        key = (sink.component.name, sink.name)
+        if key in self._driver:
+            raise NetlistError(f"{sink} already driven by "
+                               f"{self._driver[key]}")
+        self._driver[key] = source
+
+    def port(self, component_name: str, port_name: str) -> Port:
+        """Convenience Port constructor with existence checks."""
+        component = self.components[component_name]
+        component.port_spec(port_name)
+        return Port(component, port_name)
+
+    def driver_of(self, sink: Port) -> Optional[Port]:
+        """The output port driving input ``sink``, if connected."""
+        return self._driver.get((sink.component.name, sink.name))
+
+    def validate(self) -> None:
+        """Every input port of every component must be driven."""
+        for component in self.components.values():
+            for spec in component.ports.values():
+                if spec.direction != "in":
+                    continue
+                if (component.name, spec.name) not in self._driver:
+                    raise NetlistError(
+                        f"{component.name}.{spec.name} is undriven")
+
+    # -- inventory -------------------------------------------------------
+
+    def storages(self) -> List[Component]:
+        """All storage components (registers, register files, memories)."""
+        return [c for c in self.components.values() if c.is_storage]
+
+    def instruction_fields(self) -> List[InstructionField]:
+        """All instruction-field components (the control knobs)."""
+        return [c for c in self.components.values()
+                if isinstance(c, InstructionField)]
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+
+    def initial_storage(self) -> StorageState:
+        """Zeroed contents for every storage in the netlist."""
+        registers, register_files, memories = {}, {}, {}
+        for component in self.components.values():
+            if isinstance(component, Register):
+                registers[component.name] = 0
+            elif isinstance(component, RegisterFile):
+                register_files[component.name] = [0] * component.size
+            elif isinstance(component, Memory):
+                memories[component.name] = [0] * component.size
+        return StorageState(registers, register_files, memories)
+
+    def step(self, storage: StorageState,
+             fields: Mapping[str, int]) -> StorageState:
+        """Execute one instruction cycle bit-true.
+
+        ``fields`` assigns a value to every instruction field; returns
+        the next storage state (writes commit simultaneously).
+        """
+        for field in self.instruction_fields():
+            if field.name not in fields:
+                raise NetlistError(
+                    f"instruction field {field.name!r} unassigned")
+            value = fields[field.name]
+            if not 0 <= value <= field.max_value:
+                raise NetlistError(
+                    f"{field.name} = {value} exceeds {field.width} bits")
+        cache: Dict[Tuple[str, str], int] = {}
+        busy: set = set()
+
+        def output_value(port: Port) -> int:
+            key = (port.component.name, port.name)
+            if key in cache:
+                return cache[key]
+            if key in busy:
+                raise NetlistError(
+                    f"combinational cycle through {port}")
+            busy.add(key)
+            value = self._evaluate_output(port, storage, fields,
+                                          input_value)
+            busy.discard(key)
+            cache[key] = value
+            return value
+
+        def input_value(sink: Port) -> int:
+            driver = self.driver_of(sink)
+            if driver is None:
+                raise NetlistError(f"{sink} is undriven")
+            return output_value(driver)
+
+        next_storage = storage.copy()
+        for component in self.storages():
+            if isinstance(component, Register):
+                if input_value(Port(component, "load")) == 1:
+                    next_storage.registers[component.name] = \
+                        self.fpc.wrap(input_value(Port(component, "in")))
+            elif isinstance(component, RegisterFile):
+                if input_value(Port(component, "we")) == 1:
+                    address = input_value(Port(component, "waddr"))
+                    self._check_address(component.name, address,
+                                        component.size)
+                    next_storage.register_files[component.name][address] \
+                        = self.fpc.wrap(input_value(Port(component, "in")))
+            elif isinstance(component, Memory):
+                if input_value(Port(component, "we")) == 1:
+                    address = input_value(Port(component, "addr"))
+                    self._check_address(component.name, address,
+                                        component.size)
+                    next_storage.memories[component.name][address] = \
+                        self.fpc.wrap(input_value(Port(component, "in")))
+        return next_storage
+
+    def _check_address(self, name: str, address: int, size: int) -> None:
+        if not 0 <= address < size:
+            raise NetlistError(
+                f"{name}: address {address} out of range (size {size})")
+
+    def _evaluate_output(self, port: Port, storage: StorageState,
+                         fields: Mapping[str, int],
+                         input_value) -> int:
+        component = port.component
+        if isinstance(component, InstructionField):
+            return fields[component.name]
+        if isinstance(component, Constant):
+            return component.value
+        if isinstance(component, Register):
+            return storage.registers[component.name]
+        if isinstance(component, RegisterFile):
+            address = input_value(Port(component, "raddr"))
+            self._check_address(component.name, address, component.size)
+            return storage.register_files[component.name][address]
+        if isinstance(component, Memory):
+            address = input_value(Port(component, "addr"))
+            self._check_address(component.name, address, component.size)
+            return storage.memories[component.name][address]
+        if isinstance(component, Alu):
+            code = input_value(Port(component, "ctl"))
+            if code not in component.operations:
+                raise NetlistError(
+                    f"{component.name}: undefined ALU code {code}")
+            operator = component.operations[code]
+            a = input_value(Port(component, "a"))
+            if operator.arity == 1:
+                return self.fpc.wrap(self.fpc.apply(operator, a))
+            b = input_value(Port(component, "b"))
+            return self.fpc.wrap(self.fpc.apply(operator, a, b))
+        if isinstance(component, Mux):
+            selector = input_value(Port(component, "sel"))
+            if not 0 <= selector < component.inputs:
+                raise NetlistError(
+                    f"{component.name}: mux select {selector} out of "
+                    f"range")
+            return input_value(Port(component, f"in{selector}"))
+        raise NetlistError(
+            f"cannot evaluate output of {component!r}")

@@ -1,0 +1,22 @@
+"""Self-test program generation (Sec. 4.5 of the paper).
+
+"Testing of processor cores can be performed by running self-test
+programs on the processor to be tested.  Automatic generation of
+self-test programs is possible with a special retargetable compiler
+that is able to propagate values just like ATPG tools."  [17][7]
+
+:mod:`repro.selftest.generator` implements the retargetable flavour:
+random straight-line MiniDFL-level programs are compiled *with the
+RECORD pipeline itself* (so operand justification and response
+propagation fall out of ordinary code generation), executed on the
+fault-free simulator to obtain golden signatures, and then replayed on
+fault-injected machines.  A fault is *detected* when any test program's
+signature diverges.
+"""
+
+from repro.selftest.generator import (
+    Fault, FaultySim, SelfTestReport, generate_self_test, run_self_test,
+)
+
+__all__ = ["Fault", "FaultySim", "SelfTestReport", "generate_self_test",
+           "run_self_test"]

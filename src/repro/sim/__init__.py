@@ -1,0 +1,18 @@
+"""Instruction-set simulation substrate.
+
+The paper's authors measured real silicon (a TI TMS320C25 board); this
+package is our substitution: a cycle-counting instruction-set simulator
+driven entirely by the explicit target model.  It gives the repository
+two things the paper's testbed gave the authors:
+
+- ground truth that generated code *works* (every compiled DSPStone
+  kernel is executed and compared bit-exactly against the MiniDFL
+  reference interpreter), and
+- the words/cycles numbers that the benchmark harness reports.
+"""
+
+from repro.sim.machine import Machine, MachineState, SimulationError
+from repro.sim.trace import Trace, TraceEntry
+
+__all__ = ["Machine", "MachineState", "SimulationError", "Trace",
+           "TraceEntry"]

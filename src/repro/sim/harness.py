@@ -1,0 +1,81 @@
+"""Run compiled programs against symbol-level environments.
+
+Bridges the gap between the IR world (environments mapping symbol names
+to values) and the machine world (flat data memory): writes inputs into
+memory according to the compiled memory map, loads program-memory
+coefficient tables, executes, and reads every program symbol back.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.codegen.compiled import CompiledProgram
+from repro.ir.fixedpoint import FixedPointContext
+from repro.sim.machine import Machine, MachineState, SimulationError
+from repro.sim.trace import Trace
+
+
+def load_environment(compiled: CompiledProgram,
+                     env: Mapping[str, object],
+                     state: MachineState) -> None:
+    """Write an environment into machine data memory (values wrapped to
+    the target word width) and load program-memory tables."""
+    fpc = compiled.target.fpc
+    for symbol, base in compiled.memory_map.addresses.items():
+        if symbol not in env:
+            continue
+        value = env[symbol]
+        size = compiled.memory_map.sizes[symbol]
+        if isinstance(value, list):
+            if len(value) != size:
+                raise ValueError(
+                    f"{symbol!r}: got {len(value)} values, need {size}")
+            for offset, element in enumerate(value):
+                state.store(base + offset, fpc.wrap(int(element)))
+        else:
+            if size != 1:
+                raise ValueError(f"{symbol!r} is an array; pass a list")
+            state.store(base, fpc.wrap(int(value)))
+    for table in compiled.pmem_tables:
+        if table.symbol not in env:
+            raise ValueError(
+                f"program-memory table {table.label} needs input "
+                f"{table.symbol!r}")
+        values = [fpc.wrap(int(v)) for v in env[table.symbol]]
+        state.pmem_tables[table.label] = table.build(values)
+
+
+def read_environment(compiled: CompiledProgram,
+                     state: MachineState) -> Dict[str, object]:
+    """Read every mapped program symbol back out of data memory."""
+    result: Dict[str, object] = {}
+    for symbol, base in compiled.memory_map.addresses.items():
+        size = compiled.memory_map.sizes[symbol]
+        if symbol in compiled.symbols and compiled.symbols[symbol].is_array:
+            result[symbol] = [state.load(base + k) for k in range(size)]
+        else:
+            result[symbol] = state.load(base)
+    return result
+
+
+def run_compiled(compiled: CompiledProgram,
+                 env: Mapping[str, object],
+                 state: Optional[MachineState] = None,
+                 trace: Optional[Trace] = None,
+                 max_steps: int = 2_000_000
+                 ) -> Tuple[Dict[str, object], MachineState]:
+    """Execute one invocation; returns (environment after, state)."""
+    if state is None:
+        state = compiled.target.initial_state()
+    load_environment(compiled, env, state)
+    Machine(compiled.target, max_steps=max_steps).run(
+        compiled.code, state, trace)
+    return read_environment(compiled, state), state
+
+
+def cycles_of(compiled: CompiledProgram,
+              env: Mapping[str, object]) -> int:
+    """Cycle count of one invocation (fresh machine)."""
+    _, state = run_compiled(compiled, env)
+    return state.cycles

@@ -1,0 +1,124 @@
+"""Target-driven instruction-set simulator.
+
+The simulator owns control flow (labels, branches, hardware repeat) and
+storage; every data operation is delegated to the target model's
+``execute`` method, so the machine behaviour is defined in exactly one
+place -- the explicit processor description the paper demands
+("the target model cannot be an implicit part of the tool's algorithm").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, TYPE_CHECKING
+
+from repro.codegen.asm import AsmInstr, CodeSeq, Imm, Label, LabelRef, Mem, Reg
+from repro.sim.trace import Trace, TraceEntry
+
+if TYPE_CHECKING:   # pragma: no cover
+    from repro.targets.model import TargetModel
+
+
+class SimulationError(Exception):
+    """Raised for malformed code, unresolved operands, or runaway loops."""
+
+
+@dataclass
+class MachineState:
+    """Generic processor state: registers, modes, data + program memory.
+
+    ``pmem_data`` models a data table placed in *program* memory (the
+    TC25 ``MAC`` idiom fetches coefficients there); ``repeat`` is the
+    hardware-repeat countdown applied to the next instruction.
+    """
+
+    regs: Dict[str, int] = field(default_factory=dict)
+    modes: Dict[str, int] = field(default_factory=dict)
+    mem: List[int] = field(default_factory=lambda: [0] * 1024)
+    pmem_tables: Dict[str, List[int]] = field(default_factory=dict)
+    # Hardware-loop stack: (remaining iterations,) entries for DO-style
+    # zero-overhead loops (M56).
+    loop_stack: List[int] = field(default_factory=list)
+    cycles: int = 0
+
+    def reg(self, name: str) -> int:
+        """Read a register (SimulationError when undefined)."""
+        try:
+            return self.regs[name]
+        except KeyError:
+            raise SimulationError(f"register {name!r} not defined by target")
+
+    def set_reg(self, name: str, value: int) -> None:
+        """Write a register."""
+        self.regs[name] = value
+
+    def load(self, address: int) -> int:
+        """Read data memory (bounds-checked)."""
+        if not 0 <= address < len(self.mem):
+            raise SimulationError(f"data address {address} out of range")
+        return self.mem[address]
+
+    def store(self, address: int, value: int) -> None:
+        """Write data memory (bounds-checked)."""
+        if not 0 <= address < len(self.mem):
+            raise SimulationError(f"data address {address} out of range")
+        self.mem[address] = value
+
+
+class Machine:
+    """Executes a finalized :class:`CodeSeq` on a target model.
+
+    The code must be *finalized*: all memory operands resolved to
+    ``direct`` or ``indirect`` mode and all loop markers lowered to real
+    instructions (see the address-assignment and loop-finalization
+    stages of the pipelines).
+    """
+
+    def __init__(self, target: "TargetModel",
+                 max_steps: int = 2_000_000):
+        self.target = target
+        self.max_steps = max_steps
+
+    def run(self, code: CodeSeq,
+            state: Optional[MachineState] = None,
+            trace: Optional[Trace] = None) -> MachineState:
+        """Execute finalized code to completion; returns the state."""
+        if state is None:
+            state = self.target.initial_state()
+        instructions: List[AsmInstr] = []
+        labels: Dict[str, int] = {}
+        for item in code:
+            if isinstance(item, Label):
+                if item.name in labels:
+                    raise SimulationError(f"duplicate label {item.name!r}")
+                labels[item.name] = len(instructions)
+            elif isinstance(item, AsmInstr):
+                instructions.append(item)
+            else:
+                raise SimulationError(
+                    f"unfinalized item in code: {item.render()}")
+
+        pc = 0
+        steps = 0
+        while pc < len(instructions):
+            steps += 1
+            if steps > self.max_steps:
+                raise SimulationError(
+                    f"exceeded {self.max_steps} steps; runaway loop?")
+            instr = instructions[pc]
+            repeat = self.target.repeat_count(state, instr)
+            jump_target: Optional[str] = None
+            for _ in range(repeat):
+                jump_target = self.target.execute(state, instr)
+                state.cycles += instr.cycles
+                if trace is not None:
+                    trace.record(TraceEntry(pc=pc, text=instr.render(),
+                                            cycles=state.cycles))
+            if jump_target is not None:
+                if jump_target not in labels:
+                    raise SimulationError(
+                        f"branch to unknown label {jump_target!r}")
+                pc = labels[jump_target]
+            else:
+                pc += 1
+        return state

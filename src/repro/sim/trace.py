@@ -1,0 +1,46 @@
+"""Execution traces for debugging and for the self-test generator.
+
+The self-test generator (Sec. 4.5) compares execution signatures of a
+fault-free machine against fault-injected variants; traces make the
+divergence point visible when a test program unexpectedly fails to
+detect a fault.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    pc: int
+    text: str
+    cycles: int
+
+
+class Trace:
+    """Bounded in-memory execution trace."""
+
+    def __init__(self, limit: int = 100_000):
+        self.entries: List[TraceEntry] = []
+        self.limit = limit
+        self.dropped = 0
+
+    def record(self, entry: TraceEntry) -> None:
+        """Append an entry (dropped silently past the limit)."""
+        if len(self.entries) < self.limit:
+            self.entries.append(entry)
+        else:
+            self.dropped += 1
+
+    def render(self, last: int = 50) -> str:
+        """The most recent ``last`` entries as text."""
+        lines = [f"{e.cycles:>8}  {e.pc:>4}  {e.text}"
+                 for e in self.entries[-last:]]
+        if self.dropped:
+            lines.append(f"... ({self.dropped} entries dropped)")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.entries)

@@ -1,0 +1,118 @@
+"""The processor cube (Fig. 1 of the paper).
+
+Three classification axes:
+
+1. **form** -- how the processor is available: a completely fabricated,
+   *packaged* part, or a *core* (a cell in a CAD system);
+2. **domain** -- domain-specific features: *general*-purpose or *dsp*
+   (multiply/accumulate, heterogeneous registers, AGU addressing modes,
+   saturating arithmetic);
+3. **application** -- application-specific features: *fixed*
+   architecture or *configurable* (an ASIP with generic parameters).
+
+The named corners of the cube (the figure's labels):
+
+====================  ========  =======  =============
+corner                 form      domain   application
+====================  ========  =======  =============
+off-the-shelf proc.   packaged  general  fixed
+packaged DSP          packaged  dsp      fixed
+(ASIP, packaged)      packaged  any      configurable*
+GPP core              core      general  fixed
+DSP core              core      dsp      fixed
+ASIP core             core      general  configurable
+ASSP                  core      dsp      configurable
+====================  ========  =======  =============
+
+(* the paper marks packaged+configurable as "impossible": once
+fabricated, generic parameters are frozen.)
+
+:func:`classify` places any :class:`TargetModel` of this repository in
+the cube by inspecting its explicit capabilities -- the same object the
+compiler consumes, which is the point: the taxonomy is derivable from
+the target description.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.targets.model import TargetModel
+
+FORMS = ("packaged", "core")
+DOMAINS = ("general", "dsp")
+APPLICATIONS = ("fixed", "configurable")
+
+
+@dataclass(frozen=True)
+class CubePosition:
+    """A point in the processor cube."""
+
+    form: str
+    domain: str
+    application: str
+
+    def __post_init__(self) -> None:
+        if self.form not in FORMS:
+            raise ValueError(f"bad form {self.form!r}")
+        if self.domain not in DOMAINS:
+            raise ValueError(f"bad domain {self.domain!r}")
+        if self.application not in APPLICATIONS:
+            raise ValueError(f"bad application axis "
+                             f"{self.application!r}")
+        if self.form == "packaged" and self.application == "configurable":
+            raise ValueError(
+                "packaged + configurable is the impossible corner of "
+                "the cube: fabricated parts have frozen parameters")
+
+    @property
+    def corner_name(self) -> str:
+        if self.application == "configurable":
+            return "ASSP" if self.domain == "dsp" else "ASIP"
+        if self.form == "core":
+            return "DSP core" if self.domain == "dsp" else "GPP core"
+        return "packaged DSP" if self.domain == "dsp" \
+            else "off-the-shelf processor"
+
+
+def is_dsp(target: TargetModel) -> bool:
+    """Domain test: DSP features visible in the explicit model."""
+    caps = target.capabilities
+    if caps.parallel_slots or caps.memory_banks:
+        return True
+    if caps.has_repeat or caps.has_hardware_loop:
+        return True
+    # a heterogeneous multiplier path shows up as register-resource
+    # nonterminals beyond a homogeneous 'reg'
+    resources = set(target.grammar().nt_resources.values()) - {None}
+    return len(resources) > 1
+
+
+def classify(target: TargetModel) -> CubePosition:
+    """Place a target model in the cube.
+
+    Everything in this repository is a *core* (they exist as CAD-level
+    models, not packaged parts); ASIPs are the configurable ones.
+    """
+    configurable = hasattr(target, "params")
+    return CubePosition(
+        form="core",
+        domain="dsp" if is_dsp(target) else "general",
+        application="configurable" if configurable else "fixed",
+    )
+
+
+def cube_table(targets: List[TargetModel]) -> str:
+    """Render the shipped targets' cube positions (Fig. 1 regenerated
+    as a table)."""
+    lines = [f"{'target':34s} {'form':9s} {'domain':8s} "
+             f"{'application':13s} corner",
+             "-" * 78]
+    for target in targets:
+        position = classify(target)
+        lines.append(
+            f"{target.name:34.34s} {position.form:9s} "
+            f"{position.domain:8s} {position.application:13s} "
+            f"{position.corner_name}")
+    return "\n".join(lines)

@@ -1,0 +1,182 @@
+"""The explicit target-model interface.
+
+Sec. 4.1 of the paper: "A design automation tool is said to be
+retargetable if ... the target model cannot be an implicit part of the
+tool's algorithm, but must be explicit."  :class:`TargetModel` is that
+explicit model.  Everything a pipeline stage needs to know about a
+processor -- its instruction patterns, its addressing capabilities, its
+parallel slots, its machine modes, how a counted loop is realized, and
+the bit-true meaning of each instruction -- is answered by this object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.codegen.asm import AsmInstr, CodeSeq
+from repro.codegen.grammar import TreeGrammar
+from repro.ir.fixedpoint import FixedPointContext
+from repro.sim.machine import MachineState
+
+
+@dataclass(frozen=True)
+class TargetCapabilities:
+    """Feature summary used by the optimizers and the processor cube.
+
+    Attributes:
+        address_registers: number of AGU address registers usable for
+            array walks (0 means no indirect addressing).
+        max_post_modify: largest |stride| the AGU applies for free as an
+            access side effect.
+        direct_addressing: scalars reachable by absolute address without
+            an address register.
+        memory_banks: names of parallel data memory banks ("x", "y") or
+            a single unnamed bank.
+        parallel_slots: move slots that can be packed alongside an ALU
+            instruction (0 on pure accumulator machines).
+        modes: machine mode registers and their legal values, e.g.
+            ``{"pm": (0, 15)}``.
+        has_repeat: single-instruction hardware repeat (RPTK-style).
+        has_hardware_loop: zero-overhead multi-instruction loop (DO-style).
+    """
+
+    address_registers: int = 0
+    max_post_modify: int = 1
+    direct_addressing: bool = True
+    memory_banks: Tuple[str, ...] = ()
+    parallel_slots: int = 0
+    modes: Mapping[str, Tuple[int, ...]] = field(default_factory=dict)
+    has_repeat: bool = False
+    has_hardware_loop: bool = False
+
+
+class TargetModel:
+    """Base class of all processor models.
+
+    Subclasses must provide:
+
+    - :meth:`grammar` -- the tree grammar (instruction patterns + costs);
+    - :meth:`initial_state` -- a fresh :class:`MachineState`;
+    - :meth:`execute` -- bit-true semantics of one instruction;
+    - :meth:`emit_counted_loop` -- realize a counted-loop marker;
+    - ``capabilities`` -- a :class:`TargetCapabilities`.
+
+    Optional hooks (default: no-ops) let targets contribute
+    target-specific peepholes without the pipelines knowing about them.
+    """
+
+    name: str = "abstract"
+    word_bits: int = 16
+    capabilities: TargetCapabilities = TargetCapabilities()
+
+    def __init__(self) -> None:
+        self.fpc = FixedPointContext(self.word_bits)
+
+    # -- code selection --------------------------------------------------
+
+    def grammar(self) -> TreeGrammar:
+        """The target's tree grammar: instruction patterns + costs."""
+        raise NotImplementedError
+
+    # -- simulation -------------------------------------------------------
+
+    def initial_state(self) -> MachineState:
+        """A fresh machine state (registers zeroed, memory cleared)."""
+        raise NotImplementedError
+
+    def execute(self, state: MachineState,
+                instr: AsmInstr) -> Optional[str]:
+        """Execute one instruction; return a label name to branch to."""
+        raise NotImplementedError
+
+    def repeat_count(self, state: MachineState, instr: AsmInstr) -> int:
+        """How many times the simulator runs ``instr`` (hardware repeat)."""
+        return 1
+
+    # -- back-end hooks -----------------------------------------------------
+
+    def finalize_loop(self, count: int, body: List, loop_id: int,
+                      depth: int) -> Tuple[List, List]:
+        """Realize a counted-loop marker: return (prologue, epilogue)
+        items placed around the already-emitted body.  ``depth`` is the
+        loop nesting depth (for targets with dedicated counters)."""
+        raise NotImplementedError
+
+    def make_address_register_load(self, register: str,
+                                   address: int) -> "AsmInstr":
+        """Instruction loading an AGU register with an absolute address
+        (stream preheaders).  Default: a 2-word immediate load."""
+        from repro.codegen.asm import Imm, Reg
+        return AsmInstr(opcode="LRLK",
+                        operands=(Reg(register), Imm(address)),
+                        words=2, cycles=2)
+
+    def make_pointer_bump(self, register: str, stride: int) -> "AsmInstr":
+        """Instruction advancing an AGU register by ``stride`` (streams
+        with several access sites per iteration).  Default: a MAR-shaped
+        modify-as-side-effect instruction."""
+        from repro.codegen.asm import Mem
+        return AsmInstr(opcode="MAR",
+                        operands=(Mem(symbol=f"<{register}>",
+                                      mode="indirect", areg=register,
+                                      post_modify=stride),),
+                        words=1, cycles=1,
+                        comment=f"advance {register} by {stride}")
+
+    def mode_change_instruction(self, mode: str, value: int) -> AsmInstr:
+        """Instruction that sets machine mode ``mode`` to ``value``."""
+        raise NotImplementedError
+
+    def mode_reset_values(self) -> Dict[str, int]:
+        """Machine modes at program entry (before any mode-change)."""
+        return {}
+
+    def peephole(self, code: CodeSeq) -> CodeSeq:
+        """Target-specific peephole pass (fusions, idioms); default none."""
+        return code
+
+    def loop_optimizations(self, code: CodeSeq,
+                           read_only_arrays: Mapping[str, int],
+                           promote_accumulators: bool = True,
+                           repeat_idioms: bool = True,
+                           fuse_shift_idioms: bool = False):
+        """Target-specific loop-level optimizations.
+
+        Returns ``(code, pmem_tables)``.  ``read_only_arrays`` maps input
+        arrays that the program never writes to their sizes (candidates
+        for program-memory coefficient tables).  Default: no change.
+        """
+        return code, []
+
+    # -- misc ---------------------------------------------------------------
+
+    def describe(self) -> str:
+        """One-line human-readable summary of the model's features."""
+        caps = self.capabilities
+        features = []
+        if caps.has_repeat:
+            features.append("repeat")
+        if caps.has_hardware_loop:
+            features.append("hw-loop")
+        if caps.parallel_slots:
+            features.append(f"{caps.parallel_slots} move slots")
+        if caps.memory_banks:
+            features.append("banks " + "/".join(caps.memory_banks))
+        return (f"{self.name}: {self.word_bits}-bit, "
+                f"{caps.address_registers} ARs"
+                + (", " + ", ".join(features) if features else ""))
+
+
+@dataclass(frozen=True)
+class LoopShape:
+    """How a loop was realized (for accounting and the simulator).
+
+    ``kind`` is ``"repeat"`` (hardware repeat of a single instruction),
+    ``"hardware"`` (zero-overhead loop) or ``"branch"`` (decrement and
+    branch with per-iteration overhead cycles).
+    """
+
+    kind: str
+    overhead_words: int
+    per_iteration_cycles: int

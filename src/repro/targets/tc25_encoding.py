@@ -1,0 +1,340 @@
+"""Binary encoding for the TC25: assembler and disassembler.
+
+RECORD "compiles programs ... into binary code" (Sec. 4.3.1); this
+module is that last step for the TC25 family.  The instruction format
+is our own compact 16-bit layout (the real TMS320C25 opcode map is
+byte-exact silicon history we do not claim), but it is *complete and
+reversible*: every instruction either of this repository's compilers or
+the hand references emit assembles to exactly its declared word count,
+and disassembling the image yields a program the simulator executes to
+the same results -- both properties are enforced by the test suite.
+
+Word layout::
+
+    word 0   [15:10] opcode   [9] indirect   [8:0] payload
+             payload, direct access   : 9-bit data address
+             payload, indirect access : [8:6] AR number  [5:3] post code
+             payload, short immediate : 9 bits
+    word 1   (2-word instructions) 16-bit extension: long immediate,
+             absolute address, branch target (instruction word address),
+             or program-memory table index (MAC/MACD)
+
+    special  MPYK uses the reserved opcode prefix 0b1111 with a 12-bit
+             signed immediate in [11:0] (the real part also gives MPYK a
+             dedicated prefix for its 13-bit immediate)
+
+Post-modify codes index ``POST_CODES`` (the AGU stride table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.codegen.asm import (
+    AsmInstr, CodeSeq, Imm, Label, LabelRef, Mem, Reg,
+)
+from repro.codegen.compiled import CompiledProgram
+
+# stable opcode numbering (order is part of the format)
+OPCODES: List[str] = [
+    "NOP", "ZAC", "LAC", "LACK", "LALK", "ADD", "SUB", "ADDK", "SUBK",
+    "ADLK", "SBLK", "AND", "OR", "XOR", "ANDK", "ORK", "XORK", "CMPL",
+    "NEG", "ABS", "SATL", "SFL", "SFR", "SACL", "SACH", "ZALH", "ADDS",
+    "DMOV", "LT", "MPY", "PAC", "APAC", "SPAC", "SPM", "LARK", "LRLK",
+    "LAR", "SAR", "MAR", "RPTK", "MAC", "MACD", "LTA", "LTP", "LTS",
+    "LACS", "B", "BANZ",
+]
+OPCODE_OF = {name: number for number, name in enumerate(OPCODES)}
+MPYK_PREFIX = 0b1111 << 12
+
+POST_CODES = [-8, -4, -2, -1, 0, 1, 2, 4]
+
+TWO_WORD = {"LALK", "ADLK", "SBLK", "ANDK", "ORK", "XORK", "LRLK",
+            "B", "BANZ", "MAC", "MACD"}
+IMMEDIATE_OPS = {"LACK", "ADDK", "SUBK", "RPTK", "SPM"}
+REGISTER_OPS = {"LARK", "LRLK", "LAR", "SAR", "BANZ"}
+
+
+class EncodingError(Exception):
+    """An operand does not fit the format."""
+
+
+@dataclass
+class MachineImage:
+    """An assembled program: code words + the metadata an embedded
+    loader would carry alongside (label map, pmem table directory)."""
+
+    words: List[int] = field(default_factory=list)
+    # instruction index (word address of first word) per code item
+    table_names: List[str] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.words)
+
+    def hex_dump(self, per_line: int = 8) -> str:
+        """Classic address-prefixed hex listing of the image."""
+        lines = []
+        for start in range(0, len(self.words), per_line):
+            chunk = self.words[start:start + per_line]
+            body = " ".join(f"{word:04X}" for word in chunk)
+            lines.append(f"{start:04X}: {body}")
+        return "\n".join(lines)
+
+
+def _register_number(name: str) -> int:
+    if not name.startswith("AR") or not name[2:].isdigit():
+        raise EncodingError(f"not an address register: {name!r}")
+    number = int(name[2:])
+    if not 0 <= number <= 7:
+        raise EncodingError(f"address register out of range: {name!r}")
+    return number
+
+
+def _post_code(stride: int) -> int:
+    try:
+        return POST_CODES.index(stride)
+    except ValueError:
+        raise EncodingError(f"unsupported post-modify stride {stride}")
+
+
+def _mem_payload(operand: Mem) -> Tuple[int, int]:
+    """(indirect flag, payload) for a resolved memory operand."""
+    if operand.mode == "direct":
+        if not 0 <= operand.address < 512:
+            raise EncodingError(
+                f"direct address {operand.address} exceeds 9 bits")
+        return 0, operand.address
+    if operand.mode == "indirect":
+        payload = (_register_number(operand.areg) << 6) \
+            | (_post_code(operand.post_modify) << 3)
+        return 1, payload
+    raise EncodingError(f"unresolved memory operand {operand}")
+
+
+def assemble(compiled: CompiledProgram) -> MachineImage:
+    """Assemble finalized TC25 code into a binary image."""
+    items = list(compiled.code.items)
+    # layout pass: word address of each instruction / label
+    addresses: Dict[int, int] = {}
+    label_addresses: Dict[str, int] = {}
+    cursor = 0
+    for position, item in enumerate(items):
+        if isinstance(item, Label):
+            label_addresses[item.name] = cursor
+        elif isinstance(item, AsmInstr):
+            addresses[position] = cursor
+            cursor += item.words
+    table_index = {table.label: number
+                   for number, table in enumerate(compiled.pmem_tables)}
+
+    image = MachineImage(
+        table_names=[table.label for table in compiled.pmem_tables])
+    for position, item in enumerate(items):
+        if isinstance(item, Label):
+            continue
+        if not isinstance(item, AsmInstr):
+            raise EncodingError(f"unfinalized item {item!r}")
+        image.words.extend(
+            _encode(item, label_addresses, table_index))
+    if len(image.words) != compiled.words():
+        raise EncodingError(
+            f"encoded length {len(image.words)} disagrees with declared "
+            f"size {compiled.words()}")
+    return image
+
+
+def _encode(instr: AsmInstr, labels: Dict[str, int],
+            tables: Dict[str, int]) -> List[int]:
+    opcode = instr.opcode
+    if opcode == "MPYK":
+        value = instr.operands[0].value
+        if not -2048 <= value <= 2047:
+            raise EncodingError(f"MPYK immediate {value} exceeds 12 bits")
+        return [MPYK_PREFIX | (value & 0xFFF)]
+    if opcode not in OPCODE_OF:
+        raise EncodingError(f"no encoding for opcode {opcode!r}")
+    word = OPCODE_OF[opcode] << 10
+    extension: Optional[int] = None
+
+    operands = list(instr.operands)
+    if opcode in ("MAC", "MACD"):
+        table, data = operands
+        extension = tables[table.name]
+        indirect, payload = _mem_payload(data)
+        word |= (indirect << 9) | payload
+    elif opcode in ("B",):
+        extension = labels[operands[0].name]
+    elif opcode == "BANZ":
+        extension = labels[operands[0].name]
+        word |= _register_number(operands[1].name) << 6
+    elif opcode in ("LARK", "LRLK"):
+        word |= _register_number(operands[0].name) << 6
+        value = operands[1].value
+        if opcode == "LARK":
+            if not 0 <= value <= 63:
+                # 6 payload bits remain beside the register number
+                raise EncodingError(
+                    f"LARK immediate {value} exceeds 6 bits")
+            word |= value
+        else:
+            extension = value & 0xFFFF
+    elif opcode in ("LAR", "SAR"):
+        word |= _register_number(operands[0].name) << 6
+        indirect, payload = _mem_payload(operands[1])
+        word |= (indirect << 9) | (payload & 0x3F)
+        if indirect:
+            raise EncodingError(f"{opcode} requires a direct operand")
+        if payload > 63:
+            raise EncodingError(
+                f"{opcode} direct address {payload} exceeds 6 bits")
+    elif opcode == "LACS":
+        indirect, payload = _mem_payload(operands[0])
+        shift = operands[1].value
+        if indirect:
+            raise EncodingError("LACS encodes direct operands only")
+        if payload > 31:
+            raise EncodingError("LACS address exceeds 5 bits")
+        if not 0 <= shift <= 15:
+            raise EncodingError(f"LACS shift {shift} exceeds 4 bits")
+        word |= (shift << 5) | payload
+    elif operands and isinstance(operands[0], Mem):
+        indirect, payload = _mem_payload(operands[0])
+        word |= (indirect << 9) | payload
+    elif operands and isinstance(operands[0], Imm):
+        value = operands[0].value
+        if opcode in TWO_WORD:
+            extension = value & 0xFFFF
+        else:
+            if not 0 <= value <= 511:
+                raise EncodingError(
+                    f"{opcode} immediate {value} exceeds 9 bits")
+            word |= value
+    result = [word]
+    if opcode in TWO_WORD:
+        result.append(extension if extension is not None else 0)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Disassembly
+# ----------------------------------------------------------------------
+
+def disassemble(image: MachineImage) -> CodeSeq:
+    """Decode a binary image back into executable (simulatable) code.
+
+    Branch targets become synthetic labels ``W<address>`` placed at the
+    corresponding instruction; pmem table operands map back through the
+    image's table directory.
+    """
+    decoded: List[Tuple[int, AsmInstr]] = []     # (word address, instr)
+    referenced: List[int] = []
+    cursor = 0
+    while cursor < len(image.words):
+        address = cursor
+        word = image.words[cursor]
+        cursor += 1
+        if (word & MPYK_PREFIX) == MPYK_PREFIX and (word >> 12) == 0xF:
+            value = word & 0xFFF
+            if value >= 2048:
+                value -= 4096
+            decoded.append((address,
+                            AsmInstr(opcode="MPYK",
+                                     operands=(Imm(value),))))
+            continue
+        opcode = OPCODES[word >> 10]
+        indirect = (word >> 9) & 1
+        payload = word & 0x1FF
+        extension = None
+        words = 2 if opcode in TWO_WORD else 1
+        if words == 2:
+            extension = image.words[cursor]
+            cursor += 1
+        instr = _decode(opcode, indirect, payload, extension, image,
+                        referenced, words)
+        decoded.append((address, instr))
+
+    code = CodeSeq()
+    targets = set(referenced)
+    for address, instr in decoded:
+        if address in targets:
+            code.append(Label(f"W{address}"))
+        code.append(instr)
+    return code
+
+
+def _decode_mem(indirect: int, payload: int) -> Mem:
+    if indirect:
+        register = f"AR{(payload >> 6) & 0x7}"
+        stride = POST_CODES[(payload >> 3) & 0x7]
+        return Mem(symbol=f"<{register}>", mode="indirect",
+                   areg=register, post_modify=stride)
+    return Mem(symbol=f"@{payload}", mode="direct", address=payload)
+
+
+def _decode(opcode: str, indirect: int, payload: int,
+            extension: Optional[int], image: MachineImage,
+            referenced: List[int], words: int) -> AsmInstr:
+    def signed16(value: int) -> int:
+        return value - 0x10000 if value >= 0x8000 else value
+
+    cycles = words
+    if opcode in ("MAC", "MACD"):
+        cycles = 2
+    if opcode in ("B", "BANZ"):
+        cycles = 2
+
+    if opcode in ("MAC", "MACD"):
+        table = image.table_names[extension]
+        return AsmInstr(opcode=opcode,
+                        operands=(LabelRef(table),
+                                  _decode_mem(indirect, payload)),
+                        words=2, cycles=cycles)
+    if opcode == "B":
+        referenced.append(extension)
+        return AsmInstr(opcode="B", operands=(LabelRef(f"W{extension}"),),
+                        words=2, cycles=cycles)
+    if opcode == "BANZ":
+        referenced.append(extension)
+        register = f"AR{(payload >> 6) & 0x7}"
+        return AsmInstr(opcode="BANZ",
+                        operands=(LabelRef(f"W{extension}"),
+                                  Reg(register)),
+                        words=2, cycles=cycles)
+    if opcode == "LARK":
+        register = f"AR{(payload >> 6) & 0x7}"
+        return AsmInstr(opcode="LARK",
+                        operands=(Reg(register), Imm(payload & 0x3F)),
+                        words=1, cycles=1)
+    if opcode == "LRLK":
+        register = f"AR{(payload >> 6) & 0x7}"
+        return AsmInstr(opcode="LRLK",
+                        operands=(Reg(register), Imm(extension)),
+                        words=2, cycles=2)
+    if opcode in ("LAR", "SAR"):
+        register = f"AR{(payload >> 6) & 0x7}"
+        return AsmInstr(opcode=opcode,
+                        operands=(Reg(register),
+                                  _decode_mem(0, payload & 0x3F)),
+                        words=1, cycles=1)
+    if opcode == "LACS":
+        shift = (payload >> 5) & 0xF
+        return AsmInstr(opcode="LACS",
+                        operands=(_decode_mem(0, payload & 0x1F),
+                                  Imm(shift)),
+                        words=1, cycles=1)
+    if opcode in IMMEDIATE_OPS:
+        return AsmInstr(opcode=opcode, operands=(Imm(payload),),
+                        words=1, cycles=1)
+    if opcode in ("LALK", "ADLK", "SBLK", "ANDK", "ORK", "XORK"):
+        return AsmInstr(opcode=opcode,
+                        operands=(Imm(signed16(extension)),),
+                        words=2, cycles=2)
+    if opcode in ("LAC", "ADD", "SUB", "AND", "OR", "XOR", "SACL",
+                  "SACH", "ZALH", "ADDS", "DMOV", "LT", "MPY", "LTA",
+                  "LTP", "LTS", "MAR"):
+        return AsmInstr(opcode=opcode,
+                        operands=(_decode_mem(indirect, payload),),
+                        words=1, cycles=1)
+    # zero-operand instructions
+    return AsmInstr(opcode=opcode, words=1, cycles=1)

@@ -1,0 +1,45 @@
+"""TDL -- a textual target description language (the nML angle).
+
+Sec. 4.4 of the paper surveys the description formalisms behind
+retargetable compilers: CHESS "uses the special language nML for
+instruction set description" [12], FlexWare and Trellis diagrams are
+alternatives.  RECORD itself accepts descriptions "at different levels
+of abstraction ... from an RT-level netlist to an instruction set
+description".
+
+This package is the instruction-set-level entry point, complementing
+:mod:`repro.rtl`/:mod:`repro.ise` (the netlist level): a small textual
+formalism from which a complete working target -- tree grammar, bit-true
+simulator semantics, loop realization, AGU pointers -- is *generated*.
+A TDL file looks like::
+
+    target demo16;
+    word 16;
+
+    register acc wide;              # extended-precision accumulator
+    register t;
+    counters C0, C1;                # loop counters
+    pointers P0, P1, P2, P3;        # AGU stream registers
+
+    nonterm acc resource acc;
+    nonterm treg resource t;
+
+    rule LD   acc  <- mem                 sem acc = m0;
+    rule LDI  acc  <- const(u8)           sem acc = c0;
+    rule ADD  acc  <- add(acc, mem)       sem acc = acc + m0;
+    rule LT   treg <- mem                 sem t = m0;
+    rule MPY  acc  <- mul(treg, mem)      sem acc = t * m0;
+    rule MAC  acc  <- add(acc, mul(treg, mem))  cost 1,2
+                                          sem acc = acc + t * m0;
+    rule ST   stmt <- store(mem, acc)     sem m0 = acc;
+
+Feed the parsed description to :class:`repro.tdl.target.TdlTarget` and
+the ordinary RECORD pipeline compiles MiniDFL programs for it; the
+generated simulator executes them.  Register clobber sets for the BURS
+evaluation-order search are *derived* from the semantic assignments.
+"""
+
+from repro.tdl.parser import TdlError, parse_tdl
+from repro.tdl.target import TdlTarget, load_target
+
+__all__ = ["TdlError", "parse_tdl", "TdlTarget", "load_target"]

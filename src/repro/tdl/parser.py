@@ -1,0 +1,396 @@
+"""Parser for the TDL target description language.
+
+The grammar is deliberately small and line-oriented (statements end in
+``;``, comments run from ``#`` to end of line):
+
+    description = "target" IDENT ";" { declaration } ;
+    declaration = "word" NUMBER ";"
+                | "register" IDENT [ "wide" ] ";"
+                | "counters" IDENT { "," IDENT } ";"
+                | "pointers" IDENT { "," IDENT } ";"
+                | "nonterm" IDENT "resource" IDENT ";"
+                | rule ;
+    rule        = "rule" IDENT nonterm "<-" pattern
+                  [ "asm" STRING ] [ "cost" NUMBER "," NUMBER ]
+                  "sem" assignment { "," assignment } ";" ;
+    pattern     = IDENT                       (nonterminal)
+                | "mem"                       (memory terminal)
+                | "const" [ "(" guard ")" ]   (constant terminal)
+                | op "(" pattern { "," pattern } ")" ;
+    guard       = "u" NUMBER | "s" NUMBER | "=" NUMBER ;
+    assignment  = dest "=" expr ;   dest = register | "m" NUMBER ;
+
+Semantic expressions use ``+ - * & | ^ << >>``, unary ``- ~``, calls
+``sat() abs() min(,) max(,) wrap()``, register names, operand slots
+``mN``/``cN`` and integer literals, with C-like precedence.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+
+class TdlError(Exception):
+    """Syntax or consistency error in a target description."""
+
+    def __init__(self, message: str, line: int = 0):
+        location = f"line {line}: " if line else ""
+        super().__init__(f"{location}{message}")
+        self.line = line
+
+
+# ----------------------------------------------------------------------
+# Description model
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TdlRegister:
+    name: str
+    wide: bool = False
+
+
+@dataclass(frozen=True)
+class ConstGuard:
+    """Constant terminal guard: unsigned/signed width or exact value."""
+
+    kind: str            # "u" | "s" | "=" | "any"
+    value: int = 0
+
+    def admits(self, constant: int) -> bool:
+        """Whether the guard accepts a constant value."""
+        if self.kind == "any":
+            return True
+        if self.kind == "u":
+            return 0 <= constant < (1 << self.value)
+        if self.kind == "s":
+            half = 1 << (self.value - 1)
+            return -half <= constant < half
+        return constant == self.value
+
+    def describe(self) -> str:
+        """Short guard text for rule listings."""
+        if self.kind == "any":
+            return "#"
+        if self.kind == "=":
+            return f"#={self.value}"
+        return f"#{self.kind}{self.value}"
+
+
+@dataclass(frozen=True)
+class PatternNode:
+    """Pattern tree: op node, nonterminal leaf, or terminal leaf."""
+
+    kind: str                      # "op" | "nonterm" | "mem" | "const"
+    name: str = ""                 # op or nonterminal name
+    guard: Optional[ConstGuard] = None
+    children: Tuple["PatternNode", ...] = ()
+
+
+# -- semantic expressions ------------------------------------------------
+
+@dataclass(frozen=True)
+class SemExpr:
+    """AST node of a semantic expression."""
+
+    kind: str                      # "num" | "slot" | "reg" | "un" | "bin" | "call"
+    value: int = 0
+    name: str = ""
+    children: Tuple["SemExpr", ...] = ()
+
+
+@dataclass(frozen=True)
+class SemAssign:
+    """``dest = expr``; dest is a register name or a memory slot mN."""
+
+    dest_kind: str                 # "reg" | "mem"
+    dest: str                      # register name or slot like "m0"
+    expr: SemExpr
+
+
+@dataclass(frozen=True)
+class TdlRule:
+    name: str
+    nonterm: str
+    pattern: PatternNode
+    asm: Optional[str]
+    words: int
+    cycles: int
+    assignments: Tuple[SemAssign, ...]
+    line: int = 0
+
+
+@dataclass
+class TdlDescription:
+    name: str
+    word_bits: int = 16
+    registers: Dict[str, TdlRegister] = field(default_factory=dict)
+    counters: List[str] = field(default_factory=list)
+    pointers: List[str] = field(default_factory=list)
+    nonterm_resources: Dict[str, str] = field(default_factory=dict)
+    rules: List[TdlRule] = field(default_factory=list)
+
+
+# ----------------------------------------------------------------------
+# Tokenizer
+# ----------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(r"""
+    (?P<ws>\s+)
+  | (?P<comment>\#[^\n]*)
+  | (?P<string>"[^"\n]*")
+  | (?P<number>-?\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op><<|>>|<-|[;,()=+\-*&|^~<>])
+""", re.VERBOSE)
+
+
+def _tokenize(text: str) -> List[Tuple[str, str, int]]:
+    tokens: List[Tuple[str, str, int]] = []
+    line = 1
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise TdlError(f"unexpected character {text[position]!r}",
+                           line)
+        position = match.end()
+        line += match.group(0).count("\n")
+        kind = match.lastgroup
+        if kind in ("ws", "comment"):
+            continue
+        tokens.append((kind, match.group(0), line))
+    tokens.append(("eof", "", line))
+    return tokens
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+
+class _Parser:
+    def __init__(self, tokens: List[Tuple[str, str, int]]):
+        self._tokens = tokens
+        self._position = 0
+
+    @property
+    def _current(self) -> Tuple[str, str, int]:
+        return self._tokens[self._position]
+
+    def _advance(self) -> Tuple[str, str, int]:
+        token = self._current
+        if token[0] != "eof":
+            self._position += 1
+        return token
+
+    def _accept(self, text: str) -> bool:
+        if self._current[1] == text:
+            self._advance()
+            return True
+        return False
+
+    def _expect(self, text: str) -> None:
+        kind, value, line = self._current
+        if value != text:
+            raise TdlError(f"expected {text!r}, found "
+                           f"{value or kind!r}", line)
+        self._advance()
+
+    def _ident(self) -> str:
+        kind, value, line = self._current
+        if kind != "ident":
+            raise TdlError(f"expected identifier, found "
+                           f"{value or kind!r}", line)
+        self._advance()
+        return value
+
+    def _number(self) -> int:
+        kind, value, line = self._current
+        if kind != "number":
+            raise TdlError(f"expected number, found {value or kind!r}",
+                           line)
+        self._advance()
+        return int(value)
+
+    # -- description -----------------------------------------------------
+
+    def parse(self) -> TdlDescription:
+        self._expect("target")
+        description = TdlDescription(name=self._ident())
+        self._expect(";")
+        while self._current[0] != "eof":
+            keyword = self._ident()
+            if keyword == "word":
+                description.word_bits = self._number()
+                self._expect(";")
+            elif keyword == "register":
+                name = self._ident()
+                wide = self._accept("wide")
+                if name in description.registers:
+                    raise TdlError(f"register {name!r} declared twice",
+                                   self._current[2])
+                description.registers[name] = TdlRegister(name, wide)
+                self._expect(";")
+            elif keyword in ("counters", "pointers"):
+                names = [self._ident()]
+                while self._accept(","):
+                    names.append(self._ident())
+                self._expect(";")
+                getattr(description, keyword).extend(names)
+            elif keyword == "nonterm":
+                nonterm = self._ident()
+                self._expect("resource")
+                description.nonterm_resources[nonterm] = self._ident()
+                self._expect(";")
+            elif keyword == "rule":
+                description.rules.append(self._rule())
+            else:
+                raise TdlError(f"unknown declaration {keyword!r}",
+                               self._current[2])
+        self._validate(description)
+        return description
+
+    def _rule(self) -> TdlRule:
+        line = self._current[2]
+        name = self._ident()
+        nonterm = self._ident()
+        self._expect("<-")
+        pattern = self._pattern()
+        asm: Optional[str] = None
+        words, cycles = 1, 1
+        if self._accept("asm"):
+            kind, value, string_line = self._current
+            if kind != "string":
+                raise TdlError("asm expects a string", string_line)
+            asm = value[1:-1]
+            self._advance()
+        if self._accept("cost"):
+            words = self._number()
+            self._expect(",")
+            cycles = self._number()
+        self._expect("sem")
+        assignments = [self._assignment()]
+        while self._accept(","):
+            assignments.append(self._assignment())
+        self._expect(";")
+        return TdlRule(name=name, nonterm=nonterm, pattern=pattern,
+                       asm=asm, words=words, cycles=cycles,
+                       assignments=tuple(assignments), line=line)
+
+    def _pattern(self) -> PatternNode:
+        kind, value, line = self._current
+        if kind != "ident":
+            raise TdlError(f"expected pattern, found {value or kind!r}",
+                           line)
+        self._advance()
+        if value == "mem":
+            return PatternNode(kind="mem")
+        if value == "const":
+            guard = ConstGuard("any")
+            if self._accept("("):
+                guard = self._guard()
+                self._expect(")")
+            return PatternNode(kind="const", guard=guard)
+        if self._accept("("):
+            children = [self._pattern()]
+            while self._accept(","):
+                children.append(self._pattern())
+            self._expect(")")
+            return PatternNode(kind="op", name=value,
+                               children=tuple(children))
+        return PatternNode(kind="nonterm", name=value)
+
+    def _guard(self) -> ConstGuard:
+        kind, value, line = self._current
+        if value == "=":
+            self._advance()
+            return ConstGuard("=", self._number())
+        if kind == "ident" and value[0] in ("u", "s") \
+                and value[1:].isdigit():
+            self._advance()
+            return ConstGuard(value[0], int(value[1:]))
+        raise TdlError(f"bad const guard {value!r} "
+                       "(expected uN, sN or =N)", line)
+
+    # -- semantic expressions ---------------------------------------------
+
+    def _assignment(self) -> SemAssign:
+        kind, value, line = self._current
+        name = self._ident()
+        self._expect("=")
+        expr = self._expr()
+        if re.fullmatch(r"m\d+", name):
+            return SemAssign(dest_kind="mem", dest=name, expr=expr)
+        return SemAssign(dest_kind="reg", dest=name, expr=expr)
+
+    _LEVELS = [("|",), ("^",), ("&",), ("<<", ">>"), ("+", "-"), ("*",)]
+
+    def _expr(self, level: int = 0) -> SemExpr:
+        if level >= len(self._LEVELS):
+            return self._unary()
+        left = self._expr(level + 1)
+        while self._current[1] in self._LEVELS[level]:
+            operator = self._advance()[1]
+            right = self._expr(level + 1)
+            left = SemExpr(kind="bin", name=operator,
+                           children=(left, right))
+        return left
+
+    def _unary(self) -> SemExpr:
+        if self._accept("-"):
+            return SemExpr(kind="un", name="-",
+                           children=(self._unary(),))
+        if self._accept("~"):
+            return SemExpr(kind="un", name="~",
+                           children=(self._unary(),))
+        return self._primary()
+
+    def _primary(self) -> SemExpr:
+        kind, value, line = self._current
+        if kind == "number":
+            self._advance()
+            return SemExpr(kind="num", value=int(value))
+        if value == "(":
+            self._advance()
+            inner = self._expr()
+            self._expect(")")
+            return inner
+        if kind == "ident":
+            self._advance()
+            if value in ("sat", "abs", "wrap", "min", "max") \
+                    and self._accept("("):
+                children = [self._expr()]
+                while self._accept(","):
+                    children.append(self._expr())
+                self._expect(")")
+                return SemExpr(kind="call", name=value,
+                               children=tuple(children))
+            if re.fullmatch(r"[mc]\d+", value):
+                return SemExpr(kind="slot", name=value)
+            return SemExpr(kind="reg", name=value)
+        raise TdlError(f"expected expression, found {value or kind!r}",
+                       line)
+
+    # -- consistency -------------------------------------------------------
+
+    def _validate(self, description: TdlDescription) -> None:
+        if not description.rules:
+            raise TdlError("description declares no rules")
+        for nonterm, resource in description.nonterm_resources.items():
+            if resource not in description.registers:
+                raise TdlError(
+                    f"nonterm {nonterm!r} names unknown resource "
+                    f"{resource!r}")
+        for rule in description.rules:
+            for assignment in rule.assignments:
+                if assignment.dest_kind == "reg" \
+                        and assignment.dest not in description.registers:
+                    raise TdlError(
+                        f"rule {rule.name!r} assigns unknown register "
+                        f"{assignment.dest!r}", rule.line)
+
+
+def parse_tdl(text: str) -> TdlDescription:
+    """Parse a TDL description from text."""
+    return _Parser(_tokenize(text)).parse()

@@ -1,0 +1,344 @@
+"""Generate a working TargetModel from a TDL description.
+
+The generated target provides everything the RECORD pipeline consumes:
+
+- a :class:`TreeGrammar` built from the description's rules, with
+  clobber sets *derived* from the semantic assignments (a rule clobbers
+  exactly the registers it writes);
+- a bit-true simulator: each emitted instruction replays its rule's
+  semantic assignments (reads before writes, register widths honoured);
+- generic loop realization over the declared ``counters`` (a
+  set / decrement-and-branch pair of builtin instructions) and AGU
+  stream addressing over the declared ``pointers`` (builtin pointer
+  load / bump instructions, free post-modification on access).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.codegen.asm import (
+    AsmInstr, CodeSeq, Imm, Label, LabelRef, Mem, Reg,
+)
+from repro.codegen.grammar import (
+    Cost, EmitContext, Nt, Pat, Rule, Term, TreeGrammar,
+)
+from repro.ir.fixedpoint import FixedPointContext
+from repro.ir.trees import Tree
+from repro.sim.machine import MachineState, SimulationError
+from repro.targets.model import TargetCapabilities, TargetModel
+from repro.tdl.parser import (
+    PatternNode, SemAssign, SemExpr, TdlDescription, TdlError, TdlRule,
+    parse_tdl,
+)
+
+_BUILTIN_OPCODES = ("LOOPSET", "LOOPJNZ", "PTRSET", "PTRADD")
+
+
+def _pattern_to_grammar(node: PatternNode) -> object:
+    if node.kind == "nonterm":
+        return Nt(node.name)
+    if node.kind == "mem":
+        return Term("ref")
+    if node.kind == "const":
+        guard = node.guard
+        return Term("const",
+                    (lambda t, g=guard: g.admits(t.value)),
+                    guard.describe())
+    return Pat(node.name,
+               tuple(_pattern_to_grammar(child)
+                     for child in node.children))
+
+
+def _count_slots(node: PatternNode, counts=None) -> Dict[str, int]:
+    """Number of mem / const terminal leaves, preorder."""
+    if counts is None:
+        counts = {"mem": 0, "const": 0}
+    if node.kind == "mem":
+        counts["mem"] += 1
+    elif node.kind == "const":
+        counts["const"] += 1
+    for child in node.children:
+        _count_slots(child, counts)
+    return counts
+
+
+def _written_registers(rule: TdlRule) -> frozenset:
+    return frozenset(assignment.dest
+                     for assignment in rule.assignments
+                     if assignment.dest_kind == "reg")
+
+
+class TdlTarget(TargetModel):
+    """A processor model generated from a textual description."""
+
+    def __init__(self, description: TdlDescription):
+        self.description = description
+        self.name = f"tdl:{description.name}"
+        self.word_bits = description.word_bits
+        super().__init__()
+        self._rules_by_name: Dict[str, TdlRule] = {}
+        for rule in description.rules:
+            if rule.name in self._rules_by_name:
+                raise TdlError(f"duplicate rule name {rule.name!r}",
+                               rule.line)
+            self._rules_by_name[rule.name] = rule
+        self.STREAM_ADDRESS_REGISTERS = list(description.pointers)
+        self.LOOP_ADDRESS_REGISTERS = list(description.counters)
+        self.capabilities = TargetCapabilities(
+            address_registers=len(description.pointers),
+            max_post_modify=8,
+            direct_addressing=True,
+            has_repeat=False,
+            has_hardware_loop=False,
+        )
+        self._grammar = self._build_grammar()
+
+    # ------------------------------------------------------------------
+    # Grammar generation
+    # ------------------------------------------------------------------
+
+    def _build_grammar(self) -> TreeGrammar:
+        rules: List[Rule] = [
+            Rule("mem", Term("ref"), Cost(0, 0),
+                 emit=lambda ctx, args: args[0], name="mem-ref"),
+        ]
+        resources: Dict[str, Optional[str]] = {"mem": None}
+        for nonterm, resource in \
+                self.description.nonterm_resources.items():
+            resources[nonterm] = resource
+        for tdl_rule in self.description.rules:
+            rules.append(self._grammar_rule(tdl_rule))
+        return TreeGrammar(f"tdl:{self.description.name}", rules,
+                           resources)
+
+    def _grammar_rule(self, tdl_rule: TdlRule) -> Rule:
+        pattern = _pattern_to_grammar(tdl_rule.pattern)
+        result = tdl_rule.nonterm \
+            if tdl_rule.nonterm in self.description.nonterm_resources \
+            else None
+
+        def emit(ctx: EmitContext, args: List[object],
+                 _rule=tdl_rule, _result=result):
+            operands = []
+            for arg in args:
+                if isinstance(arg, Mem):
+                    operands.append(arg)
+                elif isinstance(arg, int):
+                    operands.append(Imm(arg))
+            ctx.emit(AsmInstr(opcode=_rule.name,
+                              operands=tuple(operands),
+                              words=_rule.words, cycles=_rule.cycles))
+            return _result
+
+        return Rule(
+            nonterm=tdl_rule.nonterm,
+            pattern=pattern,
+            cost=Cost(tdl_rule.words, tdl_rule.cycles),
+            emit=emit,
+            name=tdl_rule.name,
+            clobbers=_written_registers(tdl_rule),
+        )
+
+    def grammar(self) -> TreeGrammar:
+        return self._grammar
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+
+    def initial_state(self) -> MachineState:
+        regs = {name: 0 for name in self.description.registers}
+        for name in self.description.counters:
+            regs[name] = 0
+        for name in self.description.pointers:
+            regs[name] = 0
+        return MachineState(regs=regs, mem=[0] * 1024)
+
+    def _address(self, state: MachineState, operand: Mem) -> int:
+        if operand.mode == "direct":
+            return operand.address
+        if operand.mode == "indirect":
+            return state.reg(operand.areg)
+        raise SimulationError(f"unresolved operand {operand}")
+
+    def execute(self, state: MachineState,
+                instr: AsmInstr) -> Optional[str]:
+        opcode = instr.opcode
+        if opcode == "LOOPSET":
+            state.regs[instr.operands[0].name] = instr.operands[1].value
+            return None
+        if opcode == "LOOPJNZ":
+            counter = instr.operands[1].name
+            state.regs[counter] -= 1
+            if state.regs[counter] != 0:
+                return instr.operands[0].name
+            return None
+        if opcode == "PTRSET":
+            state.regs[instr.operands[0].name] = instr.operands[1].value
+            return None
+        if opcode == "PTRADD":
+            operand = instr.operands[0]
+            state.regs[operand.areg] += operand.post_modify
+            return None
+        if opcode == "NOP":
+            return None
+        rule = self._rules_by_name.get(opcode)
+        if rule is None:
+            raise SimulationError(f"{self.name}: unknown opcode "
+                                  f"{opcode!r}")
+        self._execute_rule(state, rule, instr)
+        return None
+
+    def _execute_rule(self, state: MachineState, rule: TdlRule,
+                      instr: AsmInstr) -> None:
+        # split operands into memory and immediate slots, preorder
+        mems: List[Mem] = []
+        consts: List[int] = []
+        for operand in instr.operands:
+            if isinstance(operand, Mem):
+                mems.append(operand)
+            elif isinstance(operand, Imm):
+                consts.append(operand.value)
+
+        post_modifies: List[Tuple[str, int]] = []
+        read_cache: Dict[int, int] = {}
+
+        def mem_value(slot: int) -> int:
+            if slot in read_cache:
+                return read_cache[slot]
+            operand = mems[slot]
+            value = state.load(self._address(state, operand))
+            if operand.mode == "indirect" and operand.post_modify:
+                post_modifies.append((operand.areg,
+                                      operand.post_modify))
+            read_cache[slot] = value
+            return value
+
+        def evaluate(expr: SemExpr) -> int:
+            if expr.kind == "num":
+                return expr.value
+            if expr.kind == "reg":
+                return state.reg(expr.name)
+            if expr.kind == "slot":
+                index = int(expr.name[1:])
+                if expr.name[0] == "m":
+                    if index >= len(mems):
+                        raise SimulationError(
+                            f"{rule.name}: no memory slot {expr.name}")
+                    return mem_value(index)
+                if index >= len(consts):
+                    raise SimulationError(
+                        f"{rule.name}: no const slot {expr.name}")
+                return consts[index]
+            if expr.kind == "un":
+                value = evaluate(expr.children[0])
+                return -value if expr.name == "-" else \
+                    ~self.fpc.wrap(value)
+            if expr.kind == "bin":
+                left = evaluate(expr.children[0])
+                right = evaluate(expr.children[1])
+                if expr.name in ("&", "|", "^"):
+                    left = self.fpc.wrap(left)
+                    right = self.fpc.wrap(right)
+                if expr.name == "*":
+                    left = self.fpc.wrap(left)
+                    right = self.fpc.wrap(right)
+                table = {
+                    "+": lambda: left + right,
+                    "-": lambda: left - right,
+                    "*": lambda: left * right,
+                    "&": lambda: left & right,
+                    "|": lambda: left | right,
+                    "^": lambda: left ^ right,
+                    "<<": lambda: left << (right & 31),
+                    ">>": lambda: left >> (right & 31),
+                }
+                return table[expr.name]()
+            if expr.kind == "call":
+                values = [evaluate(child) for child in expr.children]
+                if expr.name == "sat":
+                    return self.fpc.saturate(values[0])
+                if expr.name == "wrap":
+                    return self.fpc.wrap(values[0])
+                if expr.name == "abs":
+                    return abs(values[0])
+                if expr.name == "min":
+                    return min(self.fpc.wrap(values[0]),
+                               self.fpc.wrap(values[1]))
+                if expr.name == "max":
+                    return max(self.fpc.wrap(values[0]),
+                               self.fpc.wrap(values[1]))
+            raise SimulationError(f"bad semantic expression {expr}")
+
+        # read phase
+        pending: List[Tuple[SemAssign, int]] = [
+            (assignment, evaluate(assignment.expr))
+            for assignment in rule.assignments
+        ]
+        # write phase
+        wide_mask = (1 << 32) - 1
+        for assignment, value in pending:
+            if assignment.dest_kind == "reg":
+                register = self.description.registers[assignment.dest]
+                if register.wide:
+                    value &= wide_mask
+                    if value >= (1 << 31):
+                        value -= 1 << 32
+                else:
+                    value = self.fpc.wrap(value)
+                state.regs[assignment.dest] = value
+            else:
+                slot = int(assignment.dest[1:])
+                operand = mems[slot]
+                address = self._address(state, operand)
+                state.store(address, self.fpc.wrap(value))
+                if operand.mode == "indirect" and operand.post_modify \
+                        and slot not in read_cache:
+                    post_modifies.append((operand.areg,
+                                          operand.post_modify))
+        for register, step in post_modifies:
+            state.regs[register] += step
+
+    # ------------------------------------------------------------------
+    # Back-end hooks
+    # ------------------------------------------------------------------
+
+    def make_address_register_load(self, register: str,
+                                   address: int) -> AsmInstr:
+        return AsmInstr(opcode="PTRSET",
+                        operands=(Reg(register), Imm(address)),
+                        words=2, cycles=2,
+                        comment=f"point {register}")
+
+    def make_pointer_bump(self, register: str, stride: int) -> AsmInstr:
+        return AsmInstr(opcode="PTRADD",
+                        operands=(Mem(symbol=f"<{register}>",
+                                      mode="indirect", areg=register,
+                                      post_modify=stride),),
+                        words=1, cycles=1)
+
+    def finalize_loop(self, count: int, body: List, loop_id: int,
+                      depth: int) -> Tuple[List, List]:
+        if depth >= len(self.LOOP_ADDRESS_REGISTERS):
+            raise TdlError(
+                f"{self.name}: loop nesting exceeds the declared "
+                f"counters ({len(self.LOOP_ADDRESS_REGISTERS)})")
+        counter = self.LOOP_ADDRESS_REGISTERS[depth]
+        label = f"L{loop_id}"
+        prologue = [
+            AsmInstr(opcode="LOOPSET",
+                     operands=(Reg(counter), Imm(count))),
+            Label(label),
+        ]
+        epilogue = [
+            AsmInstr(opcode="LOOPJNZ",
+                     operands=(LabelRef(label), Reg(counter)),
+                     words=2, cycles=2),
+        ]
+        return prologue, epilogue
+
+
+def load_target(text: str) -> TdlTarget:
+    """One-call convenience: TDL text in, working target out."""
+    return TdlTarget(parse_tdl(text))

@@ -1,0 +1,170 @@
+"""Unit tests for the baseline target-specific compiler."""
+
+import pytest
+
+from repro.baseline.compiler import (
+    BaselineCompiler, BaselineOptions, eliminate_redundant_loads,
+)
+from repro.codegen.asm import AsmInstr, CodeSeq, Label, Mem
+from repro.codegen.pipeline import CompileError
+from repro.dfl import compile_dfl
+from repro.ir.fixedpoint import FixedPointContext
+from repro.sim.harness import run_compiled
+from repro.targets.risc import Risc16
+from repro.targets.tc25 import TC25
+
+FPC = FixedPointContext(16)
+
+
+def ins(name, *operands):
+    return AsmInstr(opcode=name, operands=tuple(operands))
+
+
+def test_baseline_is_target_specific():
+    with pytest.raises(CompileError):
+        BaselineCompiler(Risc16())
+
+
+def test_loop_induction_variable_in_memory():
+    program = compile_dfl("""
+program p;
+const N = 4;
+input a[N]; output y;
+var acc;
+begin
+  acc := 0;
+  for i in 0 .. N-1 do
+    acc := acc + a[i];
+  end;
+  y := acc;
+end.
+""")
+    compiled = BaselineCompiler(TC25()).compile(program)
+    opcodes = [i.opcode for i in compiled.code.instructions()]
+    # explicit address computation: base added, pointer loaded via LAR
+    assert "ADLK" in opcodes and "LAR" in opcodes
+    # no DSP parallelism
+    assert "RPTK" not in opcodes and "MAC" not in opcodes
+    outputs, _ = run_compiled(compiled, {"a": [1, 2, 3, 4]})
+    assert outputs["y"] == 10
+
+
+def test_strided_access_scales_through_multiplier():
+    program = compile_dfl("""
+program p;
+const N = 3;
+input a[2*N]; output y;
+var acc;
+begin
+  acc := 0;
+  for i in 0 .. N-1 do
+    acc := acc + a[2*i];
+  end;
+  y := acc;
+end.
+""")
+    compiled = BaselineCompiler(TC25()).compile(program)
+    opcodes = [i.opcode for i in compiled.code.instructions()]
+    assert "MPYK" in opcodes      # index scaling i*2
+    outputs, _ = run_compiled(compiled, {"a": [1, 10, 2, 10, 3, 10]})
+    assert outputs["y"] == 6
+
+
+def test_indexed_store():
+    program = compile_dfl("""
+program p;
+const N = 4;
+input a[N]; output d[N];
+begin
+  for i in 0 .. N-1 do
+    d[i] := a[i] + 1;
+  end;
+end.
+""")
+    compiled = BaselineCompiler(TC25()).compile(program)
+    outputs, _ = run_compiled(compiled, {"a": [5, 6, 7, 8]})
+    assert outputs["d"] == [6, 7, 8, 9]
+
+
+def test_constant_folding_in_baseline():
+    program = compile_dfl("""
+program p;
+input x; output y;
+begin
+  y := x + (3 * 4 - 12);
+end.
+""")
+    folded = BaselineCompiler(TC25()).compile(program)
+    unfolded = BaselineCompiler(
+        TC25(), BaselineOptions(fold_constants=False)).compile(program)
+    assert folded.words() < unfolded.words()
+    for compiled in (folded, unfolded):
+        outputs, _ = run_compiled(compiled, {"x": 5})
+        assert outputs["y"] == 5
+
+
+# ----------------------------------------------------------------------
+# Redundant-load elimination
+# ----------------------------------------------------------------------
+
+def mem(symbol):
+    return Mem(symbol)
+
+
+def test_rle_removes_adjacent_pair():
+    code = CodeSeq([ins("SACL", mem("t")), ins("LAC", mem("t")),
+                    ins("ADD", mem("u")), ins("SACL", mem("v"))])
+    result = eliminate_redundant_loads(code)
+    opcodes = [i.opcode for i in result.instructions()]
+    assert opcodes == ["SACL", "ADD", "SACL"]
+
+
+def test_rle_keeps_pair_before_unsafe_use():
+    # SFR inspects high bits: the wrapped reload differs from the exact
+    # accumulator, so the reload must stay.
+    code = CodeSeq([ins("SACL", mem("t")), ins("LAC", mem("t")),
+                    ins("SFR"), ins("SACL", mem("v"))])
+    result = eliminate_redundant_loads(code)
+    opcodes = [i.opcode for i in result.instructions()]
+    assert opcodes == ["SACL", "LAC", "SFR", "SACL"]
+
+
+def test_rle_respects_control_flow_boundaries():
+    code = CodeSeq([ins("SACL", mem("t")), Label("L"),
+                    ins("LAC", mem("t"))])
+    result = eliminate_redundant_loads(code)
+    opcodes = [i.opcode for i in result.instructions()]
+    assert opcodes == ["SACL", "LAC"]
+
+
+def test_rle_requires_same_operand():
+    code = CodeSeq([ins("SACL", mem("t")), ins("LAC", mem("u"))])
+    result = eliminate_redundant_loads(code)
+    assert len(list(result.instructions())) == 2
+
+
+def test_rle_end_of_code_is_safe():
+    code = CodeSeq([ins("SACL", mem("t")), ins("LAC", mem("t"))])
+    result = eliminate_redundant_loads(code)
+    assert [i.opcode for i in result.instructions()] == ["SACL"]
+
+
+def test_rle_semantics_on_real_kernel():
+    program = compile_dfl("""
+program p;
+input x; output y;
+var t;
+begin
+  t := x + 1;
+  y := t * 2;
+end.
+""")
+    with_rle = BaselineCompiler(TC25()).compile(program)
+    without = BaselineCompiler(
+        TC25(),
+        BaselineOptions(eliminate_redundant_loads=False)
+    ).compile(program)
+    assert with_rle.words() <= without.words()
+    for compiled in (with_rle, without):
+        outputs, _ = run_compiled(compiled, {"x": 20})
+        assert outputs["y"] == 42

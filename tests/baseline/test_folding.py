@@ -1,0 +1,106 @@
+"""Unit + property tests for constant folding and canonicalization."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baseline.folding import canonicalize, fold_constants, optimize_tree
+from repro.ir.fixedpoint import FixedPointContext
+from repro.ir.ops import OpKind
+from repro.ir.trees import Tree
+
+FPC = FixedPointContext(16)
+
+
+def test_fold_constant_subtree():
+    tree = Tree.compute("add", Tree.const(3),
+                        Tree.compute("mul", Tree.const(4), Tree.const(5)))
+    folded = fold_constants(tree, FPC)
+    assert folded == Tree.const(23)
+
+
+def test_fold_skips_out_of_range_results():
+    tree = Tree.compute("mul", Tree.const(30000), Tree.const(30000))
+    folded = fold_constants(tree, FPC)
+    assert folded.kind is OpKind.COMPUTE    # kept: result exceeds word
+
+
+def test_fold_partial():
+    tree = Tree.compute("add", Tree.ref("x"),
+                        Tree.compute("sub", Tree.const(9), Tree.const(4)))
+    folded = fold_constants(tree, FPC)
+    assert str(folded) == "add(x, #5)"
+
+
+def test_canonicalize_moves_constant_right():
+    tree = Tree.compute("add", Tree.const(3), Tree.ref("x"))
+    assert str(canonicalize(tree)) == "add(x, #3)"
+    # non-commutative untouched
+    tree = Tree.compute("sub", Tree.const(3), Tree.ref("x"))
+    assert str(canonicalize(tree)) == "sub(#3, x)"
+
+
+def test_canonicalize_identities_and_annihilator():
+    assert canonicalize(Tree.compute("add", Tree.ref("x"),
+                                     Tree.const(0))) == Tree.ref("x")
+    assert canonicalize(Tree.compute("mul", Tree.ref("x"),
+                                     Tree.const(1))) == Tree.ref("x")
+    assert canonicalize(Tree.compute("mul", Tree.ref("x"),
+                                     Tree.const(0))) == Tree.const(0)
+    assert canonicalize(Tree.compute("shl", Tree.ref("x"),
+                                     Tree.const(0))) == Tree.ref("x")
+
+
+def test_strength_reduction():
+    tree = Tree.compute("mul", Tree.ref("x"), Tree.const(16))
+    assert str(canonicalize(tree)) == "shl(x, #4)"
+
+
+def test_double_negation():
+    tree = Tree.compute("neg", Tree.compute("neg", Tree.ref("x")))
+    assert canonicalize(tree) == Tree.ref("x")
+
+
+def test_optimize_reaches_fixpoint():
+    # (2+3)*x + 0 -> mul(x, #5) via fold + canonicalize interleaving
+    tree = Tree.compute(
+        "add",
+        Tree.compute("mul",
+                     Tree.compute("add", Tree.const(2), Tree.const(3)),
+                     Tree.ref("x")),
+        Tree.const(0))
+    assert str(optimize_tree(tree, FPC)) == "mul(x, #5)"
+
+
+VARIABLES = ["a", "b"]
+
+
+def leafs():
+    return st.one_of(
+        st.sampled_from(VARIABLES).map(Tree.ref),
+        st.integers(min_value=-40, max_value=40).map(Tree.const),
+    )
+
+
+def trees():
+    def extend(children):
+        return st.tuples(
+            st.sampled_from(["add", "sub", "mul", "and", "or", "xor"]),
+            children, children,
+        ).map(lambda t: Tree.compute(t[0], t[1], t[2]))
+    return st.recursive(leafs(), extend, max_leaves=6)
+
+
+@settings(max_examples=150, deadline=None)
+@given(trees(), st.fixed_dictionaries(
+    {name: st.integers(min_value=-50, max_value=50)
+     for name in VARIABLES}))
+def test_optimize_preserves_exact_semantics(tree, env):
+    optimized = optimize_tree(tree, FPC)
+    assert optimized.evaluate(dict(env), FPC) == \
+        tree.evaluate(dict(env), FPC)
+
+
+@settings(max_examples=100, deadline=None)
+@given(trees())
+def test_optimize_never_grows_the_tree(tree):
+    assert optimize_tree(tree, FPC).size() <= tree.size()

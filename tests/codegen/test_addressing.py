@@ -1,0 +1,172 @@
+"""Unit tests for the address-assignment stage."""
+
+import pytest
+
+from repro.codegen.addressing import AddressAssigner, AddressingError
+from repro.codegen.asm import (
+    AddrOf, AsmInstr, CodeSeq, Imm, LoopBegin, LoopEnd, Mem,
+)
+from repro.codegen.compiled import MemoryMap
+from repro.ir.dfg import ArrayIndex
+from repro.targets.tc25 import TC25
+
+
+def make_map(**symbols):
+    memory_map = MemoryMap()
+    address = 0
+    for name, size in symbols.items():
+        memory_map.addresses[name] = address
+        memory_map.sizes[name] = size
+        address += size
+    memory_map.total = address
+    return memory_map
+
+
+def ins(name, *operands):
+    return AsmInstr(opcode=name, operands=tuple(operands))
+
+
+def assigner(**symbols):
+    return AddressAssigner(TC25(), make_map(**symbols))
+
+
+def mems_of(code):
+    out = []
+    for item in code:
+        if isinstance(item, AsmInstr):
+            out.extend(item.memory_operands())
+    return out
+
+
+def test_scalar_resolution_direct():
+    code = CodeSeq([ins("LAC", Mem("x")), ins("SACL", Mem("y"))])
+    result = assigner(x=1, y=1).run(code)
+    modes = [(m.mode, m.address) for m in mems_of(result)]
+    assert modes == [("direct", 0), ("direct", 1)]
+
+
+def test_const_index_array_element_direct():
+    code = CodeSeq([ins("LAC", Mem("v", ArrayIndex(0, 2)))])
+    result = assigner(v=4).run(code)
+    operand = mems_of(result)[0]
+    assert operand.mode == "direct"
+    assert operand.address == 2
+
+
+def test_addr_of_resolution():
+    code = CodeSeq([ins("ADLK", AddrOf("v", 3))])
+    result = assigner(v=4).run(code)
+    instr = next(result.instructions())
+    assert isinstance(instr.operands[0], Imm)
+    assert instr.operands[0].value == 3
+
+
+def test_stream_gets_register_and_prologue():
+    code = CodeSeq([
+        LoopBegin(count=4, loop_id=0),
+        ins("LAC", Mem("v", ArrayIndex(1, 0))),
+        LoopEnd(loop_id=0),
+    ])
+    result = assigner(v=4).run(code)
+    instrs = list(result.instructions())
+    assert instrs[0].opcode == "LRLK"       # preheader pointer load
+    operand = instrs[1].operands[0]
+    assert operand.mode == "indirect"
+    assert operand.post_modify == 1
+
+
+def test_reverse_stream_starts_at_high_offset():
+    code = CodeSeq([
+        LoopBegin(count=4, loop_id=0),
+        ins("LAC", Mem("v", ArrayIndex(-1, 3))),
+        LoopEnd(loop_id=0),
+    ])
+    result = assigner(v=4).run(code)
+    lrlk = next(result.instructions())
+    assert lrlk.operands[1].value == 3
+    operand = list(result.instructions())[1].operands[0]
+    assert operand.post_modify == -1
+
+
+def test_multi_access_stream_gets_bump():
+    code = CodeSeq([
+        LoopBegin(count=4, loop_id=0),
+        ins("LAC", Mem("v", ArrayIndex(1, 0))),
+        ins("SACL", Mem("v", ArrayIndex(1, 0))),
+        LoopEnd(loop_id=0),
+    ])
+    result = assigner(v=4).run(code)
+    opcodes = [i.opcode for i in result.instructions()]
+    assert "MAR" in opcodes
+    accesses = [m for m in mems_of(result) if m.mode == "indirect"
+                and not m.symbol.startswith("<")]
+    assert all(m.post_modify == 0 for m in accesses)
+
+
+def test_chain_merging_interleaved_pairs():
+    code = CodeSeq([
+        LoopBegin(count=4, loop_id=0),
+        ins("LAC", Mem("v", ArrayIndex(2, 0))),
+        ins("ADD", Mem("v", ArrayIndex(2, 1))),
+        LoopEnd(loop_id=0),
+    ])
+    result = assigner(v=8).run(code)
+    accesses = [m for m in mems_of(result) if m.mode == "indirect"]
+    registers = {m.areg for m in accesses}
+    assert len(registers) == 1              # one register for the pair
+    assert [m.post_modify for m in accesses] == [1, 1]
+
+
+def test_chain_merge_requires_matching_order():
+    # odd element accessed first: the textual order does not match the
+    # offset order, so no merge (two registers).
+    code = CodeSeq([
+        LoopBegin(count=4, loop_id=0),
+        ins("LAC", Mem("v", ArrayIndex(2, 1))),
+        ins("ADD", Mem("v", ArrayIndex(2, 0))),
+        LoopEnd(loop_id=0),
+    ])
+    result = assigner(v=8).run(code)
+    accesses = [m for m in mems_of(result) if m.mode == "indirect"
+                and not m.symbol.startswith("<")]
+    assert len({m.areg for m in accesses}) == 2
+
+
+def test_out_of_registers_raises():
+    items = [LoopBegin(count=2, loop_id=0)]
+    for index in range(10):
+        items.append(ins("LAC", Mem(f"v{index}", ArrayIndex(1, 0))))
+    items.append(LoopEnd(loop_id=0))
+    symbols = {f"v{i}": 4 for i in range(10)}
+    with pytest.raises(AddressingError):
+        assigner(**symbols).run(CodeSeq(items))
+
+
+def test_stride_exceeding_capability_raises():
+    code = CodeSeq([
+        LoopBegin(count=2, loop_id=0),
+        ins("LAC", Mem("v", ArrayIndex(99, 0))),
+        LoopEnd(loop_id=0),
+    ])
+    with pytest.raises(AddressingError):
+        assigner(v=256).run(code)
+
+
+def test_induction_access_outside_loop_raises():
+    code = CodeSeq([ins("LAC", Mem("v", ArrayIndex(1, 0)))])
+    with pytest.raises(AddressingError):
+        assigner(v=4).run(code)
+
+
+def test_nested_loops_do_not_share_registers():
+    code = CodeSeq([
+        LoopBegin(count=2, loop_id=0),
+        ins("LAC", Mem("a", ArrayIndex(1, 0))),
+        LoopBegin(count=2, loop_id=1),
+        ins("ADD", Mem("b", ArrayIndex(1, 0))),
+        LoopEnd(loop_id=1),
+        LoopEnd(loop_id=0),
+    ])
+    result = assigner(a=4, b=4).run(code)
+    accesses = [m for m in mems_of(result) if m.mode == "indirect"]
+    assert len({m.areg for m in accesses}) == 2

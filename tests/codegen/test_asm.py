@@ -1,0 +1,77 @@
+"""Unit tests for the assembly object layer."""
+
+from repro.codegen.asm import (
+    AddrOf, AsmInstr, CodeSeq, Imm, Label, LabelRef, LoopBegin, LoopEnd,
+    Mem, Reg,
+)
+from repro.ir.dfg import ArrayIndex
+
+
+def test_mem_renderings():
+    assert str(Mem("x")) == "x"
+    assert str(Mem("v", ArrayIndex(1, 2))) == "v[i+2]"
+    assert str(Mem("x", mode="direct", address=7)) == "@7"
+    assert str(Mem("x", mode="indirect", areg="AR1",
+                   post_modify=1)) == "*AR1+"
+    assert str(Mem("x", mode="indirect", areg="AR1",
+                   post_modify=-1)) == "*AR1-"
+    assert str(Mem("x", mode="indirect", areg="AR1",
+                   post_modify=0)) == "*AR1"
+
+
+def test_operand_renderings():
+    assert str(Imm(-3)) == "#-3"
+    assert str(Reg("AR2")) == "AR2"
+    assert str(LabelRef("L1")) == "L1"
+    assert str(AddrOf("v", 3)) == "&v+3"
+    assert str(AddrOf("v")) == "&v"
+
+
+def test_instr_render_with_parallel_and_comment():
+    move = AsmInstr("MOVE", (Reg("x0"), Mem("a", mode="indirect",
+                                            areg="r1", post_modify=1)))
+    host = AsmInstr("MAC", (Reg("x0"), Reg("y0"), Reg("a")),
+                    parallel=(move,), comment="pipelined")
+    text = host.render()
+    assert "MAC x0, y0, a" in text
+    assert "||" in text
+    assert "pipelined" in text
+
+
+def test_memory_operands_include_parallel():
+    move = AsmInstr("MOVE", (Reg("x0"), Mem("a")))
+    host = AsmInstr("MAC", (Reg("x0"),), parallel=(move,))
+    symbols = [m.symbol for m in host.memory_operands()]
+    assert symbols == ["a"]
+
+
+def test_with_operands_replaces():
+    instr = AsmInstr("LAC", (Mem("x"),), words=2)
+    replaced = instr.with_operands(Mem("y"))
+    assert replaced.operands[0].symbol == "y"
+    assert replaced.words == 2
+
+
+def test_codeseq_accounting_and_render():
+    code = CodeSeq([
+        Label("start"),
+        AsmInstr("LAC", (Mem("x", mode="direct", address=0),)),
+        LoopBegin(count=4, loop_id=0),
+        AsmInstr("ADD", (Mem("y", mode="direct", address=1),), words=2),
+        LoopEnd(loop_id=0),
+    ])
+    assert code.words() == 3
+    assert len(code) == 5
+    text = code.render()
+    assert "start:" in text
+    assert ".loop 0 x4" in text
+    # loop body is indented
+    body_line = [line for line in text.splitlines() if "ADD" in line][0]
+    assert body_line.startswith("    ")
+
+
+def test_codeseq_copy_is_shallow_list():
+    code = CodeSeq([AsmInstr("NOP")])
+    clone = code.copy()
+    clone.append(AsmInstr("ZAC"))
+    assert len(code) == 1 and len(clone) == 2

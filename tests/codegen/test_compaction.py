@@ -1,0 +1,143 @@
+"""Unit tests for parallel-move compaction (greedy + optimal)."""
+
+import pytest
+
+from repro.codegen.asm import AsmInstr, CodeSeq, Imm, Label, Mem, Reg
+from repro.codegen.compaction import (
+    compact_code, greedy_compaction, optimal_compaction, tokens_conflict,
+)
+from repro.targets.m56 import M56, M56SlotModel
+
+
+def move(dst, src):
+    return AsmInstr("MOVE", (dst, src))
+
+
+def xmem(addr):
+    return Mem(symbol=f"x{addr}", mode="indirect", areg="r1",
+               post_modify=0, bank="x")
+
+
+def ymem(addr):
+    return Mem(symbol=f"y{addr}", mode="indirect", areg="r5",
+               post_modify=0, bank="y")
+
+
+def mac():
+    return AsmInstr("MAC", (Reg("x0"), Reg("y0"), Reg("a")))
+
+
+@pytest.fixture()
+def model():
+    return M56SlotModel()
+
+
+def test_tokens_conflict_bank_wildcards():
+    assert tokens_conflict({"m:x"}, {"m:x:5"})
+    assert tokens_conflict({"m:x:5"}, {"m:x"})
+    assert not tokens_conflict({"m:x:5"}, {"m:y"})
+    assert not tokens_conflict({"m:x:5"}, {"m:x:6"})
+    assert tokens_conflict({"a"}, {"a", "b"})
+
+
+def test_slot_classification(model):
+    assert model.slot_of(move(Reg("x0"), xmem(0))) == "xmove"
+    assert model.slot_of(move(Reg("y0"), ymem(0))) == "ymove"
+    assert model.slot_of(mac()) is None
+    # absolute moves don't pack
+    absolute = move(Reg("x0"), Mem("v", mode="direct", address=3,
+                                   bank="x"))
+    assert model.slot_of(absolute) is None
+
+
+def test_pipelined_idiom_packs(model):
+    # mv x0,A; mv y0,B; MAC; mv x0,C; mv y0,D; MAC
+    # -> the second pair packs into the first MAC.
+    instrs = [
+        move(Reg("x0"), xmem(0)), move(Reg("y0"), ymem(0)), mac(),
+        move(Reg("x0"), xmem(1)), move(Reg("y0"), ymem(1)), mac(),
+    ]
+    result = greedy_compaction(instrs, model)
+    assert len(result) == 4
+    packed = result[2]
+    assert packed.opcode == "MAC"
+    assert len(packed.parallel) == 2
+
+
+def test_loads_do_not_pack_into_consuming_op(model):
+    # mv x0,A; MAC uses x0 -- the move may NOT ride on that MAC
+    # (parallel moves deliver after the ALU reads).
+    instrs = [mac(), move(Reg("x0"), xmem(0))]
+    # move comes after: packing is fine (MAC read old x0)
+    assert len(greedy_compaction(instrs, model)) == 1
+    instrs = [move(Reg("x0"), xmem(0)), mac()]
+    # move comes first and MAC needs its result: cannot pack
+    assert len(greedy_compaction(instrs, model)) == 2
+
+
+def test_one_slot_per_bus(model):
+    instrs = [mac(), move(Reg("x0"), xmem(0)), move(Reg("x1"), xmem(1))]
+    result = greedy_compaction(instrs, model)
+    # both moves are X-bus: only one packs
+    assert len(result) == 2
+
+
+def test_same_pointer_moves_keep_order(model):
+    # two moves through the same address register with post-modify have
+    # a register dependence; the second cannot jump the first.
+    first = move(Reg("x0"), Mem("v", mode="indirect", areg="r1",
+                                post_modify=1, bank="x"))
+    second = move(Reg("x1"), Mem("v", mode="indirect", areg="r1",
+                                 post_modify=1, bank="x"))
+    instrs = [first, mac(), second]
+    result = greedy_compaction(instrs, model)
+    # second may pack into the MAC (it follows first), but never above
+    flattened = []
+    for instr in result:
+        flattened.append(instr)
+        flattened.extend(instr.parallel)
+    assert flattened.index(first) < flattened.index(second)
+
+
+def test_write_write_conflict_blocks_packing(model):
+    instrs = [mac(), move(Reg("x0"), xmem(0)), move(Reg("x0"), xmem(1))]
+    result = greedy_compaction(instrs, model)
+    # second move defines x0 too -> WAW with the packed first; and both
+    # are X-bus anyway.  It must stay behind.
+    assert len(result) == 2
+
+
+def test_optimal_never_worse_than_greedy(model):
+    instrs = [
+        move(Reg("x0"), xmem(0)), move(Reg("y0"), ymem(0)), mac(),
+        move(Reg("y0"), ymem(1)), move(Reg("x0"), xmem(1)), mac(),
+        move(Reg("x1"), xmem(2)),
+    ]
+    greedy = greedy_compaction(instrs, model)
+    optimal = optimal_compaction(instrs, model)
+    assert len(optimal) <= len(greedy)
+
+
+def test_optimal_falls_back_beyond_block_limit(model):
+    instrs = [mac() for _ in range(20)]
+    result = optimal_compaction(instrs, model, max_block=4)
+    assert len(result) == 20
+
+
+def test_compact_code_respects_boundaries(model):
+    code = CodeSeq([
+        mac(),
+        Label("L"),
+        move(Reg("x0"), xmem(0)),
+    ])
+    result = compact_code(code, model, "greedy")
+    # the move must not cross the label into the MAC
+    instrs = [item for item in result
+              if isinstance(item, AsmInstr)]
+    assert all(not instr.parallel for instr in instrs)
+
+
+def test_compact_code_none_strategy_is_identity(model):
+    code = CodeSeq([mac(), move(Reg("x0"), xmem(0))])
+    result = compact_code(code, model, "none")
+    assert len(list(result.instructions())) == 2

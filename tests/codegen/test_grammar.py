@@ -1,0 +1,77 @@
+"""Unit tests for tree grammars and costs."""
+
+import pytest
+
+from repro.codegen.asm import Mem
+from repro.codegen.grammar import (
+    Cost, EmitContext, Nt, Pat, Rule, Term, TreeGrammar,
+)
+from repro.ir.trees import Tree
+
+
+def test_cost_addition_and_keys():
+    total = Cost(1, 2) + Cost(3, 4)
+    assert (total.words, total.cycles) == (4, 6)
+    assert Cost(2, 9).key("size") < Cost(3, 1).key("size")
+    assert Cost(9, 2).key("speed") < Cost(1, 3).key("speed")
+    with pytest.raises(ValueError):
+        Cost().key("area")
+
+
+def test_term_validation_and_matching():
+    with pytest.raises(ValueError):
+        Term("register")
+    const = Term("const", lambda t: t.value > 0)
+    assert const.matches(Tree.const(5))
+    assert not const.matches(Tree.const(-5))
+    assert not const.matches(Tree.ref("a"))
+    ref = Term("ref")
+    assert ref.matches(Tree.ref("a"))
+    assert not ref.matches(Tree.const(1))
+
+
+def test_pat_validates_operator_and_arity():
+    with pytest.raises(ValueError):
+        Pat("frob", (Nt("a"),))
+    with pytest.raises(ValueError):
+        Pat("add", (Nt("a"),))
+
+
+def test_grammar_indexes_rules():
+    rules = [
+        Rule("mem", Term("ref"), Cost(0, 0), emit=None, name="ref"),
+        Rule("acc", Nt("mem"), Cost(1, 1), emit=None, name="load"),
+        Rule("acc", Pat("add", (Nt("acc"), Nt("mem"))), Cost(1, 1),
+             emit=None, name="add"),
+    ]
+    grammar = TreeGrammar("g", rules, {"acc": "acc", "mem": None})
+    assert [r.name for r in grammar.rules_for_op("add")] == ["add"]
+    assert [r.name for r in grammar.leaf_rules()] == ["ref"]
+    assert [r.name for r in grammar.chain_rules_from("mem")] == ["load"]
+    assert grammar.resource_of("acc") == "acc"
+    assert grammar.resource_of("mem") is None
+    assert set(grammar.nonterminals) == {"mem", "acc"}
+
+
+def test_grammar_add_rule_reindexes():
+    grammar = TreeGrammar("g", [
+        Rule("mem", Term("ref"), Cost(0, 0), emit=None, name="ref"),
+    ])
+    grammar.add_rule(Rule("acc", Nt("mem"), Cost(1, 1), emit=None,
+                          name="load"))
+    assert grammar.chain_rules_from("mem")
+
+
+def test_emit_context_scratch_allocation():
+    ctx = EmitContext()
+    first = ctx.scratch()
+    second = ctx.scratch()
+    assert isinstance(first, Mem)
+    assert first.symbol != second.symbol
+    assert ctx.scratch_symbols == [first.symbol, second.symbol]
+
+
+def test_rule_str_mentions_cost_and_name():
+    rule = Rule("acc", Nt("mem"), Cost(2, 3), emit=None, name="LAC")
+    text = str(rule)
+    assert "LAC" in text and "2w" in text and "3c" in text

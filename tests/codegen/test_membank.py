@@ -1,0 +1,98 @@
+"""Unit + property tests for memory-bank assignment (MAX-CUT)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.codegen.membank import (
+    annealed_assignment, cut_value, exhaustive_assignment,
+    greedy_assignment, normalize_pairs, single_bank_assignment,
+)
+
+
+def pairs_strategy():
+    names = st.sampled_from("abcdef")
+    return st.lists(st.tuples(names, names), min_size=0, max_size=20)
+
+
+def test_normalize_pairs_aggregates_and_drops_self_pairs():
+    weights = normalize_pairs([("a", "b"), ("b", "a"), ("a", "a"),
+                               ("b", "c")])
+    assert weights == {("a", "b"): 2, ("b", "c"): 1}
+
+
+def test_cut_value():
+    weights = {("a", "b"): 3, ("b", "c"): 1}
+    banks = {"a": "x", "b": "y", "c": "y"}
+    assert cut_value(weights, banks) == 3
+
+
+def test_single_bank_has_zero_cut():
+    weights = normalize_pairs([("a", "b"), ("c", "d")])
+    banks = single_bank_assignment(weights)
+    assert cut_value(weights, banks) == 0
+    assert set(banks.values()) == {"x"}
+
+
+def test_greedy_separates_an_obvious_pair():
+    weights = normalize_pairs([("a", "b")] * 5)
+    banks = greedy_assignment(weights)
+    assert banks["a"] != banks["b"]
+
+
+def test_greedy_covers_unconstrained_variables():
+    banks = greedy_assignment({}, variables=["p", "q"])
+    assert set(banks) == {"p", "q"}
+
+
+def test_exhaustive_guardrail():
+    weights = {(f"v{i}", f"v{i+1}"): 1 for i in range(20)}
+    with pytest.raises(ValueError):
+        exhaustive_assignment(weights)
+
+
+@settings(max_examples=80, deadline=None)
+@given(pairs_strategy())
+def test_greedy_and_annealed_bounded_by_exhaustive(pairs):
+    weights = normalize_pairs(pairs)
+    best = cut_value(weights, exhaustive_assignment(weights))
+    greedy = cut_value(weights, greedy_assignment(weights))
+    annealed = cut_value(weights, annealed_assignment(weights, seed=1))
+    assert greedy <= best
+    assert annealed <= best
+    assert annealed >= greedy or annealed >= 0
+
+
+@settings(max_examples=80, deadline=None)
+@given(pairs_strategy())
+def test_annealing_never_worse_than_greedy(pairs):
+    weights = normalize_pairs(pairs)
+    greedy = cut_value(weights, greedy_assignment(weights))
+    annealed = cut_value(weights, annealed_assignment(weights, seed=2))
+    assert annealed >= greedy
+
+
+@settings(max_examples=50, deadline=None)
+@given(pairs_strategy())
+def test_assignments_are_total_and_two_valued(pairs):
+    weights = normalize_pairs(pairs)
+    names = {n for pair in weights for n in pair}
+    for assigner in (greedy_assignment, single_bank_assignment):
+        banks = assigner(weights)
+        assert set(banks) == names
+        assert set(banks.values()) <= {"x", "y"}
+
+
+def test_annealing_is_deterministic_per_seed():
+    weights = normalize_pairs([("a", "b"), ("b", "c"), ("c", "d"),
+                               ("d", "a"), ("a", "c")])
+    first = annealed_assignment(weights, seed=42)
+    second = annealed_assignment(weights, seed=42)
+    assert first == second
+
+
+def test_bipartite_graph_fully_cut_by_annealing():
+    # K_{2,2}: a,c vs b,d separates all 4 edges.
+    weights = normalize_pairs([("a", "b"), ("a", "d"), ("c", "b"),
+                               ("c", "d")])
+    banks = annealed_assignment(weights, seed=0)
+    assert cut_value(weights, banks) == 4

@@ -1,0 +1,159 @@
+"""Unit tests for mode-change minimization."""
+
+import pytest
+
+from repro.codegen.asm import AsmInstr, CodeSeq, LoopBegin, LoopEnd
+from repro.codegen.modes import minimize_mode_changes
+from repro.targets.tc25 import TC25
+
+
+def instr(name, pm=None):
+    modes = {"pm": pm} if pm is not None else {}
+    return AsmInstr(opcode=name, modes=modes)
+
+
+def run(items, naive=False):
+    code = minimize_mode_changes(CodeSeq(items), TC25(), naive=naive)
+    return [(item.opcode,
+             item.operands[0].value if item.opcode == "SPM" else None)
+            for item in code if isinstance(item, AsmInstr)]
+
+
+def spm_count(result):
+    return sum(1 for op, _ in result if op == "SPM")
+
+
+def test_no_requirements_no_changes():
+    result = run([instr("LAC"), instr("SACL")])
+    assert spm_count(result) == 0
+
+
+def test_reset_value_needs_no_change():
+    # machine resets with pm=0
+    result = run([instr("PAC", pm=0)])
+    assert spm_count(result) == 0
+
+
+def test_single_change_for_uniform_requirements():
+    result = run([instr("PAC", pm=15), instr("APAC", pm=15),
+                  instr("SPAC", pm=15)])
+    assert spm_count(result) == 1
+    assert result[0] == ("SPM", 15)
+
+
+def test_alternating_requirements_change_each_time():
+    result = run([instr("PAC", pm=15), instr("PAC", pm=0),
+                  instr("PAC", pm=15)])
+    assert spm_count(result) == 3   # 15, back to 0, back to 15
+
+
+def test_loop_with_uniform_requirement_hoists():
+    items = [
+        LoopBegin(count=8, loop_id=0),
+        instr("MAC", pm=15),
+        LoopEnd(loop_id=0),
+    ]
+    result = run(items)
+    assert spm_count(result) == 1
+    # the single SPM sits before the loop (first instruction overall)
+    assert result[0] == ("SPM", 15)
+
+
+def test_loop_with_conflicting_requirements_changes_inside():
+    items = [
+        LoopBegin(count=8, loop_id=0),
+        instr("PAC", pm=0),
+        instr("APAC", pm=15),
+        LoopEnd(loop_id=0),
+    ]
+    result = run(items)
+    # both values needed every iteration: 2 SPMs inside the body; the
+    # pm=0 one is needed even on iteration 1? entry is already 0, but
+    # the back edge arrives with 15 -- correctness requires the change.
+    assert spm_count(result) == 2
+
+
+def test_requirement_after_loop_accounts_for_loop_exit_mode():
+    items = [
+        LoopBegin(count=4, loop_id=0),
+        instr("MAC", pm=15),
+        LoopEnd(loop_id=0),
+        instr("PAC", pm=15),
+    ]
+    result = run(items)
+    # hoisted SPM before the loop covers the tail instruction too
+    assert spm_count(result) == 1
+
+
+def test_naive_reinstates_at_loop_boundaries():
+    items = [
+        instr("PAC", pm=15),
+        LoopBegin(count=4, loop_id=0),
+        instr("MAC", pm=15),
+        LoopEnd(loop_id=0),
+    ]
+    optimized = run(items)
+    naive = run(items, naive=True)
+    assert spm_count(naive) >= spm_count(optimized)
+    # naive forgets the tracked value across the LoopBegin
+    assert spm_count(naive) == 2
+
+
+def test_nested_loops():
+    items = [
+        LoopBegin(count=2, loop_id=0),
+        instr("PAC", pm=0),
+        LoopBegin(count=3, loop_id=1),
+        instr("MAC", pm=15),
+        LoopEnd(loop_id=1),
+        LoopEnd(loop_id=0),
+    ]
+    result = run(items)
+    # pm flips between outer body (0) and inner loop (15) each outer
+    # iteration: changes must live inside the outer body.
+    ops = [entry for entry in result if entry[0] == "SPM"]
+    assert len(ops) == 2
+
+
+def test_simulated_modes_always_satisfied():
+    """Replay the mode pass's output and check every requirement holds
+    at execution time (straight-line + loops, unrolled by hand)."""
+    items = [
+        instr("PAC", pm=15),
+        LoopBegin(count=3, loop_id=0),
+        instr("PAC", pm=0),
+        instr("APAC", pm=15),
+        LoopEnd(loop_id=0),
+        instr("SPAC", pm=15),
+    ]
+    code = minimize_mode_changes(CodeSeq(items), TC25())
+
+    # unroll: simulate marker semantics directly
+    def replay(items_list):
+        mode = {"pm": 0}
+        index = 0
+        stack = []
+        flat = list(items_list)
+        while index < len(flat):
+            item = flat[index]
+            if isinstance(item, LoopBegin):
+                stack.append((index, item.count))
+                index += 1
+                continue
+            if isinstance(item, LoopEnd):
+                start, remaining = stack.pop()
+                if remaining > 1:
+                    stack.append((start, remaining - 1))
+                    index = start + 1
+                else:
+                    index += 1
+                continue
+            if item.opcode == "SPM":
+                mode["pm"] = item.operands[0].value
+            else:
+                for name, value in item.modes.items():
+                    assert mode[name] == value, \
+                        f"{item.opcode} needed {name}={value}"
+            index += 1
+
+    replay(code.items)

@@ -1,0 +1,94 @@
+"""Mode minimization with several independent machine modes.
+
+The TC25 exercises only ``pm``; this synthetic target has two modes
+(``pm`` and ``ovm`` -- the paper's own example pair: product shift and
+saturating-vs-wrap-around arithmetic) to pin the pass's behaviour when
+requirements interleave.
+"""
+
+from typing import Dict
+
+from repro.codegen.asm import AsmInstr, CodeSeq, Imm, LoopBegin, LoopEnd
+from repro.codegen.modes import minimize_mode_changes
+from repro.targets.model import TargetCapabilities, TargetModel
+
+
+class TwoModeTarget(TargetModel):
+    """Minimal target exposing pm and ovm mode registers."""
+
+    name = "twomode"
+    capabilities = TargetCapabilities(modes={"pm": (0, 15),
+                                             "ovm": (0, 1)})
+
+    def mode_reset_values(self) -> Dict[str, int]:
+        """Both modes reset to 0."""
+        return {"pm": 0, "ovm": 0}
+
+    def mode_change_instruction(self, mode: str, value: int) -> AsmInstr:
+        """SPM / SOVM-style setters."""
+        opcode = {"pm": "SPM", "ovm": "SOVM"}[mode]
+        return AsmInstr(opcode=opcode, operands=(Imm(value),))
+
+
+def instr(name, **modes):
+    return AsmInstr(opcode=name, modes=modes)
+
+
+def changes(code):
+    return [(item.opcode, item.operands[0].value)
+            for item in code if isinstance(item, AsmInstr)
+            and item.opcode in ("SPM", "SOVM")]
+
+
+def test_independent_modes_change_independently():
+    code = minimize_mode_changes(CodeSeq([
+        instr("A", pm=15),
+        instr("B", ovm=1),
+        instr("C", pm=15, ovm=1),
+    ]), TwoModeTarget())
+    assert changes(code) == [("SPM", 15), ("SOVM", 1)]
+
+
+def test_interleaved_requirements_do_not_thrash_the_other_mode():
+    code = minimize_mode_changes(CodeSeq([
+        instr("A", pm=15),
+        instr("B", ovm=1),
+        instr("C", pm=0),
+        instr("D", ovm=1),      # still satisfied: no extra SOVM
+        instr("E", pm=15),
+    ]), TwoModeTarget())
+    result = changes(code)
+    assert result.count(("SOVM", 1)) == 1
+    assert [entry for entry in result if entry[0] == "SPM"] == \
+        [("SPM", 15), ("SPM", 0), ("SPM", 15)]
+
+
+def test_loop_hoists_each_uniform_mode_once():
+    code = minimize_mode_changes(CodeSeq([
+        LoopBegin(count=4, loop_id=0),
+        instr("A", pm=15, ovm=1),
+        instr("B", pm=15),
+        LoopEnd(loop_id=0),
+    ]), TwoModeTarget())
+    result = changes(code)
+    assert sorted(result) == [("SOVM", 1), ("SPM", 15)]
+    # and both sit before the loop marker
+    items = list(code.items)
+    begin_at = next(i for i, item in enumerate(items)
+                    if isinstance(item, LoopBegin))
+    assert all(not (isinstance(item, AsmInstr)
+                    and item.opcode in ("SPM", "SOVM"))
+               for item in items[begin_at:])
+
+
+def test_conflicting_mode_inside_loop_leaves_other_hoisted():
+    code = minimize_mode_changes(CodeSeq([
+        LoopBegin(count=4, loop_id=0),
+        instr("A", pm=0, ovm=1),
+        instr("B", pm=15),
+        LoopEnd(loop_id=0),
+    ]), TwoModeTarget())
+    result = changes(code)
+    # ovm uniform -> hoisted once; pm conflicts -> changed inside, twice
+    assert result.count(("SOVM", 1)) == 1
+    assert len([entry for entry in result if entry[0] == "SPM"]) == 2

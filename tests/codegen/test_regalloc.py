@@ -1,0 +1,115 @@
+"""Unit tests for linear-scan register allocation."""
+
+import pytest
+
+from repro.codegen.asm import AsmInstr, CodeSeq, Imm, Label, Mem, Reg
+from repro.codegen.regalloc import (
+    AllocationError, allocate_registers, virtual_registers,
+)
+
+
+def ins(name, *operands):
+    return AsmInstr(opcode=name, operands=tuple(operands))
+
+
+def spill_maker(cell, register, is_store):
+    return ins("SW" if is_store else "LW", register, cell)
+
+
+def spill_cells(count):
+    return [Mem(f"$spill{i}", mode="direct", address=100 + i)
+            for i in range(count)]
+
+
+def test_virtual_register_detection():
+    instr = ins("ADD", Reg("v0"), Reg("v12"), Reg("R1"))
+    assert virtual_registers(instr) == ["v0", "v12"]
+
+
+def test_simple_allocation_renames():
+    code = CodeSeq([
+        ins("LI", Reg("v0"), Imm(1)),
+        ins("LI", Reg("v1"), Imm(2)),
+        ins("ADD", Reg("v2"), Reg("v0"), Reg("v1")),
+        ins("SW", Reg("v2"), Mem("y", mode="direct", address=0)),
+    ])
+    result, spills = allocate_registers(code, ["R1", "R2"],
+                                        spill_cells=spill_cells(4),
+                                        spill_maker=spill_maker)
+    assert spills == 0
+    names = [op.name for item in result.instructions()
+             for op in item.operands if isinstance(op, Reg)]
+    assert all(not name.startswith("v") for name in names)
+
+
+def test_registers_are_reused_after_death():
+    code = CodeSeq([
+        ins("LI", Reg("v0"), Imm(1)),
+        ins("SW", Reg("v0"), Mem("a", mode="direct", address=0)),
+        ins("LI", Reg("v1"), Imm(2)),
+        ins("SW", Reg("v1"), Mem("b", mode="direct", address=1)),
+    ])
+    result, spills = allocate_registers(code, ["R1"])
+    assert spills == 0
+    uses = [op.name for item in result.instructions()
+            for op in item.operands if isinstance(op, Reg)]
+    assert set(uses) == {"R1"}
+
+
+def test_spilling_under_pressure():
+    # three simultaneously-live values, two registers
+    code = CodeSeq([
+        ins("LI", Reg("v0"), Imm(1)),
+        ins("LI", Reg("v1"), Imm(2)),
+        ins("LI", Reg("v2"), Imm(3)),
+        ins("ADD", Reg("v3"), Reg("v0"), Reg("v1")),
+        ins("ADD", Reg("v4"), Reg("v3"), Reg("v2")),
+        ins("SW", Reg("v4"), Mem("y", mode="direct", address=0)),
+    ])
+    result, spills = allocate_registers(code, ["R1", "R2"],
+                                        spill_cells=spill_cells(4),
+                                        spill_maker=spill_maker)
+    assert spills >= 1
+    opcodes = [i.opcode for i in result.instructions()]
+    assert "SW" in opcodes and "LW" in opcodes
+
+
+def test_pressure_without_spill_support_raises():
+    code = CodeSeq([
+        ins("LI", Reg("v0"), Imm(1)),
+        ins("LI", Reg("v1"), Imm(2)),
+        ins("ADD", Reg("v2"), Reg("v0"), Reg("v1")),
+    ])
+    with pytest.raises(AllocationError):
+        allocate_registers(code, ["R1"])
+
+
+def test_runs_are_independent():
+    code = CodeSeq([
+        ins("LI", Reg("v0"), Imm(1)),
+        ins("SW", Reg("v0"), Mem("a", mode="direct", address=0)),
+        Label("L"),
+        ins("LI", Reg("v1"), Imm(2)),
+        ins("SW", Reg("v1"), Mem("b", mode="direct", address=1)),
+    ])
+    result, spills = allocate_registers(code, ["R1"])
+    assert spills == 0
+
+
+def test_use_before_definition_rejected():
+    code = CodeSeq([
+        ins("SW", Reg("v0"), Mem("a", mode="direct", address=0)),
+    ])
+    with pytest.raises(AllocationError):
+        allocate_registers(code, ["R1"])
+
+
+def test_physical_registers_pass_through():
+    code = CodeSeq([
+        ins("LI", Reg("v0"), Imm(1)),
+        ins("ADD", Reg("v1"), Reg("v0"), Reg("P0")),
+        ins("SW", Reg("v1"), Mem("a", mode="direct", address=0)),
+    ])
+    result, _ = allocate_registers(code, ["R1", "R2"])
+    second = list(result.instructions())[1]
+    assert second.operands[2].name == "P0"

@@ -1,0 +1,115 @@
+"""Unit tests for the instruction selector (variants, cover-or-cut)."""
+
+import pytest
+
+from repro.codegen.grammar import EmitContext
+from repro.codegen.selector import SelectionError, Selector, wrap_store
+from repro.ir.dfg import ArrayIndex
+from repro.ir.trees import Tree, TreeAssignment
+from repro.targets.tc25 import TC25
+
+
+@pytest.fixture()
+def selector():
+    return Selector(TC25().grammar())
+
+
+def emit(selector, symbol, tree, index=None):
+    ctx = EmitContext()
+    cost = selector.select_assignment(
+        TreeAssignment(symbol, index, tree), ctx)
+    return ctx, cost
+
+
+def opcodes(ctx):
+    return [i.opcode for i in ctx.code.instructions()]
+
+
+def test_simple_store(selector):
+    ctx, cost = emit(selector, "y", Tree.ref("a"))
+    assert opcodes(ctx) == ["LAC", "SACL"]
+    assert cost.words == 2
+
+
+def test_mac_shape(selector):
+    tree = Tree.compute("add", Tree.ref("c"),
+                        Tree.compute("mul", Tree.ref("a"),
+                                     Tree.ref("b")))
+    ctx, cost = emit(selector, "y", tree)
+    assert opcodes(ctx) == ["LAC", "LT", "MPY", "APAC", "SACL"]
+
+
+def test_algebraic_variant_wins_for_mul_by_pow2(selector):
+    # a * 8 strength-reduces via the shl variant, and the covering then
+    # finds the C25 load-with-shift (LACS a,#3): two words total instead
+    # of a multiply through T/P.
+    tree = Tree.compute("mul", Tree.ref("a"), Tree.const(8))
+    ctx, cost = emit(selector, "y", tree)
+    assert opcodes(ctx) == ["LACS", "SACL"]
+    assert cost.words == 2
+
+
+def test_commute_rescues_constant_multiplicand():
+    selector = Selector(TC25().grammar())
+    tree = Tree.compute("mul", Tree.const(3), Tree.ref("a"))
+    ctx, _cost = emit(selector, "y", tree)
+    # mul(#3, a) has no direct cover (T loads from memory); the commuted
+    # variant LT a; MPYK 3 does.
+    assert "MPYK" in opcodes(ctx)
+
+
+def test_algebraic_disabled_changes_result():
+    strict = Selector(TC25().grammar(), algebraic=False)
+    tree = Tree.compute("mul", Tree.ref("a"), Tree.const(8))
+    ctx, cost = emit(strict, "y", tree)
+    assert "SFL" not in opcodes(ctx)     # no strength reduction variant
+
+
+def test_cut_for_uncoverable_operand(selector):
+    # (a+b)*c: the multiplicand must come from memory, so the selector
+    # cuts a+b into a scratch cell.
+    tree = Tree.compute("mul",
+                        Tree.compute("add", Tree.ref("a"),
+                                     Tree.ref("b")),
+                        Tree.ref("c"))
+    ctx, cost = emit(selector, "y", tree)
+    assert selector.stats.cuts == 1
+    ops = opcodes(ctx)
+    assert ops.count("SACL") == 2       # scratch + final store
+    assert ctx.scratch_symbols           # a scratch cell was allocated
+
+
+def test_dmov_selected_for_adjacent_array_copy(selector):
+    tree = Tree.ref("x", ArrayIndex(coeff=-1, offset=2))
+    ctx, cost = emit(selector, "x", tree,
+                     index=ArrayIndex(coeff=-1, offset=3))
+    assert opcodes(ctx) == ["DMOV"]
+    assert cost.words == 1
+
+
+def test_non_adjacent_array_copy_uses_acc(selector):
+    tree = Tree.ref("x", ArrayIndex(coeff=0, offset=0))
+    ctx, _ = emit(selector, "x", tree,
+                  index=ArrayIndex(coeff=0, offset=2))
+    assert opcodes(ctx) == ["LAC", "SACL"]
+
+
+def test_unknown_operator_raises_selection_error():
+    selector = Selector(TC25().grammar())
+    # min() has no TC25 rule and its operands don't help
+    tree = Tree.compute("min", Tree.ref("a"), Tree.ref("b"))
+    with pytest.raises(SelectionError):
+        emit(selector, "y", tree)
+
+
+def test_stats_accumulate(selector):
+    emit(selector, "y", Tree.ref("a"))
+    emit(selector, "z", Tree.ref("b"))
+    assert selector.stats.assignments == 2
+    assert selector.stats.total_cost.words == 4
+
+
+def test_wrap_store_shape():
+    wrapped = wrap_store("y", None, Tree.const(1))
+    assert wrapped.operator.name == "store"
+    assert wrapped.children[0].symbol == "y"

@@ -1,0 +1,79 @@
+"""Unit tests for the marker-structured code view."""
+
+import pytest
+
+from repro.codegen.asm import AsmInstr, CodeSeq, Label, LoopBegin, LoopEnd
+from repro.codegen.structure import LoopNode, Run, flatten, iter_loops, parse
+
+
+def ins(name):
+    return AsmInstr(opcode=name)
+
+
+def test_parse_flat_run():
+    code = CodeSeq([ins("A"), ins("B")])
+    nodes = parse(code)
+    assert len(nodes) == 1
+    assert isinstance(nodes[0], Run)
+    assert [i.opcode for i in nodes[0].items] == ["A", "B"]
+
+
+def test_parse_nested_loops():
+    code = CodeSeq([
+        ins("A"),
+        LoopBegin(count=4, loop_id=0),
+        ins("B"),
+        LoopBegin(count=2, loop_id=1),
+        ins("C"),
+        LoopEnd(loop_id=1),
+        ins("D"),
+        LoopEnd(loop_id=0),
+        ins("E"),
+    ])
+    nodes = parse(code)
+    assert [type(n).__name__ for n in nodes] == ["Run", "LoopNode",
+                                                 "Run"]
+    outer = nodes[1]
+    assert outer.count == 4
+    assert not outer.is_innermost()
+    inner = [n for n in outer.body if isinstance(n, LoopNode)][0]
+    assert inner.is_innermost()
+    assert [i.opcode for i in outer.direct_items()] == ["B", "D"]
+
+
+def test_roundtrip_flatten():
+    code = CodeSeq([
+        ins("A"), LoopBegin(count=3, loop_id=0), ins("B"),
+        LoopEnd(loop_id=0), Label("L"), ins("C"),
+    ])
+    assert flatten(parse(code)).items == code.items
+
+
+def test_iter_loops_innermost_first():
+    code = CodeSeq([
+        LoopBegin(count=2, loop_id=0),
+        LoopBegin(count=2, loop_id=1),
+        ins("X"),
+        LoopEnd(loop_id=1),
+        LoopEnd(loop_id=0),
+    ])
+    loops = list(iter_loops(parse(code)))
+    assert [l.loop_id for l in loops] == [1, 0]
+
+
+def test_unbalanced_markers_rejected():
+    with pytest.raises(ValueError):
+        parse(CodeSeq([LoopEnd(loop_id=0)]))
+    with pytest.raises(ValueError):
+        parse(CodeSeq([LoopBegin(count=2, loop_id=0)]))
+    with pytest.raises(ValueError):
+        parse(CodeSeq([LoopBegin(count=2, loop_id=0),
+                       LoopEnd(loop_id=9)]))
+
+
+def test_labels_break_runs():
+    code = CodeSeq([ins("A"), Label("L"), ins("B")])
+    nodes = parse(code)
+    assert len(nodes) == 1        # labels live inside runs
+    assert isinstance(nodes[0], Run)
+    assert len(nodes[0].items) == 3

@@ -1,0 +1,86 @@
+"""Static timing analysis must match simulation exactly (Sec. 3.2 r4)."""
+
+import pytest
+
+from repro.baseline.compiler import BaselineCompiler
+from repro.codegen.pipeline import RecordCompiler
+from repro.codegen.timing import TimingError, predict_cycles
+from repro.dspstone import all_kernels, hand_reference
+from repro.sim.harness import run_compiled
+from repro.targets.m56 import M56
+from repro.targets.risc import Risc16
+from repro.targets.tc25 import TC25
+
+KERNELS = [spec.name for spec in all_kernels()]
+
+
+def simulated_cycles(spec, compiled) -> int:
+    _outputs, state = run_compiled(compiled, spec.inputs(seed=0))
+    return state.cycles
+
+
+@pytest.mark.parametrize("name", KERNELS)
+def test_prediction_matches_simulation_record_tc25(name):
+    from repro.dspstone import kernel
+    spec = kernel(name)
+    compiled = RecordCompiler(TC25()).compile(spec.program)
+    report = predict_cycles(compiled.code)
+    assert report.total_cycles == simulated_cycles(spec, compiled)
+
+
+@pytest.mark.parametrize("name", KERNELS)
+def test_prediction_matches_simulation_baseline(name):
+    from repro.dspstone import kernel
+    spec = kernel(name)
+    compiled = BaselineCompiler(TC25()).compile(spec.program)
+    report = predict_cycles(compiled.code)
+    assert report.total_cycles == simulated_cycles(spec, compiled)
+
+
+@pytest.mark.parametrize("name", KERNELS)
+def test_prediction_matches_simulation_m56(name):
+    from repro.dspstone import kernel
+    spec = kernel(name)
+    compiled = RecordCompiler(M56()).compile(spec.program)
+    report = predict_cycles(compiled.code)
+    assert report.total_cycles == simulated_cycles(spec, compiled)
+
+
+@pytest.mark.parametrize("name", KERNELS)
+def test_prediction_matches_simulation_risc(name):
+    from repro.dspstone import kernel
+    spec = kernel(name)
+    compiled = RecordCompiler(Risc16()).compile(spec.program)
+    report = predict_cycles(compiled.code)
+    assert report.total_cycles == simulated_cycles(spec, compiled)
+
+
+def test_prediction_matches_hand_references():
+    from repro.dspstone import kernel
+    for name in KERNELS:
+        spec = kernel(name)
+        compiled = hand_reference(name)
+        report = predict_cycles(compiled.code)
+        assert report.total_cycles == simulated_cycles(spec, compiled), \
+            name
+
+
+def test_report_structure():
+    from repro.dspstone import kernel
+    spec = kernel("fir")
+    compiled = RecordCompiler(TC25()).compile(spec.program)
+    report = predict_cycles(compiled.code)
+    assert report.loop_count >= 1
+    text = report.describe()
+    assert "predicted execution time" in text
+    assert "loop" in text
+
+
+def test_unstructured_branch_rejected():
+    from repro.codegen.asm import AsmInstr, CodeSeq, LabelRef, Reg
+    code = CodeSeq([
+        AsmInstr(opcode="BANZ",
+                 operands=(LabelRef("nowhere"), Reg("AR7"))),
+    ])
+    with pytest.raises(TimingError):
+        predict_cycles(code)

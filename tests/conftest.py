@@ -1,0 +1,51 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir.fixedpoint import FixedPointContext
+
+
+@pytest.fixture(scope="session")
+def fpc16() -> FixedPointContext:
+    return FixedPointContext(16)
+
+
+@pytest.fixture()
+def tc25():
+    from repro.targets.tc25 import TC25
+    return TC25()
+
+
+@pytest.fixture()
+def m56():
+    from repro.targets.m56 import M56
+    return M56()
+
+
+@pytest.fixture()
+def risc16():
+    from repro.targets.risc import Risc16
+    return Risc16()
+
+
+def reference_run(spec, seed: int, fpc=None):
+    """Run a kernel's MiniDFL reference semantics; returns the env."""
+    if fpc is None:
+        fpc = FixedPointContext(16)
+    program = spec.program
+    env = program.initial_environment()
+    for key, value in spec.inputs(seed=seed).items():
+        env[key] = list(value) if isinstance(value, list) else value
+    program.run(env, fpc)
+    return env
+
+
+def outputs_of(spec, env):
+    """Extract the output symbols from an environment."""
+    return {
+        name: env[name]
+        for name, symbol in spec.program.symbols.items()
+        if symbol.role == "output"
+    }

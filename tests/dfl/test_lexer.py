@@ -1,0 +1,73 @@
+"""Unit tests for the MiniDFL tokenizer."""
+
+import pytest
+
+from repro.dfl.errors import DflSyntaxError
+from repro.dfl.lexer import Token, tokenize
+
+
+def kinds(source):
+    return [(t.kind, t.text) for t in tokenize(source)[:-1]]
+
+
+def test_empty_input_yields_eof_only():
+    tokens = tokenize("")
+    assert len(tokens) == 1
+    assert tokens[0].kind == "eof"
+
+
+def test_keywords_vs_identifiers():
+    assert kinds("program fir") == [("keyword", "program"),
+                                    ("ident", "fir")]
+    assert kinds("forx for") == [("ident", "forx"), ("keyword", "for")]
+
+
+def test_numbers_decimal_and_hex():
+    assert kinds("42 0x1F") == [("number", "42"), ("number", "0x1F")]
+
+
+def test_bad_number_rejected():
+    with pytest.raises(DflSyntaxError):
+        tokenize("0xZZ")
+
+
+def test_multichar_operators_maximal_munch():
+    assert kinds("a := b .. c << d >> e") == [
+        ("ident", "a"), ("op", ":="), ("ident", "b"), ("op", ".."),
+        ("ident", "c"), ("op", "<<"), ("ident", "d"), ("op", ">>"),
+        ("ident", "e"),
+    ]
+
+
+def test_single_char_operators():
+    text = "+-*&|^~()[];,@="
+    tokens = kinds(text)
+    assert all(kind == "op" for kind, _ in tokens)
+    assert [text for _, text in tokens] == list(text)
+
+
+def test_comments_are_skipped_and_may_span_lines():
+    source = "a { comment\nstill comment } b"
+    assert kinds(source) == [("ident", "a"), ("ident", "b")]
+
+
+def test_unterminated_comment_reports_start_position():
+    with pytest.raises(DflSyntaxError) as excinfo:
+        tokenize("x\n{ never closed")
+    assert excinfo.value.line == 2
+
+
+def test_positions_are_tracked():
+    tokens = tokenize("a\n  bc")
+    assert (tokens[0].line, tokens[0].column) == (1, 1)
+    assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+
+def test_unexpected_character():
+    with pytest.raises(DflSyntaxError) as excinfo:
+        tokenize("a ? b")
+    assert "?" in str(excinfo.value)
+
+
+def test_delay_operator_tokenizes():
+    assert kinds("x@1") == [("ident", "x"), ("op", "@"), ("number", "1")]

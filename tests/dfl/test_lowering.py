@@ -1,0 +1,201 @@
+"""Unit tests for AST-to-IR lowering (incl. semantics round trips)."""
+
+import pytest
+
+from repro.dfl import compile_dfl
+from repro.dfl.errors import DflSemanticError
+from repro.dfl.lowering import history_array
+from repro.ir.fixedpoint import FixedPointContext
+from repro.ir.program import Block, Loop
+
+FPC = FixedPointContext(16)
+
+
+def run(source, **inputs):
+    program = compile_dfl(source)
+    env = program.initial_environment()
+    env.update(inputs)
+    program.run(env, FPC)
+    return program, env
+
+
+def test_sequential_forwarding_within_block():
+    _, env = run("""
+program p;
+input x; output y;
+var t;
+begin
+  t := x + 1;
+  y := t * 2;
+end.
+""", x=10)
+    assert env["y"] == 22
+
+
+def test_multiple_writes_last_wins():
+    _, env = run("""
+program p;
+output y;
+begin
+  y := 1;
+  y := 2;
+end.
+""")
+    assert env["y"] == 2
+
+
+def test_loop_normalization_nonzero_lower_bound():
+    _, env = run("""
+program p;
+input a[6]; output y;
+var acc;
+begin
+  acc := 0;
+  for i in 2 .. 4 do
+    acc := acc + a[i];
+  end;
+  y := acc;
+end.
+""", a=[1, 2, 4, 8, 16, 32])
+    assert env["y"] == 4 + 8 + 16
+
+
+def test_reverse_walk_index():
+    _, env = run("""
+program p;
+const N = 4;
+input a[N]; output y[N];
+begin
+  for i in 0 .. N-1 do
+    y[i] := a[N-1-i];
+  end;
+end.
+""", a=[1, 2, 3, 4])
+    assert env["y"] == [4, 3, 2, 1]
+
+
+def test_interleaved_stride_two():
+    _, env = run("""
+program p;
+const N = 2;
+input a[2*N]; output y[2*N];
+begin
+  for i in 0 .. N-1 do
+    y[2*i]   := a[2*i+1];
+    y[2*i+1] := a[2*i];
+  end;
+end.
+""", a=[1, 2, 3, 4])
+    assert env["y"] == [2, 1, 4, 3]
+
+
+def test_delay_lines_shift_once_per_run():
+    program = compile_dfl("""
+program p;
+input x; output y;
+begin
+  y := x@1 + x@2;
+end.
+""")
+    env = program.initial_environment()
+    history = history_array("x")
+    assert history in env and env[history] == [0, 0]
+    outs = []
+    for sample in [10, 20, 30, 40]:
+        env["x"] = sample
+        program.run(env, FPC)
+        outs.append(env["y"])
+    # y[n] = x[n-1] + x[n-2]
+    assert outs == [0, 10, 30, 50]
+
+
+def test_delay_line_symbol_is_declared_state():
+    program = compile_dfl("""
+program p;
+input x; output y;
+begin
+  y := x@1;
+end.
+""")
+    symbol = program.symbols[history_array("x")]
+    assert symbol.role == "state"
+    assert symbol.size == 1
+
+
+def test_constants_fold_into_const_nodes():
+    program = compile_dfl("""
+program p;
+const K = 5;
+output y;
+begin
+  y := K;
+end.
+""")
+    block = program.body[0]
+    assert isinstance(block, Block)
+    assert "#5" in block.dfg.dump()
+
+
+def test_blocks_split_around_loops():
+    program = compile_dfl("""
+program p;
+const N = 2;
+input a[N]; output y;
+var acc;
+begin
+  acc := 0;
+  for i in 0 .. N-1 do
+    acc := acc + a[i];
+  end;
+  y := acc;
+end.
+""")
+    shapes = [type(item).__name__ for item in program.body]
+    assert shapes == ["Block", "Loop", "Block"]
+
+
+def test_ambiguous_array_aliasing_rejected():
+    with pytest.raises(DflSemanticError) as excinfo:
+        compile_dfl("""
+program p;
+input a[8]; output y;
+begin
+  for i in 0 .. 3 do
+    a[i] := 1;
+    y := a[2*i];
+  end;
+end.
+""")
+    assert "disambiguate" in str(excinfo.value)
+
+
+def test_same_coeff_different_offset_is_fine():
+    _, env = run("""
+program p;
+const N = 3;
+var a[N+1];
+output y;
+begin
+  for i in 0 .. N-1 do
+    a[i] := 7;
+    y := a[i+1];
+  end;
+end.
+""")
+    # reading a[i+1] after writing a[i] is statically distinct
+    assert env["y"] == 0
+
+
+def test_write_then_read_same_cell_forwards():
+    _, env = run("""
+program p;
+var a[4];
+output y;
+begin
+  for i in 0 .. 3 do
+    a[i] := 5;
+    y := a[i];
+  end;
+end.
+""")
+    assert env["y"] == 5

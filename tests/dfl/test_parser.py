@@ -1,0 +1,156 @@
+"""Unit tests for the MiniDFL parser."""
+
+import pytest
+
+from repro.dfl.ast_nodes import (
+    Assign, Binary, Delay, For, Index, Num, Unary, Var,
+)
+from repro.dfl.errors import DflSyntaxError
+from repro.dfl.parser import parse
+
+MINIMAL = """
+program p;
+output y;
+begin
+  y := 1;
+end.
+"""
+
+
+def test_minimal_program():
+    ast = parse(MINIMAL)
+    assert ast.name == "p"
+    assert len(ast.decls) == 1
+    assert len(ast.body) == 1
+    statement = ast.body[0]
+    assert isinstance(statement, Assign)
+    assert statement.target == "y"
+    assert isinstance(statement.expr, Num)
+
+
+def test_declarations_with_arrays_and_lists():
+    ast = parse("""
+program p;
+const N = 4, M = N*2;
+input a[N], b;
+var t;
+output y[M];
+begin
+  y[0] := 1;
+end.
+""")
+    roles = [(d.role, d.name) for d in ast.decls]
+    assert roles == [("const", "N"), ("const", "M"), ("input", "a"),
+                     ("input", "b"), ("var", "t"), ("output", "y")]
+
+
+def test_operator_precedence():
+    ast = parse("""
+program p;
+input a, b, c; output y;
+begin
+  y := a + b * c;
+end.
+""")
+    expr = ast.body[0].expr
+    assert isinstance(expr, Binary) and expr.op == "+"
+    assert isinstance(expr.right, Binary) and expr.right.op == "*"
+
+
+def test_shift_binds_looser_than_additive():
+    ast = parse("""
+program p;
+input a, b; output y;
+begin
+  y := a + b >> 2;
+end.
+""")
+    expr = ast.body[0].expr
+    assert expr.op == ">>"
+    assert expr.left.op == "+"
+
+
+def test_parentheses_override():
+    ast = parse("""
+program p;
+input a, b, c; output y;
+begin
+  y := (a + b) * c;
+end.
+""")
+    expr = ast.body[0].expr
+    assert expr.op == "*"
+    assert expr.left.op == "+"
+
+
+def test_unary_and_builtins():
+    ast = parse("""
+program p;
+input a, b; output y;
+begin
+  y := sat(-a + abs(b)) & min(a, b);
+end.
+""")
+    expr = ast.body[0].expr
+    assert expr.op == "&"
+    assert isinstance(expr.left, Unary) and expr.left.op == "sat"
+    assert isinstance(expr.right, Binary) and expr.right.op == "min"
+
+
+def test_for_loop_and_indexing():
+    ast = parse("""
+program p;
+const N = 8;
+input a[N]; output y[N];
+begin
+  for i in 0 .. N-1 do
+    y[i] := a[N-1-i];
+  end;
+end.
+""")
+    loop = ast.body[0]
+    assert isinstance(loop, For)
+    assert loop.var == "i"
+    inner = loop.body[0]
+    assert isinstance(inner.expr, Index)
+
+
+def test_delay_expression():
+    ast = parse("""
+program p;
+input x; output y;
+begin
+  y := x@2;
+end.
+""")
+    expr = ast.body[0].expr
+    assert isinstance(expr, Delay)
+    assert expr.depth == 2
+
+
+def test_missing_semicolon_reports_position():
+    with pytest.raises(DflSyntaxError) as excinfo:
+        parse("program p;\noutput y;\nbegin\n  y := 1\nend.")
+    assert excinfo.value.line >= 4
+
+
+def test_missing_end_dot():
+    with pytest.raises(DflSyntaxError):
+        parse("program p; output y; begin y := 1; end")
+
+
+def test_garbage_after_program():
+    with pytest.raises(DflSyntaxError):
+        parse("program p; output y; begin y := 1; end. extra")
+
+
+def test_expression_error_message():
+    with pytest.raises(DflSyntaxError) as excinfo:
+        parse("program p; output y; begin y := * 2; end.")
+    assert "expression" in str(excinfo.value)
+
+
+def test_unclosed_body():
+    with pytest.raises(DflSyntaxError) as excinfo:
+        parse("program p; output y; begin y := 1;")
+    assert "end of input" in str(excinfo.value)

@@ -1,0 +1,212 @@
+"""Unit tests for MiniDFL semantic analysis (incl. failure injection)."""
+
+import pytest
+
+from repro.dfl.errors import DflSemanticError
+from repro.dfl.parser import parse
+from repro.dfl.semantics import analyze
+
+
+def check(source):
+    return analyze(parse(source))
+
+
+def expect_error(source, fragment):
+    with pytest.raises(DflSemanticError) as excinfo:
+        check(source)
+    assert fragment in str(excinfo.value)
+
+
+def test_consts_fold_with_dependencies():
+    analyzed = check("""
+program p;
+const N = 4, M = N * 2 + 1;
+output y;
+begin
+  y := M;
+end.
+""")
+    assert analyzed.consts == {"N": 4, "M": 9}
+
+
+def test_array_sizes_resolve():
+    analyzed = check("""
+program p;
+const N = 3;
+input a[N * 2];
+output y;
+begin
+  y := a[5];
+end.
+""")
+    assert analyzed.array_sizes["a"] == 6
+
+
+def test_duplicate_declaration():
+    expect_error("""
+program p;
+input x;
+var x;
+output y;
+begin y := x; end.
+""", "declared twice")
+
+
+def test_undeclared_symbol():
+    expect_error("""
+program p;
+output y;
+begin y := nope; end.
+""", "undeclared")
+
+
+def test_assign_to_const():
+    expect_error("""
+program p;
+const K = 1;
+output y;
+begin K := 2; y := 0; end.
+""", "const")
+
+
+def test_array_requires_index():
+    expect_error("""
+program p;
+input a[4]; output y;
+begin y := a; end.
+""", "requires an index")
+
+
+def test_scalar_cannot_be_indexed():
+    expect_error("""
+program p;
+input x; output y;
+begin y := x[0]; end.
+""", "cannot be indexed")
+
+
+def test_constant_index_bounds_checked():
+    expect_error("""
+program p;
+input a[4]; output y;
+begin y := a[4]; end.
+""", "out of bounds")
+
+
+def test_negative_array_size():
+    expect_error("""
+program p;
+const N = 0;
+input a[N]; output y;
+begin y := 1; end.
+""", "positive size")
+
+
+def test_empty_loop_range():
+    expect_error("""
+program p;
+output y;
+begin
+  for i in 3 .. 1 do
+    y := 1;
+  end;
+end.
+""", "empty")
+
+
+def test_loop_variable_shadowing():
+    expect_error("""
+program p;
+input i; output y;
+begin
+  for i in 0 .. 3 do
+    y := 1;
+  end;
+end.
+""", "shadows")
+
+
+def test_loop_variable_not_a_value():
+    expect_error("""
+program p;
+output y;
+begin
+  for i in 0 .. 3 do
+    y := i;
+  end;
+end.
+""", "array indexes")
+
+
+def test_loop_variable_not_assignable():
+    expect_error("""
+program p;
+output y;
+begin
+  for i in 0 .. 3 do
+    i := 1;
+  end;
+end.
+""", "loop variable")
+
+
+def test_only_innermost_loop_var_indexes():
+    expect_error("""
+program p;
+input a[4]; output y;
+begin
+  for i in 0 .. 1 do
+    for j in 0 .. 1 do
+      y := a[i];
+    end;
+  end;
+end.
+""", "innermost")
+
+
+def test_affine_index_analysis_accepts_common_shapes():
+    analyzed = check("""
+program p;
+const N = 8;
+input a[2*N]; output y;
+var acc;
+begin
+  acc := 0;
+  for i in 0 .. N-1 do
+    acc := acc + a[2*i+1] + a[N-1-i] + a[3];
+  end;
+  y := acc;
+end.
+""")
+    assert analyzed.array_sizes["a"] == 16
+
+
+def test_nonaffine_index_rejected():
+    expect_error("""
+program p;
+input a[16]; output y;
+begin
+  for i in 0 .. 3 do
+    y := a[i*i];
+  end;
+end.
+""", "affine")
+
+
+def test_delay_depth_tracking():
+    analyzed = check("""
+program p;
+input x; output y;
+begin
+  y := x@1 + x@3;
+end.
+""")
+    assert analyzed.delay_depths == {"x": 3}
+
+
+def test_delay_on_array_rejected():
+    expect_error("""
+program p;
+input a[4]; output y;
+begin y := a@1; end.
+""", "scalar")

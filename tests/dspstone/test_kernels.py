@@ -1,0 +1,109 @@
+"""Unit tests for the DSPStone kernel suite definitions."""
+
+import pytest
+
+from repro.dspstone import KERNEL_NAMES, all_kernels, kernel
+from repro.ir.fixedpoint import FixedPointContext
+
+FPC = FixedPointContext(16)
+
+
+def test_table1_row_order_and_count():
+    assert KERNEL_NAMES == (
+        "real_update", "complex_multiply", "complex_update",
+        "n_real_updates", "n_complex_updates", "fir",
+        "iir_biquad_one_section", "iir_biquad_N_sections",
+        "dot_product", "convolution",
+    )
+
+
+def test_unknown_kernel_lists_available():
+    with pytest.raises(KeyError) as excinfo:
+        kernel("fft")
+    assert "real_update" in str(excinfo.value)
+
+
+def test_every_kernel_compiles_and_runs_in_reference():
+    for spec in all_kernels():
+        program = spec.program
+        env = program.initial_environment()
+        for key, value in spec.inputs(seed=0).items():
+            env[key] = list(value) if isinstance(value, list) else value
+        program.run(env, FPC)
+        for symbol in program.outputs():
+            assert symbol.name in env
+
+
+def test_inputs_are_seeded_and_deterministic():
+    for spec in all_kernels():
+        assert spec.inputs(seed=3) == spec.inputs(seed=3)
+        assert spec.inputs(seed=3) != spec.inputs(seed=4)
+
+
+def test_paper_percentages_recorded():
+    fir = kernel("fir")
+    assert (fir.paper_baseline_pct, fir.paper_record_pct) == (700, 200)
+    biquad = kernel("iir_biquad_one_section")
+    assert biquad.paper_baseline_pct < biquad.paper_record_pct
+
+
+# -- semantic spot checks against closed-form math ----------------------
+
+def run_reference(name, seed=0):
+    spec = kernel(name)
+    program = spec.program
+    env = program.initial_environment()
+    inputs = spec.inputs(seed=seed)
+    for key, value in inputs.items():
+        env[key] = list(value) if isinstance(value, list) else value
+    program.run(env, FPC)
+    return inputs, env
+
+
+def test_real_update_math():
+    inputs, env = run_reference("real_update")
+    assert env["d"] == FPC.wrap(inputs["a"] * inputs["b"] + inputs["c"])
+
+
+def test_complex_multiply_math():
+    inputs, env = run_reference("complex_multiply")
+    ar, ai = inputs["ar"], inputs["ai"]
+    br, bi = inputs["br"], inputs["bi"]
+    assert env["cr"] == FPC.wrap(ar * br - ai * bi)
+    assert env["ci"] == FPC.wrap(ar * bi + ai * br)
+
+
+def test_n_real_updates_math():
+    inputs, env = run_reference("n_real_updates")
+    expected = [FPC.wrap(a * b + c) for a, b, c in
+                zip(inputs["a"], inputs["b"], inputs["c"])]
+    assert env["d"] == expected
+
+
+def test_fir_math():
+    inputs, env = run_reference("fir")
+    x = list(inputs["x"])
+    x[0] = inputs["x0"]
+    acc = sum((h * xi) >> 15 for h, xi in zip(inputs["h"], x))
+    assert env["y"] == FPC.wrap(acc)
+    # delay line shifted up with the new sample in place
+    assert env["x"][1:] == x[:-1]
+
+
+def test_convolution_math():
+    inputs, env = run_reference("convolution")
+    n = len(inputs["x"])
+    acc = sum(inputs["x"][i] * inputs["h"][n - 1 - i] for i in range(n))
+    assert env["y"] == FPC.wrap(acc)
+
+
+def test_iir_biquad_one_section_math():
+    inputs, env = run_reference("iir_biquad_one_section")
+    w1, w2 = inputs[".h.w"]
+    w = inputs["x"] - ((inputs["a1"] * w1) >> 15) \
+        - ((inputs["a2"] * w2) >> 15)
+    w = FPC.wrap(w)
+    y = ((inputs["b0"] * w) >> 15) + ((inputs["b1"] * w1) >> 15) \
+        + ((inputs["b2"] * w2) >> 15)
+    assert env["y"] == FPC.wrap(y)
+    assert env[".h.w"] == [w, w1]

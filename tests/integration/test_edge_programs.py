@@ -1,0 +1,121 @@
+"""Degenerate programs must compile and run, not crash."""
+
+import pytest
+
+from repro.baseline.compiler import BaselineCompiler
+from repro.codegen.pipeline import RecordCompiler
+from repro.dfl import compile_dfl
+from repro.sim.harness import run_compiled
+from repro.targets.m56 import M56
+from repro.targets.risc import Risc16
+from repro.targets.tc25 import TC25
+
+ALL_TARGETS = [TC25, M56, Risc16]
+
+
+@pytest.mark.parametrize("target_cls", ALL_TARGETS)
+def test_empty_body(target_cls):
+    program = compile_dfl("""
+program empty;
+input x;
+output y;
+begin
+end.
+""")
+    compiled = RecordCompiler(target_cls()).compile(program)
+    outputs, state = run_compiled(compiled, {"x": 5})
+    assert outputs["y"] == 0
+    assert state.cycles == 0
+    assert compiled.words() == 0
+
+
+@pytest.mark.parametrize("target_cls", ALL_TARGETS)
+def test_constant_only(target_cls):
+    program = compile_dfl("""
+program consts;
+output y;
+begin
+  y := 3 * 7 + 1;
+end.
+""")
+    compiled = RecordCompiler(target_cls()).compile(program)
+    outputs, _ = run_compiled(compiled, {})
+    assert outputs["y"] == 22
+
+
+def test_single_iteration_loop():
+    program = compile_dfl("""
+program once;
+input a[1];
+output y;
+begin
+  for i in 0 .. 0 do
+    y := a[i];
+  end;
+end.
+""")
+    for target_cls in ALL_TARGETS:
+        compiled = RecordCompiler(target_cls()).compile(program)
+        outputs, _ = run_compiled(compiled, {"a": [42]})
+        assert outputs["y"] == 42, target_cls.__name__
+
+
+def test_self_assignment():
+    program = compile_dfl("""
+program selfish;
+input x;
+output y;
+begin
+  y := x;
+  y := y + y;
+  y := y;
+end.
+""")
+    for compiler in (RecordCompiler(TC25()), BaselineCompiler(TC25())):
+        compiled = compiler.compile(program)
+        outputs, _ = run_compiled(compiled, {"x": 21})
+        assert outputs["y"] == 42
+
+
+def test_extreme_values_wrap_consistently():
+    program = compile_dfl("""
+program extremes;
+input a, b;
+output s, d, p;
+begin
+  s := a + b;
+  d := a - b;
+  p := a * b;
+end.
+""")
+    from repro.ir.fixedpoint import FixedPointContext
+    fpc = FixedPointContext(16)
+    for a, b in [(32767, 32767), (-32768, -32768), (-32768, 32767),
+                 (32767, 1), (-32768, -1)]:
+        reference = program.initial_environment()
+        reference.update({"a": a, "b": b})
+        program.run(reference, fpc)
+        for target_cls in ALL_TARGETS:
+            compiled = RecordCompiler(target_cls()).compile(program)
+            outputs, _ = run_compiled(compiled, {"a": a, "b": b})
+            for name in ("s", "d", "p"):
+                assert outputs[name] == reference[name], \
+                    (target_cls.__name__, name, a, b)
+
+
+def test_deep_expression_nesting():
+    # 24-deep left spine: exercises the selector's recursion comfortably
+    expr = "x"
+    for _ in range(24):
+        expr = f"({expr}) + 1"
+    program = compile_dfl(f"""
+program deep;
+input x;
+output y;
+begin
+  y := {expr};
+end.
+""")
+    compiled = RecordCompiler(TC25()).compile(program)
+    outputs, _ = run_compiled(compiled, {"x": 0})
+    assert outputs["y"] == 24

@@ -1,0 +1,140 @@
+"""The opt-in MACD sum+shift fusion (beyond 1997 RECORD)."""
+
+import pytest
+
+from repro.codegen.pipeline import RecordCompiler, RecordOptions
+from repro.codegen.timing import predict_cycles
+from repro.dfl import compile_dfl
+from repro.dspstone import all_kernels, kernel
+from repro.ir.fixedpoint import FixedPointContext
+from repro.sim.harness import run_compiled
+from repro.targets.tc25 import TC25
+
+FPC = FixedPointContext(16)
+FUSED = RecordOptions(fuse_shift_idioms=True)
+
+
+def test_fir_uses_macd_and_shrinks():
+    spec = kernel("fir")
+    fused = RecordCompiler(TC25(), FUSED).compile(spec.program)
+    plain = RecordCompiler(TC25()).compile(spec.program)
+    opcodes = [i.opcode for i in fused.code.instructions()]
+    assert "MACD" in opcodes
+    assert "DMOV" not in opcodes          # the shift loop is gone
+    assert fused.words() < plain.words()
+    # the coefficient table streams reversed
+    table = fused.pmem_tables[0]
+    assert table.stride == -1
+
+
+def test_fused_fir_bit_exact_with_state():
+    spec = kernel("fir")
+    compiled = RecordCompiler(TC25(), FUSED).compile(spec.program)
+    for seed in range(3):
+        reference = spec.program.initial_environment()
+        for key, value in spec.inputs(seed=seed).items():
+            reference[key] = list(value) if isinstance(value, list) \
+                else value
+        spec.program.run(reference, FPC)
+        outputs, _ = run_compiled(compiled, spec.inputs(seed=seed))
+        assert outputs["y"] == reference["y"]
+        assert outputs["x"] == reference["x"]       # delay line too
+
+
+def test_fused_fir_streams_correctly():
+    spec = kernel("fir")
+    compiled = RecordCompiler(TC25(), FUSED).compile(spec.program)
+    reference = spec.program.initial_environment()
+    reference["h"] = spec.inputs(0)["h"]
+    state = None
+    for sample in (100, -200, 300, -400, 500):
+        reference["x0"] = sample
+        spec.program.run(reference, FPC)
+        outputs, state = run_compiled(
+            compiled, {"x0": sample, "h": reference["h"]}, state=state)
+        assert outputs["y"] == reference["y"], sample
+        assert outputs["x"] == reference["x"], sample
+
+
+def test_timing_prediction_holds_with_fusion():
+    spec = kernel("fir")
+    compiled = RecordCompiler(TC25(), FUSED).compile(spec.program)
+    _outputs, state = run_compiled(compiled, spec.inputs(seed=0))
+    assert predict_cycles(compiled.code).total_cycles == state.cycles
+
+
+def test_all_kernels_stay_correct_with_fusion_enabled():
+    for spec in all_kernels():
+        compiled = RecordCompiler(TC25(), FUSED).compile(spec.program)
+        reference = spec.program.initial_environment()
+        for key, value in spec.inputs(seed=0).items():
+            reference[key] = list(value) if isinstance(value, list) \
+                else value
+        spec.program.run(reference, FPC)
+        outputs, _ = run_compiled(compiled, spec.inputs(seed=0))
+        for symbol in spec.program.symbols.values():
+            if symbol.role == "output":
+                assert outputs[symbol.name] == reference[symbol.name], \
+                    spec.name
+
+
+def test_fusion_requires_matching_shift_range():
+    # shift covers one element short of the sum: must NOT fuse
+    program = compile_dfl("""
+program partial;
+const N = 8;
+input x0; input h[N];
+var x[N];
+output y;
+var acc;
+begin
+  x[0] := x0;
+  acc := 0;
+  for i in 0 .. N-1 do
+    acc := acc + ((h[i] * x[i]) >> 15);
+  end;
+  for k in 0 .. N-3 do
+    x[N-1-k] := x[N-2-k];
+  end;
+  y := acc;
+end.
+""")
+    compiled = RecordCompiler(TC25(), FUSED).compile(program)
+    opcodes = [i.opcode for i in compiled.code.instructions()]
+    assert "MACD" not in opcodes
+
+
+def test_fusion_blocked_by_intervening_use():
+    # the data array is read between the two loops: must NOT fuse
+    program = compile_dfl("""
+program blocked;
+const N = 8;
+input x0; input h[N];
+var x[N];
+output y, peek;
+var acc;
+begin
+  x[0] := x0;
+  acc := 0;
+  for i in 0 .. N-1 do
+    acc := acc + ((h[i] * x[i]) >> 15);
+  end;
+  peek := x[3];
+  for k in 0 .. N-2 do
+    x[N-1-k] := x[N-2-k];
+  end;
+  y := acc;
+end.
+""")
+    compiled = RecordCompiler(TC25(), FUSED).compile(program)
+    opcodes = [i.opcode for i in compiled.code.instructions()]
+    assert "MACD" not in opcodes
+    # still correct, of course
+    inputs = {"x0": 500, "h": [1000] * 8, "x": [1, 2, 3, 4, 5, 6, 7, 8]}
+    reference = program.initial_environment()
+    for key, value in inputs.items():
+        reference[key] = list(value) if isinstance(value, list) else value
+    program.run(reference, FPC)
+    outputs, _ = run_compiled(compiled, inputs)
+    assert outputs["y"] == reference["y"]
+    assert outputs["peek"] == reference["peek"]

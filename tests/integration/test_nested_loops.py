@@ -1,0 +1,109 @@
+"""Nested counted loops across targets (incl. the TC25 AR split)."""
+
+import pytest
+
+from repro.baseline.compiler import BaselineCompiler
+from repro.codegen.pipeline import RecordCompiler
+from repro.dfl import compile_dfl
+from repro.ir.fixedpoint import FixedPointContext
+from repro.sim.harness import run_compiled
+from repro.targets.m56 import M56
+from repro.targets.risc import Risc16
+from repro.targets.tc25 import TC25
+
+FPC = FixedPointContext(16)
+
+NESTED = """
+program nested;
+const N = 4;
+input  a[N];
+output y;
+var    acc;
+begin
+  acc := 0;
+  for i in 0 .. N-1 do
+    for j in 0 .. N-1 do
+      acc := acc + a[j];
+    end;
+  end;
+  y := acc;
+end.
+"""
+
+NESTED_WITH_OUTER_STREAM = """
+program nested2;
+const N = 3;
+input  a[N], b[N];
+output y[N];
+var    acc;
+begin
+  for i in 0 .. N-1 do
+    acc := a[i];
+    for j in 0 .. N-1 do
+      acc := acc + b[j];
+    end;
+    y[i] := acc;
+  end;
+end.
+"""
+
+
+def reference(source, inputs):
+    program = compile_dfl(source)
+    env = program.initial_environment()
+    for key, value in inputs.items():
+        env[key] = list(value) if isinstance(value, list) else value
+    program.run(env, FPC)
+    return program, env
+
+
+@pytest.mark.parametrize("target_cls", [TC25, M56, Risc16])
+def test_simple_nesting(target_cls):
+    inputs = {"a": [1, 2, 3, 4]}
+    program, env = reference(NESTED, inputs)
+    compiled = RecordCompiler(target_cls()).compile(program)
+    outputs, _ = run_compiled(compiled, inputs)
+    assert outputs["y"] == env["y"] == 40
+
+
+@pytest.mark.parametrize("target_cls", [TC25, M56, Risc16])
+def test_nesting_with_streams_at_both_levels(target_cls):
+    inputs = {"a": [10, 20, 30], "b": [1, 2, 3]}
+    program, env = reference(NESTED_WITH_OUTER_STREAM, inputs)
+    compiled = RecordCompiler(target_cls()).compile(program)
+    outputs, _ = run_compiled(compiled, inputs)
+    assert outputs["y"] == env["y"] == [16, 26, 36]
+
+
+def test_baseline_nested_loops():
+    inputs = {"a": [10, 20, 30], "b": [1, 2, 3]}
+    program, env = reference(NESTED_WITH_OUTER_STREAM, inputs)
+    compiled = BaselineCompiler(TC25()).compile(program)
+    outputs, _ = run_compiled(compiled, inputs)
+    assert outputs["y"] == env["y"]
+
+
+def test_tc25_reserves_counters_by_depth():
+    target = TC25()
+    from repro.codegen.asm import CodeSeq, LoopBegin, LoopEnd
+    flat = CodeSeq([LoopBegin(count=2, loop_id=0), LoopEnd(loop_id=0)])
+    nested = CodeSeq([
+        LoopBegin(count=2, loop_id=0),
+        LoopBegin(count=2, loop_id=1),
+        LoopEnd(loop_id=1),
+        LoopEnd(loop_id=0),
+    ])
+    assert "AR6" in target.stream_registers_for(flat)
+    assert "AR6" not in target.stream_registers_for(nested)
+    assert "AR7" not in target.stream_registers_for(flat)
+    # straight-line programs keep all eight for streams
+    assert len(target.stream_registers_for(CodeSeq())) == 8
+
+
+def test_tc25_timing_holds_for_nested_loops():
+    from repro.codegen.timing import predict_cycles
+    inputs = {"a": [1, 2, 3, 4]}
+    program, _env = reference(NESTED, inputs)
+    compiled = RecordCompiler(TC25()).compile(program)
+    _outputs, state = run_compiled(compiled, inputs)
+    assert predict_cycles(compiled.code).total_cycles == state.cycles

@@ -1,0 +1,63 @@
+"""Random-program properties: encoding roundtrips and exact timing.
+
+Extends the differential fuzzer's program generator to two more
+system-level properties:
+
+1. every randomly generated TC25 program assembles to a binary image of
+   exactly its declared size, and the *disassembled* image simulates to
+   identical outputs;
+2. the static timing analysis predicts the simulated cycle count
+   exactly, on every target, for every random program.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.baseline.compiler import BaselineCompiler
+from repro.codegen.compiled import CompiledProgram
+from repro.codegen.pipeline import RecordCompiler
+from repro.codegen.timing import predict_cycles
+from repro.sim.harness import run_compiled
+from repro.targets.m56 import M56
+from repro.targets.risc import Risc16
+from repro.targets.tc25 import TC25
+from repro.targets.tc25_encoding import assemble, disassemble
+
+from tests.integration.test_differential import (
+    build_program, inputs_for,
+)
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(min_value=0, max_value=10_000))
+def test_encoding_roundtrip_on_random_programs(seed):
+    _source, program = build_program(seed)
+    inputs = inputs_for(seed)
+    for compiled in (RecordCompiler(TC25()).compile(program),
+                     BaselineCompiler(TC25()).compile(program)):
+        image = assemble(compiled)
+        assert len(image) == compiled.words()
+        decoded = CompiledProgram(
+            name=compiled.name, target=compiled.target,
+            code=disassemble(image), memory_map=compiled.memory_map,
+            symbols=compiled.symbols,
+            pmem_tables=compiled.pmem_tables)
+        original, _ = run_compiled(compiled, inputs)
+        replayed, _ = run_compiled(decoded, inputs)
+        assert original == replayed
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(min_value=0, max_value=10_000))
+def test_timing_prediction_exact_on_random_programs(seed):
+    _source, program = build_program(seed)
+    inputs = inputs_for(seed)
+    for target in (TC25(), M56(), Risc16()):
+        compiled = RecordCompiler(target).compile(program)
+        _outputs, state = run_compiled(compiled, inputs)
+        assert predict_cycles(compiled.code).total_cycles == \
+            state.cycles, target.name

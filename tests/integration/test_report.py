@@ -1,0 +1,25 @@
+"""The report generator produces all sections with live numbers."""
+
+from repro.evalx.report import (
+    cube_section, full_report, table1_section,
+)
+
+
+def test_table1_section_contains_live_numbers():
+    section = table1_section()
+    assert "RECORD wins" in section
+    assert "fir" in section
+
+
+def test_cube_section():
+    section = cube_section()
+    assert "DSP core" in section and "ASSP" in section
+
+
+def test_full_report_has_all_sections():
+    report = full_report()
+    for heading in ("Table 1", "Sec. 3.1", "Sec. 3.3", "Sec. 4.2",
+                    "Fig. 1", "Sec. 4.5"):
+        assert heading in report, heading
+    # markdown structure: fenced blocks come in pairs
+    assert report.count("```") % 2 == 0

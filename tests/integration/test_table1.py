@@ -1,0 +1,69 @@
+"""Integration: the Table 1 harness reproduces the paper's shape."""
+
+import pytest
+
+from repro.evalx.table1 import compute_table1, format_table1
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return compute_table1(seeds=2)
+
+
+def test_all_rows_verified(rows):
+    assert len(rows) == 10
+    assert all(row.verified for row in rows)
+
+
+def test_hand_is_the_floor(rows):
+    for row in rows:
+        assert row.baseline_pct >= 100
+        assert row.record_pct >= 100
+
+
+def test_shape_record_wins_majority(rows):
+    wins = sum(1 for row in rows if row.winner == "record")
+    losses = sum(1 for row in rows if row.winner == "baseline")
+    ties = sum(1 for row in rows if row.winner == "tie")
+    assert wins >= 4                       # paper: 6
+    assert wins > losses                   # retargetable competes
+    assert ties >= 1                       # trivial kernels tie
+
+
+def test_shape_loop_kernels_show_large_gaps(rows):
+    by_name = {row.kernel: row for row in rows}
+    # the paper's headline gaps: fir and the N-loops
+    for name in ("fir", "n_real_updates", "n_complex_updates"):
+        row = by_name[name]
+        assert row.baseline_words >= 2 * row.record_words, name
+
+
+def test_shape_baseline_wins_a_straightline_kernel(rows):
+    # the paper's crossover: the target-specific compiler takes
+    # iir_biquad_one_section
+    by_name = {row.kernel: row for row in rows}
+    assert by_name["iir_biquad_one_section"].winner == "baseline"
+
+
+def test_cycle_overhead_in_dspstone_band(rows):
+    """Sec. 3.1: compiled-code overhead 'typically between 2 and 8'
+    (cycles).  Our baseline lands in that band on the loop kernels,
+    with FIR as the known outlier (the hand MACD idiom is extreme)."""
+    by_name = {row.kernel: row for row in rows}
+    ratios = []
+    for name in ("fir", "n_real_updates", "n_complex_updates",
+                 "iir_biquad_N_sections", "convolution"):
+        row = by_name[name]
+        ratio = row.baseline_cycles / max(row.hand_cycles, 1)
+        assert ratio >= 2.0, (name, ratio)
+        ratios.append(ratio)
+    ratios.sort()
+    median = ratios[len(ratios) // 2]
+    assert 2.0 <= median <= 10.0, ratios
+
+
+def test_formatting_contains_all_rows(rows):
+    text = format_table1(rows)
+    for row in rows:
+        assert row.kernel in text
+    assert "paper" in text

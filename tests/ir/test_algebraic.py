@@ -1,0 +1,123 @@
+"""Unit + property tests for algebraic variant enumeration.
+
+The load-bearing property: every enumerated variant is *bit-true
+equivalent* to the original under the exact expression semantics, for
+all inputs.  Hypothesis generates both the trees and the environments.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ir.algebraic import (
+    DEFAULT_RULES, DEFAULT_VARIANT_LIMIT, enumerate_variants,
+)
+from repro.ir.fixedpoint import FixedPointContext
+from repro.ir.trees import Tree
+
+FPC = FixedPointContext(16)
+VARIABLES = ["a", "b", "c"]
+
+
+def leaf_strategy():
+    return st.one_of(
+        st.sampled_from(VARIABLES).map(Tree.ref),
+        st.integers(min_value=-64, max_value=64).map(Tree.const),
+    )
+
+
+def tree_strategy(max_depth=3):
+    def extend(children):
+        binary = st.sampled_from(["add", "sub", "mul", "and", "or",
+                                  "xor"])
+        unary = st.sampled_from(["neg", "abs", "not"])
+        return st.one_of(
+            st.tuples(binary, children, children).map(
+                lambda t: Tree.compute(t[0], t[1], t[2])),
+            st.tuples(unary, children).map(
+                lambda t: Tree.compute(t[0], t[1])),
+        )
+    return st.recursive(leaf_strategy(), extend, max_leaves=6)
+
+
+def environments():
+    return st.fixed_dictionaries({
+        name: st.integers(min_value=-100, max_value=100)
+        for name in VARIABLES
+    })
+
+
+@given(tree_strategy(), environments())
+@settings(max_examples=150, deadline=None)
+def test_variants_preserve_exact_semantics(tree, env):
+    reference = tree.evaluate(dict(env), FPC)
+    for variant in enumerate_variants(tree, limit=16):
+        assert variant.evaluate(dict(env), FPC) == reference
+
+
+@given(tree_strategy())
+@settings(max_examples=100, deadline=None)
+def test_variants_are_distinct_and_bounded(tree):
+    variants = enumerate_variants(tree, limit=12)
+    assert variants[0] == tree
+    assert len(variants) <= 12
+    assert len(set(variants)) == len(variants)
+
+
+def test_commute_generates_swapped_operands():
+    tree = Tree.compute("add", Tree.ref("a"), Tree.ref("b"))
+    variants = enumerate_variants(tree)
+    assert Tree.compute("add", Tree.ref("b"), Tree.ref("a")) in variants
+
+
+def test_mul_pow2_becomes_shift():
+    tree = Tree.compute("mul", Tree.ref("a"), Tree.const(8))
+    variants = enumerate_variants(tree)
+    assert Tree.compute("shl", Tree.ref("a"), Tree.const(3)) in variants
+
+
+def test_mul_by_one_is_not_shifted():
+    tree = Tree.compute("mul", Tree.ref("a"), Tree.const(1))
+    shifted = [v for v in enumerate_variants(tree)
+               if v.kind.value == "compute" and v.operator.name == "shl"]
+    assert not shifted
+
+
+def test_identity_elimination():
+    tree = Tree.compute("add", Tree.ref("a"), Tree.const(0))
+    assert Tree.ref("a") in enumerate_variants(tree)
+    tree = Tree.compute("mul", Tree.ref("a"), Tree.const(1))
+    assert Tree.ref("a") in enumerate_variants(tree)
+
+
+def test_sub_add_neg_round_trip():
+    tree = Tree.compute("sub", Tree.ref("a"), Tree.ref("b"))
+    variants = enumerate_variants(tree)
+    rewritten = Tree.compute("add", Tree.ref("a"),
+                             Tree.compute("neg", Tree.ref("b")))
+    assert rewritten in variants
+
+
+def test_reassociation_exposes_mac_chains():
+    # a + (b*c + d*e) can become (a + b*c) + d*e -- the left-deep shape
+    # accumulator machines like.
+    bc = Tree.compute("mul", Tree.ref("b"), Tree.ref("c"))
+    de = Tree.compute("mul", Tree.ref("a"), Tree.ref("b"))
+    tree = Tree.compute("add", Tree.ref("a"),
+                        Tree.compute("add", bc, de))
+    left_deep = Tree.compute("add",
+                             Tree.compute("add", Tree.ref("a"), bc), de)
+    assert left_deep in enumerate_variants(tree, limit=64)
+
+
+def test_limit_validation():
+    with pytest.raises(ValueError):
+        enumerate_variants(Tree.ref("a"), limit=0)
+
+
+def test_default_limit_is_reasonable():
+    assert 16 <= DEFAULT_VARIANT_LIMIT <= 1024
+
+
+def test_rules_have_unique_names():
+    names = [rule.name for rule in DEFAULT_RULES]
+    assert len(names) == len(set(names))

@@ -1,0 +1,143 @@
+"""Unit tests for data-flow graphs."""
+
+import pytest
+
+from repro.ir.dfg import ArrayIndex, DataFlowGraph
+from repro.ir.fixedpoint import FixedPointContext
+
+
+@pytest.fixture()
+def fpc():
+    return FixedPointContext(16)
+
+
+def test_interning_shares_identical_nodes():
+    g = DataFlowGraph()
+    a1 = g.ref("a")
+    a2 = g.ref("a")
+    c1 = g.const(5)
+    c2 = g.const(5)
+    assert a1 == a2
+    assert c1 == c2
+    assert g.compute("add", a1, c1) == g.compute("add", a2, c2)
+
+
+def test_distinct_nodes_not_shared():
+    g = DataFlowGraph()
+    assert g.ref("a") != g.ref("b")
+    assert g.const(1) != g.const(2)
+    assert g.ref("a", ArrayIndex(1, 0)) != g.ref("a", ArrayIndex(1, 1))
+
+
+def test_compute_validates_arity_and_operands():
+    g = DataFlowGraph()
+    a = g.ref("a")
+    with pytest.raises(ValueError):
+        g.compute("add", a)
+    with pytest.raises(ValueError):
+        g.compute("add", a, 999)
+
+
+def test_write_validates_node():
+    g = DataFlowGraph()
+    with pytest.raises(ValueError):
+        g.write("y", 0)
+
+
+def test_use_counts_and_reachability():
+    g = DataFlowGraph()
+    a = g.ref("a")
+    b = g.ref("b")
+    product = g.compute("mul", a, b)
+    dead = g.compute("add", a, a)
+    g.write("y", product)
+    counts = g.use_counts()
+    assert counts[a] == 3           # mul + dead add twice
+    assert counts[product] == 1     # the output
+    reachable = g.reachable_from_outputs()
+    assert product in reachable
+    assert dead not in reachable
+
+
+def test_topological_order_children_first():
+    g = DataFlowGraph()
+    a = g.ref("a")
+    b = g.ref("b")
+    s = g.compute("add", a, b)
+    t = g.compute("mul", s, a)
+    g.write("y", t)
+    order = g.reachable_from_outputs()
+    assert order.index(a) < order.index(s) < order.index(t)
+
+
+def test_evaluate_reads_before_writes(fpc):
+    # swap: x := y ; y := x  must use pre-state for both reads
+    g = DataFlowGraph()
+    x = g.ref("x")
+    y = g.ref("y")
+    g.write("x", y)
+    g.write("y", x)
+    env = {"x": 1, "y": 2}
+    g.evaluate(env, fpc)
+    assert env == {"x": 2, "y": 1}
+
+
+def test_evaluate_wraps_on_store(fpc):
+    g = DataFlowGraph()
+    a = g.ref("a")
+    g.write("y", g.compute("mul", a, a))
+    env = {"a": 30000}
+    g.evaluate(env, fpc)
+    assert env["y"] == fpc.wrap(30000 * 30000)
+
+
+def test_evaluate_array_indexing(fpc):
+    g = DataFlowGraph()
+    element = g.ref("v", ArrayIndex(coeff=1, offset=1))
+    g.write("w", element, ArrayIndex(coeff=-1, offset=3))
+    env = {"v": [10, 20, 30, 40], "w": [0, 0, 0, 0]}
+    g.evaluate(env, fpc, induction_value=2)   # read v[3], write w[1]
+    assert env["w"] == [0, 40, 0, 0]
+
+
+def test_evaluate_missing_symbol_raises(fpc):
+    g = DataFlowGraph()
+    g.write("y", g.ref("missing"))
+    with pytest.raises(KeyError):
+        g.evaluate({}, fpc)
+
+
+def test_evaluate_scalar_array_confusion_raises(fpc):
+    g = DataFlowGraph()
+    g.write("y", g.ref("a"))
+    with pytest.raises(TypeError):
+        g.evaluate({"a": [1, 2]}, fpc)
+    g2 = DataFlowGraph()
+    g2.write("y", g2.ref("a", ArrayIndex(0, 0)))
+    with pytest.raises(TypeError):
+        g2.evaluate({"a": 7}, fpc)
+
+
+def test_last_write_wins(fpc):
+    g = DataFlowGraph()
+    g.write("y", g.const(1))
+    g.write("y", g.const(2))
+    env = {}
+    g.evaluate(env, fpc)
+    assert env["y"] == 2
+
+
+def test_array_index_str():
+    assert str(ArrayIndex(0, 3)) == "3"
+    assert str(ArrayIndex(1, 0)) == "i"
+    assert str(ArrayIndex(-1, 7)) == "-i+7"
+    assert str(ArrayIndex(2, -1)) == "2*i-1"
+
+
+def test_dump_mentions_nodes_and_outputs():
+    g = DataFlowGraph()
+    g.write("y", g.compute("add", g.ref("a"), g.const(1)))
+    text = g.dump()
+    assert "ref a" in text
+    assert "#1" in text
+    assert "y :=" in text

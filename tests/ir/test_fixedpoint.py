@@ -1,0 +1,106 @@
+"""Unit + property tests for the fixed-point arithmetic context."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir.fixedpoint import FixedPointContext, Overflow
+from repro.ir.ops import op
+
+WORD16 = st.integers(min_value=-(1 << 15), max_value=(1 << 15) - 1)
+ANY_INT = st.integers(min_value=-(1 << 40), max_value=(1 << 40))
+
+
+@pytest.fixture(scope="module")
+def fpc():
+    return FixedPointContext(16)
+
+
+def test_range_bounds(fpc):
+    assert fpc.min_value == -32768
+    assert fpc.max_value == 32767
+
+
+def test_width_validation():
+    with pytest.raises(ValueError):
+        FixedPointContext(1)
+
+
+def test_wrap_examples(fpc):
+    assert fpc.wrap(32768) == -32768
+    assert fpc.wrap(-32769) == 32767
+    assert fpc.wrap(65536) == 0
+    assert fpc.wrap(12345) == 12345
+
+
+def test_saturate_examples(fpc):
+    assert fpc.saturate(99999) == 32767
+    assert fpc.saturate(-99999) == -32768
+    assert fpc.saturate(5) == 5
+
+
+def test_reduce_respects_mode(fpc):
+    saturating = fpc.with_overflow(Overflow.SATURATE)
+    assert fpc.reduce(40000) == fpc.wrap(40000)
+    assert saturating.reduce(40000) == 32767
+
+
+@given(ANY_INT)
+def test_wrap_is_idempotent(value):
+    fpc = FixedPointContext(16)
+    assert fpc.wrap(fpc.wrap(value)) == fpc.wrap(value)
+
+
+@given(ANY_INT)
+def test_wrap_lands_in_range(value):
+    fpc = FixedPointContext(16)
+    assert fpc.in_range(fpc.wrap(value))
+
+
+@given(ANY_INT, ANY_INT)
+def test_wrap_is_ring_homomorphism_for_add(a, b):
+    fpc = FixedPointContext(16)
+    assert fpc.wrap(a + b) == fpc.wrap(fpc.wrap(a) + fpc.wrap(b))
+
+
+@given(ANY_INT, ANY_INT)
+def test_wrap_is_ring_homomorphism_for_mul(a, b):
+    fpc = FixedPointContext(16)
+    assert fpc.wrap(a * b) == fpc.wrap(fpc.wrap(a) * fpc.wrap(b))
+
+
+@given(ANY_INT)
+def test_saturate_bounded_and_monotone_fixpoint(value):
+    fpc = FixedPointContext(16)
+    clamped = fpc.saturate(value)
+    assert fpc.in_range(clamped)
+    assert fpc.saturate(clamped) == clamped
+
+
+def test_apply_is_exact_for_ring_operators(fpc):
+    # Expression semantics: no intermediate reduction.
+    assert fpc.apply(op("mul"), 30000, 30000) == 900_000_000
+    assert fpc.apply(op("add"), 32767, 32767) == 65534
+
+
+def test_apply_sat_clamps(fpc):
+    assert fpc.apply(op("sat"), 900_000_000) == 32767
+    assert fpc.apply(op("sat"), -900_000_000) == -32768
+    assert fpc.apply(op("sat"), 7) == 7
+
+
+def test_apply_validates_shift_amounts(fpc):
+    with pytest.raises(ValueError):
+        fpc.apply(op("shr"), 4, 40)
+    with pytest.raises(ValueError):
+        fpc.apply(op("shl"), 4, -1)
+    # double-width shifts are allowed (products live at 32 bits)
+    assert fpc.apply(op("shr"), 1 << 20, 15) == 32
+
+
+def test_fractional_helpers(fpc):
+    q15 = fpc.to_fixed(0.5, 15)
+    assert q15 == 16384
+    assert fpc.to_float(q15, 15) == pytest.approx(0.5)
+    # 0.5 * 0.5 = 0.25 in Q15
+    product = fpc.fractional_multiply(q15, q15, 15)
+    assert fpc.to_float(product, 15) == pytest.approx(0.25, abs=1e-4)

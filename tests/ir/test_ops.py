@@ -1,0 +1,73 @@
+"""Unit tests for the operator vocabulary."""
+
+import pytest
+
+from repro.ir.ops import OPS, Op, OpKind, op
+
+
+def test_lookup_known_operator():
+    assert op("add").name == "add"
+    assert op("add").arity == 2
+
+
+def test_lookup_unknown_operator_lists_known():
+    with pytest.raises(KeyError) as excinfo:
+        op("frobnicate")
+    assert "add" in str(excinfo.value)
+
+
+def test_commutativity_flags():
+    assert op("add").commutative
+    assert op("mul").commutative
+    assert not op("sub").commutative
+    assert not op("shl").commutative
+
+
+def test_associativity_flags():
+    assert op("add").associative
+    assert op("and").associative
+    assert not op("sub").associative
+
+
+def test_identities():
+    assert op("add").identity == 0
+    assert op("mul").identity == 1
+    assert op("xor").identity == 0
+    assert op("and").identity is None
+
+
+def test_reference_semantics():
+    assert op("add").py(3, 4) == 7
+    assert op("sub").py(3, 4) == -1
+    assert op("mul").py(-3, 4) == -12
+    assert op("mac").py(10, 3, 4) == 22
+    assert op("msu").py(10, 3, 4) == -2
+    assert op("neg").py(5) == -5
+    assert op("abs").py(-5) == 5
+    assert op("min").py(2, -7) == -7
+    assert op("max").py(2, -7) == 2
+
+
+def test_shift_semantics_reject_negative_amounts():
+    with pytest.raises(ValueError):
+        op("shl").py(1, -1)
+    with pytest.raises(ValueError):
+        op("shr").py(1, -2)
+
+
+def test_store_is_a_pseudo_op_without_semantics():
+    assert op("store").py is None
+    assert op("store").arity == 2
+
+
+def test_every_real_operator_has_semantics():
+    for name, operator in OPS.items():
+        if name == "store":
+            continue
+        assert operator.py is not None, name
+
+
+def test_opkind_enum_values():
+    assert OpKind.CONST.value == "const"
+    assert OpKind.REF.value == "ref"
+    assert OpKind.COMPUTE.value == "compute"

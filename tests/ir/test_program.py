@@ -1,0 +1,107 @@
+"""Unit tests for the structured program IR and its interpreter."""
+
+import pytest
+
+from repro.ir.dfg import ArrayIndex, DataFlowGraph
+from repro.ir.fixedpoint import FixedPointContext
+from repro.ir.program import Block, Loop, Program, Symbol
+
+
+@pytest.fixture()
+def fpc():
+    return FixedPointContext(16)
+
+
+def _accumulate_program(count: int) -> Program:
+    """acc := 0; for i: acc := acc + v[i]"""
+    program = Program(name="sum")
+    program.declare(Symbol("v", size=count, role="input"))
+    program.declare(Symbol("acc", role="output"))
+    init = DataFlowGraph()
+    init.write("acc", init.const(0))
+    body = DataFlowGraph()
+    body.write("acc", body.compute("add", body.ref("acc"),
+                                   body.ref("v", ArrayIndex(1, 0))))
+    program.body = [Block(dfg=init),
+                    Loop(var="i", count=count, body=[Block(dfg=body)])]
+    return program
+
+
+def test_declare_rejects_duplicates():
+    program = Program(name="p")
+    program.declare(Symbol("x"))
+    with pytest.raises(ValueError):
+        program.declare(Symbol("x"))
+
+
+def test_symbol_lookup_error():
+    program = Program(name="p")
+    with pytest.raises(KeyError):
+        program.symbol("nope")
+
+
+def test_loop_count_validation():
+    with pytest.raises(ValueError):
+        Loop(var="i", count=0)
+
+
+def test_initial_environment_zeroes_storage():
+    program = Program(name="p")
+    program.declare(Symbol("x", role="input"))
+    program.declare(Symbol("v", size=3, role="local"))
+    env = program.initial_environment()
+    assert env == {"x": 0, "v": [0, 0, 0]}
+
+
+def test_initial_environment_applies_initializers():
+    program = Program(name="p")
+    program.declare(Symbol("x", init=7))
+    program.declare(Symbol("v", size=2, init=[1, 2]))
+    env = program.initial_environment()
+    assert env == {"x": 7, "v": [1, 2]}
+
+
+def test_initializer_length_validated():
+    program = Program(name="p")
+    program.declare(Symbol("v", size=3, init=[1]))
+    with pytest.raises(ValueError):
+        program.initial_environment()
+
+
+def test_loop_execution_sums_array(fpc):
+    program = _accumulate_program(4)
+    env = program.initial_environment()
+    env["v"] = [10, 20, 30, 40]
+    program.run(env, fpc)
+    assert env["acc"] == 100
+
+
+def test_nested_loop_inner_var_wins(fpc):
+    # outer loop x3 around inner loop x2 writing w[j] += 1:
+    # inner blocks see the inner induction variable.
+    program = Program(name="nested")
+    program.declare(Symbol("w", size=2, role="output"))
+    body = DataFlowGraph()
+    cell = body.ref("w", ArrayIndex(1, 0))
+    body.write("w", body.compute("add", cell, body.const(1)),
+               ArrayIndex(1, 0))
+    program.body = [Loop(var="o", count=3, body=[
+        Loop(var="j", count=2, body=[Block(dfg=body)]),
+    ])]
+    env = program.initial_environment()
+    program.run(env, fpc)
+    assert env["w"] == [3, 3]
+
+
+def test_inputs_outputs_queries():
+    program = _accumulate_program(2)
+    assert [s.name for s in program.inputs()] == ["v"]
+    assert [s.name for s in program.outputs()] == ["acc"]
+
+
+def test_dump_shows_structure():
+    program = _accumulate_program(4)
+    text = program.dump()
+    assert "program sum" in text
+    assert "loop i x4:" in text
+    assert "input v[4]" in text

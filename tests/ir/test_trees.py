@@ -1,0 +1,173 @@
+"""Unit tests for expression trees and DAG-to-tree decomposition."""
+
+import pytest
+
+from repro.ir.dfg import ArrayIndex, DataFlowGraph
+from repro.ir.fixedpoint import FixedPointContext
+from repro.ir.trees import TEMP_PREFIX, Tree, decompose, tree_of_node
+
+
+@pytest.fixture()
+def fpc():
+    return FixedPointContext(16)
+
+
+def test_tree_constructors_and_str():
+    t = Tree.compute("add", Tree.ref("x"),
+                     Tree.compute("mul", Tree.ref("a"), Tree.const(4)))
+    assert str(t) == "add(x, mul(a, #4))"
+    assert t.size() == 5
+    assert t.depth() == 3
+
+
+def test_compute_validates_arity():
+    with pytest.raises(ValueError):
+        Tree.compute("add", Tree.ref("x"))
+
+
+def test_trees_are_hashable_and_structural():
+    a = Tree.compute("add", Tree.ref("x"), Tree.const(1))
+    b = Tree.compute("add", Tree.ref("x"), Tree.const(1))
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != Tree.compute("add", Tree.ref("x"), Tree.const(2))
+
+
+def test_postorder_visits_children_first():
+    t = Tree.compute("add", Tree.ref("x"), Tree.const(1))
+    nodes = list(t.postorder())
+    assert nodes[-1] is t
+    assert len(nodes) == 3
+
+
+def test_evaluate_exact_semantics(fpc):
+    t = Tree.compute("shr",
+                     Tree.compute("mul", Tree.ref("a"), Tree.ref("b")),
+                     Tree.const(15))
+    env = {"a": 20000, "b": 20000}
+    # exact product then shift: (4e8) >> 15
+    assert t.evaluate(env, fpc) == (20000 * 20000) >> 15
+
+
+def test_tree_of_node_expands_shared_nodes():
+    g = DataFlowGraph()
+    a = g.ref("a")
+    shared = g.compute("add", a, a)
+    top = g.compute("mul", shared, shared)
+    t = tree_of_node(g, top)
+    assert str(t) == "mul(add(a, a), add(a, a))"
+
+
+def test_decompose_straightline_no_sharing():
+    g = DataFlowGraph()
+    g.write("y", g.compute("add", g.ref("a"), g.ref("b")))
+    assignments = decompose(g)
+    assert len(assignments) == 1
+    assert assignments[0].symbol == "y"
+    assert not assignments[0].is_temp
+
+
+def test_decompose_cuts_shared_compute_nodes():
+    g = DataFlowGraph()
+    # xor is word-sized by construction, so sharing through a 16-bit
+    # temporary is safe
+    shared = g.compute("xor", g.ref("a"), g.const(5))
+    g.write("y", g.compute("add", shared, g.ref("b")))
+    g.write("z", g.compute("add", shared, shared))
+    assignments = decompose(g)
+    temps = [a for a in assignments if a.is_temp]
+    assert len(temps) == 1
+    assert temps[0].symbol == f"{TEMP_PREFIX}0"
+    assert str(temps[0].tree) == "xor(a, #5)"
+    # uses refer to the temp
+    y = next(a for a in assignments if a.symbol == "y")
+    assert f"{TEMP_PREFIX}0" in str(y.tree)
+
+
+def test_decompose_duplicates_wide_shared_nodes():
+    # a*5 can exceed 16 bits; its consumers (adds) are exact, so a
+    # 16-bit temporary would silently wrap -- the node is duplicated.
+    g = DataFlowGraph()
+    product = g.compute("mul", g.ref("a"), g.const(5))
+    g.write("y", g.compute("add", product, g.ref("b")))
+    g.write("z", g.compute("add", product, g.ref("c")))
+    assignments = decompose(g)
+    assert not [a for a in assignments if a.is_temp]
+    y = next(a for a in assignments if a.symbol == "y")
+    z = next(a for a in assignments if a.symbol == "z")
+    assert "mul(a, #5)" in str(y.tree)
+    assert "mul(a, #5)" in str(z.tree)
+
+
+def test_decompose_cuts_wide_node_with_wrapping_consumers():
+    # the same wide product is safe to share when every consumer wraps
+    # it anyway (here: xor operands pass through the word-wide port)
+    g = DataFlowGraph()
+    product = g.compute("mul", g.ref("a"), g.const(5))
+    g.write("y", g.compute("xor", product, g.ref("b")))
+    g.write("z", g.compute("xor", product, g.ref("c")))
+    assignments = decompose(g)
+    temps = [a for a in assignments if a.is_temp]
+    assert len(temps) == 1
+
+
+def test_decompose_leaves_are_duplicated_not_cut():
+    g = DataFlowGraph()
+    a = g.ref("a")
+    g.write("y", g.compute("add", a, a))
+    assignments = decompose(g)
+    assert len(assignments) == 1     # leaf sharing needs no temp
+
+
+def test_decompose_temps_defined_before_use():
+    g = DataFlowGraph()
+    inner = g.compute("add", g.ref("a"), g.ref("b"))
+    outer = g.compute("mul", inner, inner)
+    g.write("y", outer)
+    g.write("z", outer)
+    assignments = decompose(g)
+    defined = set()
+    for assignment in assignments:
+        for leaf in assignment.tree.postorder():
+            if leaf.symbol and leaf.symbol.startswith(TEMP_PREFIX):
+                assert leaf.symbol in defined
+        if assignment.is_temp:
+            defined.add(assignment.symbol)
+
+
+def test_decompose_preserves_semantics(fpc):
+    g = DataFlowGraph()
+    shared = g.compute("mul", g.ref("a"), g.ref("b"))
+    g.write("y", g.compute("add", shared, g.ref("c")))
+    g.write("z", g.compute("sub", shared, g.ref("c")))
+    env_direct = {"a": 7, "b": -3, "c": 100}
+    g.evaluate(dict(env_direct), fpc)
+    direct = dict(env_direct)
+    g.evaluate(direct, fpc)
+
+    sequential = dict(env_direct)
+    for assignment in decompose(g):
+        value = assignment.tree.evaluate(sequential, fpc)
+        sequential[assignment.symbol] = fpc.reduce(value)
+    assert sequential["y"] == direct["y"]
+    assert sequential["z"] == direct["z"]
+
+
+def test_decompose_temp_counter_start():
+    g = DataFlowGraph()
+    shared = g.compute("add", g.ref("a"), g.ref("b"))
+    g.write("y", g.compute("mul", shared, shared))
+    g.write("z", shared)
+    assignments = decompose(g, temp_counter_start=7)
+    temp = next(a for a in assignments if a.is_temp)
+    assert temp.symbol == f"{TEMP_PREFIX}7"
+
+
+def test_output_of_shared_node_reads_temp():
+    g = DataFlowGraph()
+    shared = g.compute("and", g.ref("a"), g.ref("b"))   # word-sized
+    g.write("y", shared)
+    g.write("z", g.compute("neg", shared))
+    assignments = decompose(g)
+    y = next(a for a in assignments if a.symbol == "y")
+    assert str(y.tree) == f"{TEMP_PREFIX}0"

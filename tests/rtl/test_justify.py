@@ -1,0 +1,89 @@
+"""Unit tests for control-requirement justification."""
+
+import pytest
+
+from repro.rtl.components import (
+    Constant, InstructionField, Mux, Register,
+)
+from repro.rtl.netlist import Netlist, Port
+from repro.rtl.justify import (
+    JustificationError, justify_value, merge_assignments,
+)
+
+
+def test_merge_assignments():
+    assert merge_assignments({"a": 1}, {"b": 0}) == {"a": 1, "b": 0}
+    assert merge_assignments({"a": 1}, {"a": 1}) == {"a": 1}
+    assert merge_assignments({"a": 1}, {"a": 0}) is None
+
+
+def net_with(*components):
+    net = Netlist("j")
+    for component in components:
+        net.add(component)
+    return net
+
+
+def test_field_justifies_any_in_range_value():
+    net = net_with(InstructionField("f", 2), Register("r"))
+    net.connect(net.port("f", "out"), net.port("r", "load"))
+    assert justify_value(net, net.port("r", "load"), 1) == [{"f": 1}]
+    assert justify_value(net, net.port("r", "load"), 3) == [{"f": 3}]
+    assert justify_value(net, net.port("r", "load"), 4) == []
+
+
+def test_constant_justifies_only_its_value():
+    net = net_with(Constant("c", 1), Register("r"))
+    net.connect(net.port("c", "out"), net.port("r", "load"))
+    assert justify_value(net, net.port("r", "load"), 1) == [{}]
+    assert justify_value(net, net.port("r", "load"), 0) == []
+
+
+def test_mux_enumerates_alternatives():
+    net = net_with(Constant("zero", 0), Constant("one", 1),
+                   InstructionField("sel", 1),
+                   Mux("m", 2, kind="control"), Register("r"))
+    net.connect(net.port("zero", "out"), net.port("m", "in0"))
+    net.connect(net.port("one", "out"), net.port("m", "in1"))
+    net.connect(net.port("sel", "out"), net.port("m", "sel"))
+    net.connect(net.port("m", "out"), net.port("r", "load"))
+    options = justify_value(net, net.port("r", "load"), 1)
+    assert options == [{"sel": 1}]
+    options = justify_value(net, net.port("r", "load"), 0)
+    assert options == [{"sel": 0}]
+
+
+def test_mux_of_fields_yields_multiple_alternatives():
+    net = net_with(InstructionField("fa", 1), InstructionField("fb", 1),
+                   InstructionField("sel", 1),
+                   Mux("m", 2, kind="control"), Register("r"))
+    net.connect(net.port("fa", "out"), net.port("m", "in0"))
+    net.connect(net.port("fb", "out"), net.port("m", "in1"))
+    net.connect(net.port("sel", "out"), net.port("m", "sel"))
+    net.connect(net.port("m", "out"), net.port("r", "load"))
+    options = justify_value(net, net.port("r", "load"), 1)
+    assert {"sel": 0, "fa": 1} in options
+    assert {"sel": 1, "fb": 1} in options
+
+
+def test_undriven_port_raises():
+    net = net_with(Register("r"))
+    with pytest.raises(JustificationError):
+        justify_value(net, net.port("r", "load"), 1)
+
+
+def test_conflicting_requirements_prune():
+    # same field drives both mux select and the selected input: only
+    # consistent combinations survive
+    net = net_with(InstructionField("f", 1),
+                   Mux("m", 2, kind="control"), Register("r"))
+    net.connect(net.port("f", "out"), net.port("m", "in0"))
+    net.connect(net.port("f", "out"), net.port("m", "in1"))
+    net.connect(net.port("f", "out"), net.port("m", "sel"))
+    net.connect(net.port("m", "out"), net.port("r", "load"))
+    # value 1 requires f=1 (input) which selects in1 -> consistent
+    options = justify_value(net, net.port("r", "load"), 1)
+    assert options == [{"f": 1}]
+    # value 0 requires f=0 selecting in0 carrying f=0 -> consistent
+    options = justify_value(net, net.port("r", "load"), 0)
+    assert options == [{"f": 0}]

@@ -1,0 +1,152 @@
+"""Unit tests for netlist construction, validation and simulation."""
+
+import pytest
+
+from repro.rtl.components import (
+    Alu, Constant, InstructionField, Memory, Mux, Register, RegisterFile,
+)
+from repro.rtl.netlist import Netlist, NetlistError, Port
+
+
+def tiny_alu_net():
+    """reg <- alu(reg, const 1), controlled by fields."""
+    net = Netlist("tiny")
+    reg = net.add(Register("r"))
+    one = net.add(Constant("one", 1))
+    alu = net.add(Alu("alu", {0: "add", 1: "sub"}))
+    ctl = net.add(InstructionField("ctl", 1))
+    load = net.add(InstructionField("ld", 1))
+    net.connect(Port(reg, "out"), Port(alu, "a"))
+    net.connect(Port(one, "out"), Port(alu, "b"))
+    net.connect(Port(ctl, "out"), Port(alu, "ctl"))
+    net.connect(Port(alu, "out"), Port(reg, "in"))
+    net.connect(Port(load, "out"), Port(reg, "load"))
+    return net
+
+
+def test_component_duplicate_rejected():
+    net = Netlist("n")
+    net.add(Register("r"))
+    with pytest.raises(NetlistError):
+        net.add(Register("r"))
+
+
+def test_connect_direction_checks():
+    net = Netlist("n")
+    reg = net.add(Register("r"))
+    field = net.add(InstructionField("f", 1))
+    with pytest.raises(NetlistError):
+        net.connect(Port(reg, "in"), Port(reg, "out"))
+    net.connect(Port(field, "out"), Port(reg, "load"))
+    with pytest.raises(NetlistError):       # double driver
+        net.connect(Port(field, "out"), Port(reg, "load"))
+
+
+def test_validate_finds_undriven_inputs():
+    net = Netlist("n")
+    net.add(Register("r"))
+    with pytest.raises(NetlistError) as excinfo:
+        net.validate()
+    assert "undriven" in str(excinfo.value)
+
+
+def test_step_counts_and_wraps():
+    net = tiny_alu_net()
+    storage = net.initial_storage()
+    storage = net.step(storage, {"ctl": 0, "ld": 1})
+    storage = net.step(storage, {"ctl": 0, "ld": 1})
+    assert storage.registers["r"] == 2
+    storage = net.step(storage, {"ctl": 1, "ld": 1})
+    assert storage.registers["r"] == 1
+    # load disabled: value held
+    storage = net.step(storage, {"ctl": 0, "ld": 0})
+    assert storage.registers["r"] == 1
+
+
+def test_step_requires_all_fields():
+    net = tiny_alu_net()
+    with pytest.raises(NetlistError):
+        net.step(net.initial_storage(), {"ctl": 0})
+
+
+def test_field_width_enforced():
+    net = tiny_alu_net()
+    with pytest.raises(NetlistError):
+        net.step(net.initial_storage(), {"ctl": 2, "ld": 0})
+
+
+def test_memory_and_register_file_step():
+    net = Netlist("mem")
+    mem = net.add(Memory("m", 8))
+    regs = net.add(RegisterFile("rf", 4))
+    addr = net.add(InstructionField("addr", 3))
+    raddr = net.add(InstructionField("ra", 2))
+    waddr = net.add(InstructionField("wa", 2))
+    we_m = net.add(InstructionField("wem", 1))
+    we_r = net.add(InstructionField("wer", 1))
+    # rf[wa] := m[addr];  m[addr] := rf[ra]
+    net.connect(Port(addr, "out"), Port(mem, "addr"))
+    net.connect(Port(we_m, "out"), Port(mem, "we"))
+    net.connect(Port(raddr, "out"), Port(regs, "raddr"))
+    net.connect(Port(waddr, "out"), Port(regs, "waddr"))
+    net.connect(Port(we_r, "out"), Port(regs, "we"))
+    net.connect(Port(mem, "out"), Port(regs, "in"))
+    net.connect(Port(regs, "out"), Port(mem, "in"))
+    net.validate()
+    storage = net.initial_storage()
+    storage.memories["m"][5] = 42
+    fields = {"addr": 5, "ra": 0, "wa": 1, "wem": 0, "wer": 1}
+    storage = net.step(storage, fields)
+    assert storage.register_files["rf"][1] == 42
+    # now write rf[1] back to m[2]
+    fields = {"addr": 2, "ra": 1, "wa": 0, "wem": 1, "wer": 0}
+    storage = net.step(storage, fields)
+    assert storage.memories["m"][2] == 42
+
+
+def test_mux_select_range_checked():
+    net = Netlist("mux")
+    reg = net.add(Register("r"))
+    mux = net.add(Mux("m", 2))
+    a = net.add(Constant("ca", 1))
+    b = net.add(Constant("cb", 2))
+    sel = net.add(InstructionField("sel", 2))   # wider than needed
+    ld = net.add(Constant("on", 1))
+    net.connect(Port(a, "out"), Port(mux, "in0"))
+    net.connect(Port(b, "out"), Port(mux, "in1"))
+    net.connect(Port(sel, "out"), Port(mux, "sel"))
+    net.connect(Port(mux, "out"), Port(reg, "in"))
+    net.connect(Port(ld, "out"), Port(reg, "load"))
+    storage = net.initial_storage()
+    assert net.step(storage, {"sel": 1}).registers["r"] == 2
+    with pytest.raises(NetlistError):
+        net.step(storage, {"sel": 3})
+
+
+def test_combinational_cycle_detected():
+    net = Netlist("loop")
+    alu = net.add(Alu("alu", {0: "add"}))
+    zero = net.add(Constant("z", 0))
+    reg = net.add(Register("r"))
+    on = net.add(Constant("on", 1))
+    net.connect(Port(alu, "out"), Port(alu, "a"))   # self-loop
+    net.connect(Port(zero, "out"), Port(alu, "b"))
+    net.connect(Port(zero, "out"), Port(alu, "ctl"))
+    net.connect(Port(alu, "out"), Port(reg, "in"))
+    net.connect(Port(on, "out"), Port(reg, "load"))
+    with pytest.raises(NetlistError) as excinfo:
+        net.step(net.initial_storage(), {})
+    assert "cycle" in str(excinfo.value)
+
+
+def test_component_validation():
+    with pytest.raises(ValueError):
+        InstructionField("f", 0)
+    with pytest.raises(ValueError):
+        Memory("m", 0)
+    with pytest.raises(ValueError):
+        Mux("m", 1)
+    with pytest.raises(ValueError):
+        Alu("a", {})
+    with pytest.raises(ValueError):
+        Alu("a", {0: "frob"})

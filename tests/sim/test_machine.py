@@ -1,0 +1,104 @@
+"""Unit tests for the simulator core and the harness."""
+
+import pytest
+
+from repro.codegen.asm import (
+    AsmInstr, CodeSeq, Imm, Label, LabelRef, LoopBegin, Mem, Reg,
+)
+from repro.sim.machine import Machine, MachineState, SimulationError
+from repro.sim.trace import Trace
+from repro.targets.tc25 import TC25
+
+
+def ins(name, *operands):
+    return AsmInstr(opcode=name, operands=tuple(operands))
+
+
+def direct(address):
+    return Mem(symbol=f"@{address}", mode="direct", address=address)
+
+
+def test_sequential_execution_and_cycles():
+    code = CodeSeq([ins("ZAC"), ins("ADDK", Imm(5)),
+                    ins("SACL", direct(0))])
+    state = Machine(TC25()).run(code)
+    assert state.mem[0] == 5
+    assert state.cycles == 3
+
+
+def test_labels_and_branches():
+    code = CodeSeq([
+        ins("ZAC"),
+        ins("LARK", Reg("AR7"), Imm(2)),
+        Label("L"),
+        ins("ADDK", Imm(1)),
+        AsmInstr(opcode="BANZ",
+                 operands=(LabelRef("L"), Reg("AR7")), cycles=2),
+        ins("SACL", direct(0)),
+    ])
+    state = Machine(TC25()).run(code)
+    assert state.mem[0] == 3
+
+
+def test_duplicate_label_rejected():
+    code = CodeSeq([Label("L"), Label("L")])
+    with pytest.raises(SimulationError):
+        Machine(TC25()).run(code)
+
+
+def test_unknown_branch_target_rejected():
+    code = CodeSeq([ins("B", LabelRef("nowhere"))])
+    with pytest.raises(SimulationError):
+        Machine(TC25()).run(code)
+
+
+def test_unfinalized_marker_rejected():
+    code = CodeSeq([LoopBegin(count=2, loop_id=0)])
+    with pytest.raises(SimulationError):
+        Machine(TC25()).run(code)
+
+
+def test_runaway_loop_detected():
+    code = CodeSeq([Label("L"), ins("B", LabelRef("L"))])
+    with pytest.raises(SimulationError) as excinfo:
+        Machine(TC25(), max_steps=100).run(code)
+    assert "runaway" in str(excinfo.value)
+
+
+def test_repeat_applies_to_next_instruction():
+    code = CodeSeq([ins("ZAC"), ins("RPTK", Imm(3)),
+                    ins("ADDK", Imm(2)), ins("SACL", direct(0))])
+    state = Machine(TC25()).run(code)
+    assert state.mem[0] == 8
+
+
+def test_trace_records_instructions():
+    trace = Trace(limit=10)
+    code = CodeSeq([ins("ZAC"), ins("ADDK", Imm(1))])
+    Machine(TC25()).run(code, trace=trace)
+    assert len(trace) == 2
+    assert "ZAC" in trace.render()
+
+
+def test_trace_bounded():
+    trace = Trace(limit=2)
+    code = CodeSeq([ins("ZAC"), ins("ADDK", Imm(1)),
+                    ins("ADDK", Imm(1)), ins("ADDK", Imm(1))])
+    Machine(TC25()).run(code, trace=trace)
+    assert len(trace.entries) == 2
+    assert trace.dropped == 2
+    assert "dropped" in trace.render()
+
+
+def test_state_memory_bounds_checked():
+    state = MachineState()
+    with pytest.raises(SimulationError):
+        state.load(99999)
+    with pytest.raises(SimulationError):
+        state.store(-1, 0)
+
+
+def test_state_register_lookup_error():
+    state = MachineState()
+    with pytest.raises(SimulationError):
+        state.reg("nope")

@@ -1,0 +1,207 @@
+"""Unit tests for the M56 target model."""
+
+import pytest
+
+from repro.codegen.asm import AsmInstr, CodeSeq, Imm, LabelRef, Mem, Reg
+from repro.codegen.pipeline import RecordCompiler, RecordOptions
+from repro.dfl import compile_dfl
+from repro.sim.harness import run_compiled
+from repro.sim.machine import SimulationError
+from repro.targets.m56 import M56, X_BANK_BASE, Y_BANK_BASE
+
+
+def ins(name, *operands, parallel=()):
+    return AsmInstr(opcode=name, operands=tuple(operands),
+                    parallel=tuple(parallel))
+
+
+def xdirect(address):
+    return Mem(symbol="v", mode="direct", address=address, bank="x")
+
+
+@pytest.fixture()
+def target():
+    return M56()
+
+
+@pytest.fixture()
+def state(target):
+    return target.initial_state()
+
+
+def test_move_and_alu(target, state):
+    state.mem[3] = 11
+    target.execute(state, ins("MOVE", Reg("x0"), xdirect(3)))
+    assert state.regs["x0"] == 11
+    target.execute(state, ins("MOVEI", Reg("y0"), Imm(5)))
+    target.execute(state, ins("MPY", Reg("x0"), Reg("y0"), Reg("a")))
+    assert state.regs["a"] == 55
+    target.execute(state, ins("MAC", Reg("x0"), Reg("y0"), Reg("a")))
+    assert state.regs["a"] == 110
+    target.execute(state, ins("MACN", Reg("x0"), Reg("y0"), Reg("a")))
+    assert state.regs["a"] == 55
+
+
+def test_fractional_multiplier(target, state):
+    state.regs["x0"] = 16384     # 0.5 in Q15
+    state.regs["y0"] = 2000
+    target.execute(state, ins("MPYF", Reg("x0"), Reg("y0"), Reg("a")))
+    assert state.regs["a"] == (16384 * 2000) >> 15
+
+
+def test_parallel_semantics_read_before_write(target, state):
+    # MAC reads old x0/y0 while the packed moves load new ones
+    state.regs.update({"x0": 2, "y0": 3, "a": 0, "r1": 10, "r5": 600})
+    state.mem[10] = 7
+    state.mem[600] = 8
+    host = ins("MAC", Reg("x0"), Reg("y0"), Reg("a"), parallel=(
+        ins("MOVE", Reg("x0"), Mem("p", mode="indirect", areg="r1",
+                                   post_modify=1, bank="x")),
+        ins("MOVE", Reg("y0"), Mem("q", mode="indirect", areg="r5",
+                                   post_modify=1, bank="y")),
+    ))
+    target.execute(state, host)
+    assert state.regs["a"] == 6          # used OLD x0*y0
+    assert state.regs["x0"] == 7         # moves committed
+    assert state.regs["y0"] == 8
+    assert state.regs["r1"] == 11 and state.regs["r5"] == 601
+
+
+def test_hardware_loop(target, state):
+    target.execute(state, ins("DO", Imm(3)))
+    assert state.loop_stack == [2]
+    end = ins("LOOPEND", LabelRef("D0"))
+    assert target.execute(state, end) == "D0"
+    assert target.execute(state, end) == "D0"
+    assert target.execute(state, end) is None
+    assert state.loop_stack == []
+
+
+def test_loopend_without_do_rejected(target, state):
+    with pytest.raises(SimulationError):
+        target.execute(state, ins("LOOPEND", LabelRef("X")))
+
+
+def test_sat_instruction(target, state):
+    state.regs["a"] = 1 << 20
+    target.execute(state, ins("SATA", Reg("a")))
+    assert state.regs["a"] == 32767
+
+
+def test_bank_bases_do_not_overlap():
+    assert Y_BANK_BASE > X_BANK_BASE
+    assert Y_BANK_BASE >= 512
+
+
+def test_bank_assignment_separates_multiply_operands(target):
+    program = compile_dfl("""
+program p;
+input a, b; output y;
+begin
+  y := a * b;
+end.
+""")
+    compiled = RecordCompiler(target).compile(program)
+    address_a = compiled.memory_map.addresses["a"]
+    address_b = compiled.memory_map.addresses["b"]
+    in_y_bank = [addr >= Y_BANK_BASE for addr in (address_a, address_b)]
+    assert in_y_bank.count(True) == 1    # one each side
+
+
+def test_single_bank_option(target):
+    program = compile_dfl("""
+program p;
+input a, b; output y;
+begin
+  y := a * b;
+end.
+""")
+    options = RecordOptions(bank_assignment="single")
+    compiled = RecordCompiler(target, options).compile(program)
+    for name in ("a", "b", "y"):
+        assert compiled.memory_map.addresses[name] < Y_BANK_BASE
+
+
+def test_compaction_reduces_words(target):
+    program = compile_dfl("""
+program p;
+const N = 8;
+input a[2*N], b[2*N]; output y;
+var acc;
+begin
+  acc := 0;
+  for i in 0 .. N-1 do
+    acc := acc + a[2*i]*b[2*i] + a[2*i+1]*b[2*i+1];
+  end;
+  y := acc;
+end.
+""")
+    packed = RecordCompiler(target).compile(program)
+    unpacked = RecordCompiler(
+        target, RecordOptions(compaction="none")).compile(program)
+    assert packed.words() < unpacked.words()
+    # and both compute the same result
+    inputs = {"a": list(range(16)), "b": list(range(16, 32))}
+    out_packed, _ = run_compiled(packed, inputs)
+    out_unpacked, _ = run_compiled(unpacked, inputs)
+    assert out_packed["y"] == out_unpacked["y"]
+
+
+def test_optimal_compaction_never_worse(target):
+    program = compile_dfl("""
+program p;
+input a, b, c, d; output y, z;
+begin
+  y := a*b + c*d;
+  z := a*d - c*b;
+end.
+""")
+    greedy = RecordCompiler(
+        target, RecordOptions(compaction="greedy")).compile(program)
+    optimal = RecordCompiler(
+        target, RecordOptions(compaction="optimal")).compile(program)
+    assert optimal.words() <= greedy.words()
+
+
+def test_offset_assignment_reduces_pointer_loads(target):
+    # many scalars touched in a regular order: SOA should beat absolute
+    source = """
+program p;
+input a, b, c, d, e, f; output y;
+begin
+  y := a + b + c + d + e + f + a + b + c + d;
+end.
+"""
+    program = compile_dfl(source)
+    soa = RecordCompiler(
+        target, RecordOptions(offset_assignment="liao")).compile(program)
+    absolute = RecordCompiler(
+        target,
+        RecordOptions(offset_assignment="absolute")).compile(program)
+    assert soa.words() <= absolute.words()
+    outputs_soa, _ = run_compiled(soa, {"a": 1, "b": 2, "c": 3, "d": 4,
+                                        "e": 5, "f": 6})
+    outputs_abs, _ = run_compiled(absolute, {"a": 1, "b": 2, "c": 3,
+                                             "d": 4, "e": 5, "f": 6})
+    assert outputs_soa["y"] == outputs_abs["y"] == 31
+
+
+def test_goa_offset_strategy_is_correct(target):
+    source = """
+program p;
+input a, b, c, d, e, f; output y;
+begin
+  y := a + b + c + d + e + f + a + b;
+end.
+"""
+    program = compile_dfl(source)
+    compiled = RecordCompiler(
+        target, RecordOptions(offset_assignment="goa")).compile(program)
+    inputs = {"a": 1, "b": 2, "c": 3, "d": 4, "e": 5, "f": 6}
+    outputs, _ = run_compiled(compiled, inputs)
+    assert outputs["y"] == 24
+
+
+def test_unknown_opcode(target, state):
+    with pytest.raises(SimulationError):
+        target.execute(state, ins("FROB"))

@@ -1,0 +1,196 @@
+"""Unit tests for Risc16, the ASIP generator and the processor cube."""
+
+import pytest
+
+from repro.codegen.pipeline import RecordCompiler
+from repro.dfl import compile_dfl
+from repro.ir.fixedpoint import FixedPointContext
+from repro.sim.harness import run_compiled
+from repro.targets.asip import Asip, AsipParams
+from repro.targets.cube import CubePosition, classify, cube_table
+from repro.targets.m56 import M56
+from repro.targets.risc import Risc16
+from repro.targets.tc25 import TC25
+
+FPC = FixedPointContext(16)
+
+SPILL_HEAVY = """
+program pressure;
+input a, b, c, d, e, f, g, h;
+output y;
+begin
+  y := (a*b + c*d) ^ (e*f + g*h) ^ (a*d + c*b) ^ (e*h + g*f);
+end.
+"""
+
+
+def reference(source, inputs):
+    program = compile_dfl(source)
+    env = program.initial_environment()
+    env.update(inputs)
+    program.run(env, FPC)
+    return program, env
+
+
+# ----------------------------------------------------------------------
+# Risc16
+# ----------------------------------------------------------------------
+
+def test_risc_three_address_shape():
+    program = compile_dfl("""
+program p;
+input a, b; output y;
+begin
+  y := a * b + 7;
+end.
+""")
+    compiled = RecordCompiler(Risc16()).compile(program)
+    opcodes = [i.opcode for i in compiled.code.instructions()]
+    assert "LW" in opcodes and "MUL" in opcodes and "SW" in opcodes
+    # all virtual registers were renamed to physical ones
+    from repro.codegen.asm import Reg
+    for instr in compiled.code.instructions():
+        for operand in instr.operands:
+            if isinstance(operand, Reg):
+                assert not operand.name.startswith("v")
+
+
+def test_risc_spills_under_pressure_and_stays_correct():
+    inputs = {name: value for value, name in
+              enumerate("abcdefgh", start=3)}
+    program, env = reference(SPILL_HEAVY, inputs)
+    compiled = RecordCompiler(Risc16()).compile(program)
+    outputs, _ = run_compiled(compiled, inputs)
+    assert outputs["y"] == env["y"]
+
+
+def test_risc_loop_with_pointer_arithmetic():
+    source = """
+program p;
+const N = 5;
+input a[N]; output y;
+var acc;
+begin
+  acc := 0;
+  for i in 0 .. N-1 do
+    acc := acc + a[i];
+  end;
+  y := acc;
+end.
+"""
+    inputs = {"a": [1, 2, 3, 4, 5]}
+    program, env = reference(source, inputs)
+    compiled = RecordCompiler(Risc16()).compile(program)
+    opcodes = [i.opcode for i in compiled.code.instructions()]
+    assert "BNEZ" in opcodes and "ADDI" in opcodes
+    outputs, _ = run_compiled(compiled, inputs)
+    assert outputs["y"] == env["y"] == 15
+
+
+# ----------------------------------------------------------------------
+# ASIP generator
+# ----------------------------------------------------------------------
+
+SUM_SRC = """
+program sums;
+const N = 8;
+input a[N], b[N]; output y;
+var acc;
+begin
+  acc := 0;
+  for i in 0 .. N-1 do
+    acc := acc + a[i] * b[i];
+  end;
+  y := acc;
+end.
+"""
+
+
+def compile_asip(params):
+    program = compile_dfl(SUM_SRC)
+    compiled = RecordCompiler(Asip(params)).compile(program)
+    return program, compiled
+
+
+def test_asip_default_matches_reference():
+    inputs = {"a": list(range(8)), "b": [2] * 8}
+    program, compiled = compile_asip(AsipParams())
+    env = program.initial_environment()
+    env.update({"a": list(inputs["a"]), "b": list(inputs["b"])})
+    program.run(env, FPC)
+    outputs, _ = run_compiled(compiled, inputs)
+    assert outputs["y"] == env["y"]
+
+
+def test_removing_features_costs_cycles():
+    inputs = {"a": list(range(8)), "b": [3] * 8}
+    results = {}
+    for label, params in [
+        ("full", AsipParams()),
+        ("no_repeat", AsipParams(has_repeat=False)),
+        ("no_mac", AsipParams(has_mac=False, has_repeat=False)),
+    ]:
+        program, compiled = compile_asip(params)
+        outputs, state = run_compiled(compiled, inputs)
+        env = program.initial_environment()
+        env.update({"a": list(inputs["a"]), "b": list(inputs["b"])})
+        program.run(env, FPC)
+        assert outputs["y"] == env["y"], label
+        results[label] = state.cycles
+    assert results["full"] < results["no_repeat"] <= results["no_mac"]
+
+
+def test_asip_without_multiplier_rejects_products():
+    from repro.codegen.selector import SelectionError
+    program = compile_dfl("""
+program p;
+input a, b; output y;
+begin y := a * b; end.
+""")
+    with pytest.raises(SelectionError):
+        RecordCompiler(Asip(AsipParams(has_multiplier=False))
+                       ).compile(program)
+
+
+def test_barrel_shifter_shrinks_shift_chains():
+    source = """
+program p;
+input a; output y;
+begin y := a >> 9; end.
+"""
+    program = compile_dfl(source)
+    plain = RecordCompiler(Asip(AsipParams())).compile(program)
+    barrel = RecordCompiler(
+        Asip(AsipParams(has_barrel_shifter=True))).compile(program)
+    assert barrel.words() < plain.words()
+    for compiled in (plain, barrel):
+        outputs, _ = run_compiled(compiled, {"a": -12345})
+        assert outputs["y"] == -12345 >> 9
+
+
+# ----------------------------------------------------------------------
+# Processor cube
+# ----------------------------------------------------------------------
+
+def test_classification_of_shipped_targets():
+    assert classify(TC25()).corner_name == "DSP core"
+    assert classify(M56()).corner_name == "DSP core"
+    assert classify(Risc16()).corner_name == "GPP core"
+    assert classify(Asip()).corner_name == "ASSP"
+
+
+def test_impossible_corner_rejected():
+    with pytest.raises(ValueError):
+        CubePosition(form="packaged", domain="dsp",
+                     application="configurable")
+
+
+def test_axis_validation():
+    with pytest.raises(ValueError):
+        CubePosition(form="liquid", domain="dsp", application="fixed")
+
+
+def test_cube_table_renders_all():
+    table = cube_table([TC25(), M56(), Risc16(), Asip()])
+    assert "DSP core" in table and "GPP core" in table \
+        and "ASSP" in table

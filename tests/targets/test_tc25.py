@@ -1,0 +1,201 @@
+"""Unit tests for the TC25 target model."""
+
+import pytest
+
+from repro.codegen.asm import AsmInstr, CodeSeq, Imm, LabelRef, Mem, Reg
+from repro.sim.machine import SimulationError
+from repro.targets.tc25 import TC25, _wrap16, _wrap32
+
+
+def ins(name, *operands, modes=None):
+    return AsmInstr(opcode=name, operands=tuple(operands),
+                    modes=modes or {})
+
+
+def direct(address):
+    return Mem(symbol=f"@{address}", mode="direct", address=address)
+
+
+@pytest.fixture()
+def target():
+    return TC25()
+
+
+@pytest.fixture()
+def state(target):
+    return target.initial_state()
+
+
+def test_wrap_helpers():
+    assert _wrap16(0x8000) == -0x8000
+    assert _wrap16(0x7FFF) == 0x7FFF
+    assert _wrap32(1 << 31) == -(1 << 31)
+
+
+def test_accumulator_basics(target, state):
+    state.mem[3] = 100
+    target.execute(state, ins("LAC", direct(3)))
+    assert state.regs["acc"] == 100
+    target.execute(state, ins("ADDK", Imm(28)))
+    assert state.regs["acc"] == 128
+    target.execute(state, ins("NEG"))
+    assert state.regs["acc"] == -128
+    target.execute(state, ins("ABS"))
+    assert state.regs["acc"] == 128
+    target.execute(state, ins("SACL", direct(4)))
+    assert state.mem[4] == 128
+
+
+def test_sacl_wraps_to_16_bits(target, state):
+    state.regs["acc"] = 0x12345
+    target.execute(state, ins("SACL", direct(0)))
+    assert state.mem[0] == _wrap16(0x12345)
+
+
+def test_multiplier_path_and_product_shift_mode(target, state):
+    state.mem[0] = 20000
+    state.mem[1] = 16384          # 0.5 in Q15
+    target.execute(state, ins("LT", direct(0)))
+    target.execute(state, ins("MPY", direct(1)))
+    assert state.regs["p"] == 20000 * 16384
+    target.execute(state, ins("SPM", Imm(15)))
+    target.execute(state, ins("PAC"))
+    assert state.regs["acc"] == (20000 * 16384) >> 15
+    target.execute(state, ins("SPM", Imm(0)))
+    target.execute(state, ins("APAC"))
+    assert state.regs["acc"] == ((20000 * 16384) >> 15) + 20000 * 16384
+
+
+def test_satl_extension(target, state):
+    state.regs["acc"] = 1 << 20
+    target.execute(state, ins("SATL"))
+    assert state.regs["acc"] == 32767
+    state.regs["acc"] = -(1 << 20)
+    target.execute(state, ins("SATL"))
+    assert state.regs["acc"] == -32768
+
+
+def test_combo_instructions(target, state):
+    state.mem[0] = 3
+    state.regs["p"] = 50
+    state.regs["acc"] = 10
+    target.execute(state, ins("LTA", direct(0)))
+    assert state.regs["acc"] == 60
+    assert state.regs["t"] == 3
+    target.execute(state, ins("LTS", direct(0)))
+    assert state.regs["acc"] == 10
+    target.execute(state, ins("LTP", direct(0)))
+    assert state.regs["acc"] == 50
+
+
+def test_dmov_copies_up(target, state):
+    state.mem[5] = 7
+    target.execute(state, ins("DMOV", direct(5)))
+    assert state.mem[6] == 7
+
+
+def test_indirect_post_modify(target, state):
+    state.regs["AR2"] = 10
+    state.mem[10] = 55
+    operand = Mem(symbol="v", mode="indirect", areg="AR2",
+                  post_modify=-2)
+    target.execute(state, ins("LAC", operand))
+    assert state.regs["acc"] == 55
+    assert state.regs["AR2"] == 8
+
+
+def test_banz_semantics(target, state):
+    state.regs["AR7"] = 2
+    taken = target.execute(state, ins("BANZ", LabelRef("L"), Reg("AR7")))
+    assert taken == "L" and state.regs["AR7"] == 1
+    taken = target.execute(state, ins("BANZ", LabelRef("L"), Reg("AR7")))
+    assert taken == "L" and state.regs["AR7"] == 0
+    taken = target.execute(state, ins("BANZ", LabelRef("L"), Reg("AR7")))
+    assert taken is None
+
+
+def test_repeat_counting(target, state):
+    instr = ins("RPTK", Imm(4))
+    assert target.repeat_count(state, instr) == 1
+    target.execute(state, instr)
+    follow = ins("NOP")
+    assert target.repeat_count(state, follow) == 5
+    # consumed: next instruction runs once
+    assert target.repeat_count(state, follow) == 1
+
+
+def test_mac_streams_pmem_table(target, state):
+    state.pmem_tables["T"] = [2, 3, 4]
+    state.regs["AR0"] = 20
+    state.mem[20:23] = [10, 11, 12]
+    operand = Mem(symbol="x", mode="indirect", areg="AR0",
+                  post_modify=1)
+    instr = ins("MAC", LabelRef("T"), operand)
+    count = target.repeat_count(state, instr)   # resets table index
+    assert count == 1
+    for _ in range(3):
+        target.execute(state, instr)
+    target.execute(state, ins("APAC"))
+    assert state.regs["acc"] == 2 * 10 + 3 * 11 + 4 * 12
+
+
+def test_mac_table_overrun_detected(target, state):
+    state.pmem_tables["T"] = [1]
+    state.regs["AR0"] = 0
+    operand = Mem(symbol="x", mode="indirect", areg="AR0",
+                  post_modify=1)
+    instr = ins("MAC", LabelRef("T"), operand)
+    target.repeat_count(state, instr)
+    target.execute(state, instr)
+    with pytest.raises(SimulationError):
+        target.execute(state, instr)
+
+
+def test_macd_shifts_delay_line(target, state):
+    state.pmem_tables["T"] = [1]
+    state.regs["AR0"] = 30
+    state.mem[30] = 9
+    operand = Mem(symbol="x", mode="indirect", areg="AR0",
+                  post_modify=-1)
+    instr = ins("MACD", LabelRef("T"), operand)
+    target.repeat_count(state, instr)
+    target.execute(state, instr)
+    assert state.mem[31] == 9        # shifted up
+    assert state.regs["AR0"] == 29
+
+
+def test_unknown_opcode(target, state):
+    with pytest.raises(SimulationError):
+        target.execute(state, ins("FROB"))
+
+
+def test_unresolved_operand_rejected(target, state):
+    with pytest.raises(SimulationError):
+        target.execute(state, ins("LAC", Mem("x")))
+
+
+def test_finalize_loop_prefers_rptk(target):
+    body = [ins("DMOV", direct(0))]
+    prologue, epilogue = target.finalize_loop(8, body, 0, 0)
+    assert prologue[0].opcode == "RPTK"
+    assert not epilogue
+
+
+def test_finalize_loop_branch_fallback(target):
+    body = [ins("LAC", direct(0)), ins("SACL", direct(1))]
+    prologue, epilogue = target.finalize_loop(8, body, 3, 0)
+    opcodes = [getattr(item, "opcode", None) for item in prologue]
+    assert "LARK" in opcodes
+    assert epilogue[0].opcode == "BANZ"
+
+
+def test_peephole_fusions(target):
+    code = CodeSeq([
+        ins("APAC"), ins("LT", direct(0)),
+        ins("PAC"), ins("LT", direct(1)),
+        ins("SPAC"), ins("LT", direct(2)),
+        ins("APAC"),
+    ])
+    fused = target.peephole(code)
+    opcodes = [i.opcode for i in fused.instructions()]
+    assert opcodes == ["LTA", "LTP", "LTS", "APAC"]

@@ -1,0 +1,129 @@
+"""Unit tests for the TDL parser."""
+
+import pytest
+
+from repro.tdl.parser import ConstGuard, TdlError, parse_tdl
+
+MINIMAL = """
+target t;
+word 16;
+register acc wide;
+nonterm acc resource acc;
+rule LD acc <- mem sem acc = m0;
+rule ST stmt <- store(mem, acc) sem m0 = acc;
+"""
+
+
+def test_minimal_description():
+    description = parse_tdl(MINIMAL)
+    assert description.name == "t"
+    assert description.word_bits == 16
+    assert description.registers["acc"].wide
+    assert description.nonterm_resources == {"acc": "acc"}
+    assert [rule.name for rule in description.rules] == ["LD", "ST"]
+
+
+def test_comments_and_costs_and_asm():
+    description = parse_tdl("""
+target t;
+register acc;            # the accumulator
+nonterm acc resource acc;
+rule LDI acc <- const(u8) asm "LDI %c0" cost 2,3 sem acc = c0;
+""")
+    rule = description.rules[0]
+    assert rule.asm == "LDI %c0"
+    assert (rule.words, rule.cycles) == (2, 3)
+
+
+def test_pattern_shapes():
+    description = parse_tdl("""
+target t;
+register acc wide;
+register t;
+nonterm acc resource acc;
+nonterm treg resource t;
+rule MACQ acc <- add(acc, shr(mul(treg, mem), const(=15)))
+    sem acc = acc + ((t * m0) >> 15);
+""")
+    pattern = description.rules[0].pattern
+    assert pattern.kind == "op" and pattern.name == "add"
+    shr = pattern.children[1]
+    assert shr.name == "shr"
+    assert shr.children[1].guard.kind == "="
+    assert shr.children[1].guard.value == 15
+
+
+def test_const_guards():
+    assert ConstGuard("u", 8).admits(255)
+    assert not ConstGuard("u", 8).admits(256)
+    assert not ConstGuard("u", 8).admits(-1)
+    assert ConstGuard("s", 8).admits(-128)
+    assert not ConstGuard("s", 8).admits(128)
+    assert ConstGuard("=", 15).admits(15)
+    assert not ConstGuard("=", 15).admits(14)
+    assert ConstGuard("any").admits(99999)
+
+
+def test_multiple_assignments():
+    description = parse_tdl("""
+target t;
+register acc wide;
+register t;
+nonterm acc resource acc;
+rule SWAPISH acc <- mem sem acc = m0, t = acc;
+""")
+    assignments = description.rules[0].assignments
+    assert len(assignments) == 2
+    assert assignments[1].dest == "t"
+
+
+def test_error_unknown_resource():
+    with pytest.raises(TdlError):
+        parse_tdl("""
+target t;
+register acc;
+nonterm acc resource nothere;
+rule LD acc <- mem sem acc = m0;
+""")
+
+
+def test_error_unknown_register_in_sem():
+    with pytest.raises(TdlError):
+        parse_tdl("""
+target t;
+register acc;
+nonterm acc resource acc;
+rule LD acc <- mem sem zoom = m0;
+""")
+
+
+def test_error_no_rules():
+    with pytest.raises(TdlError):
+        parse_tdl("target t;\nword 16;\n")
+
+
+def test_error_duplicate_register():
+    with pytest.raises(TdlError):
+        parse_tdl("""
+target t;
+register acc;
+register acc;
+nonterm acc resource acc;
+rule LD acc <- mem sem acc = m0;
+""")
+
+
+def test_error_bad_guard():
+    with pytest.raises(TdlError):
+        parse_tdl("""
+target t;
+register acc;
+nonterm acc resource acc;
+rule LDI acc <- const(q4) sem acc = c0;
+""")
+
+
+def test_error_messages_carry_lines():
+    with pytest.raises(TdlError) as excinfo:
+        parse_tdl("target t;\nword banana;")
+    assert "line 2" in str(excinfo.value)

@@ -1,0 +1,150 @@
+"""Integration tests for TDL-generated targets."""
+
+import pathlib
+
+import pytest
+
+from repro.codegen.pipeline import RecordCompiler
+from repro.codegen.timing import predict_cycles
+from repro.dfl import compile_dfl
+from repro.dspstone import all_kernels, kernel
+from repro.ir.fixedpoint import FixedPointContext
+from repro.sim.harness import run_compiled
+from repro.tdl import TdlTarget, load_target, parse_tdl
+
+FPC = FixedPointContext(16)
+DEMO16 = pathlib.Path("examples/targets/demo16.tdl").read_text()
+KERNELS = [spec.name for spec in all_kernels()]
+
+
+@pytest.fixture(scope="module")
+def demo16():
+    return load_target(DEMO16)
+
+
+def test_description_reflected_in_model(demo16):
+    assert demo16.name == "tdl:demo16"
+    assert demo16.STREAM_ADDRESS_REGISTERS[0] == "P0"
+    assert demo16.LOOP_ADDRESS_REGISTERS == ["C0", "C1"]
+    grammar = demo16.grammar()
+    assert grammar.resource_of("acc") == "acc"
+    assert grammar.resource_of("treg") == "t"
+
+
+def test_clobbers_derived_from_semantics(demo16):
+    grammar = demo16.grammar()
+    mac = next(rule for rule in grammar.rules if rule.name == "MAC")
+    assert mac.clobbers == frozenset({"acc"})
+    lt = next(rule for rule in grammar.rules if rule.name == "LT")
+    assert lt.clobbers == frozenset({"t"})
+
+
+@pytest.mark.parametrize("name", KERNELS)
+def test_all_kernels_bit_exact(name, demo16):
+    spec = kernel(name)
+    compiled = RecordCompiler(demo16).compile(spec.program)
+    for seed in (0, 1):
+        reference = spec.program.initial_environment()
+        for key, value in spec.inputs(seed=seed).items():
+            reference[key] = list(value) if isinstance(value, list) \
+                else value
+        spec.program.run(reference, FPC)
+        outputs, _ = run_compiled(compiled, spec.inputs(seed=seed))
+        for symbol in spec.program.symbols.values():
+            if symbol.role == "output":
+                assert outputs[symbol.name] == reference[symbol.name]
+
+
+@pytest.mark.parametrize("name", ["fir", "convolution",
+                                  "iir_biquad_N_sections"])
+def test_timing_prediction_holds_on_tdl_targets(name, demo16):
+    spec = kernel(name)
+    compiled = RecordCompiler(demo16).compile(spec.program)
+    _outputs, state = run_compiled(compiled, spec.inputs(seed=0))
+    assert predict_cycles(compiled.code).total_cycles == state.cycles
+
+
+def test_fused_mac_rules_selected(demo16):
+    spec = kernel("fir")
+    compiled = RecordCompiler(demo16).compile(spec.program)
+    opcodes = [instr.opcode for instr in compiled.code.instructions()]
+    assert "MACQ" in opcodes           # the Q15 fused form from the file
+
+
+def test_changing_the_description_changes_the_compiler():
+    # strip the fused MAC rules: same kernel costs more words
+    # (statements end in ';', so filter whole statements, not lines)
+    statements = DEMO16.split(";")
+    slim_text = ";".join(
+        statement for statement in statements
+        if not any(f"rule {name} " in statement
+                   for name in ("MAC", "MACQ", "MSU", "MSUQ", "MPYQ")))
+    slim = load_target(slim_text)
+    full = load_target(DEMO16)
+    program = kernel("fir").program
+    slim_words = RecordCompiler(slim).compile(program).words()
+    full_words = RecordCompiler(full).compile(program).words()
+    assert slim_words > full_words
+
+
+def test_read_modify_write_memory_semantics():
+    target = load_target("""
+target rmw;
+register acc wide;
+nonterm acc resource acc;
+rule LD   acc <- mem sem acc = m0;
+rule INCM stmt <- store(mem, add(acc, const(=0))) sem m0 = acc;
+rule ST   stmt <- store(mem, acc) sem m0 = acc;
+""")
+    program = compile_dfl("""
+program p;
+input x; output y;
+begin
+  y := x;
+end.
+""")
+    compiled = RecordCompiler(target).compile(program)
+    outputs, _ = run_compiled(compiled, {"x": 42})
+    assert outputs["y"] == 42
+
+
+def test_nesting_beyond_counters_rejected(demo16):
+    from repro.tdl.parser import TdlError
+    program = compile_dfl("""
+program deep;
+input a[2]; output y;
+var acc;
+begin
+  acc := 0;
+  for i in 0 .. 1 do
+    for j in 0 .. 1 do
+      for k in 0 .. 1 do
+        acc := acc + a[0];
+      end;
+    end;
+  end;
+  y := acc;
+end.
+""")
+    with pytest.raises(TdlError):
+        RecordCompiler(demo16).compile(program)
+
+
+def test_semantics_word_ports_consistent(demo16):
+    # logic on a wide accumulator wraps at the port, like every other
+    # machine model (and the reference)
+    program = compile_dfl("""
+program ports;
+input a, b, c;
+output y;
+begin
+  y := sat((a * b) ^ c);
+end.
+""")
+    compiled = RecordCompiler(demo16).compile(program)
+    reference = program.initial_environment()
+    reference.update({"a": 30000, "b": 29000, "c": -5})
+    program.run(reference, FPC)
+    outputs, _ = run_compiled(compiled,
+                              {"a": 30000, "b": 29000, "c": -5})
+    assert outputs["y"] == reference["y"]
