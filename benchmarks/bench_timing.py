@@ -10,27 +10,33 @@ Run:  pytest benchmarks/bench_timing.py --benchmark-only -s
 or :  python benchmarks/bench_timing.py
 """
 
-from repro.baseline.compiler import BaselineCompiler
-from repro.codegen.pipeline import RecordCompiler
 from repro.codegen.timing import predict_cycles
-from repro.dspstone import all_kernels, hand_reference
+from repro.dspstone import all_kernels
+from repro.evalx.farm import CompileJob, compile_many
 from repro.sim.harness import run_compiled
-from repro.targets.m56 import M56
-from repro.targets.risc import Risc16
-from repro.targets.tc25 import TC25
+
+# The kernel x compiler x target matrix, one farm job per cell (the
+# "hand" producer is the checked-in reference assembly, not a compile,
+# but the farm serves it through the same interface).
+_CELLS = (("record", "tc25"), ("baseline", "tc25"), ("hand", "tc25"),
+          ("record", "m56"), ("record", "risc16"))
 
 
-def build_everything():
+def build_everything(parallel=None):
+    specs = list(all_kernels())
+    jobs = [CompileJob(kernel=spec.name, compiler=compiler, target=target)
+            for spec in specs
+            for compiler, target in _CELLS]
+    results = compile_many(jobs, parallel=parallel)
+    by_name = {spec.name: spec for spec in specs}
     compiled = []
-    tc25 = TC25()
-    for spec in all_kernels():
-        compiled.append((spec, RecordCompiler(tc25).compile(spec.program)))
-        compiled.append((spec,
-                         BaselineCompiler(tc25).compile(spec.program)))
-        compiled.append((spec, hand_reference(spec.name, tc25)))
-        compiled.append((spec, RecordCompiler(M56()).compile(spec.program)))
-        compiled.append((spec,
-                         RecordCompiler(Risc16()).compile(spec.program)))
+    for result in results:
+        if not result.ok:
+            raise RuntimeError(
+                f"{result.job.kernel}/{result.job.compiler}/"
+                f"{result.job.target}: [{result.error_type}] "
+                f"{result.error}")
+        compiled.append((by_name[result.job.kernel], result.compiled))
     return compiled
 
 

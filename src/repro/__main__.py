@@ -38,12 +38,36 @@ def cmd_list(_args) -> int:
     return 0
 
 
+def _print_compile_stats(compiled) -> None:
+    """Verbose footer: per-stage wall clock + selection telemetry."""
+    timings = compiled.stats.get("timings")
+    if timings:
+        total = sum(seconds for stage, seconds in timings.items()
+                    if stage not in ("variants", "labeling"))
+        print(f"compile time: {total * 1e3:.2f} ms")
+        for stage, seconds in timings.items():
+            nested = "  (within selection)" \
+                if stage in ("variants", "labeling") else ""
+            print(f"  {stage:10s} {seconds * 1e3:8.3f} ms{nested}")
+    selection = compiled.stats.get("selection")
+    if selection is not None:
+        print(f"selection: {selection.assignments} assignments, "
+              f"{selection.variants_tried} variants tried, "
+              f"{selection.cuts} cuts")
+        print(f"label cache: {selection.label_hits} hits / "
+              f"{selection.label_misses} misses "
+              f"({selection.label_hit_rate:.1%})")
+
+
 def cmd_compile(args) -> int:
     """Compile a kernel and print its listing."""
     from repro import compile_kernel
     result = compile_kernel(args.kernel, target=args.target,
                             compiler=args.compiler)
     print(result.listing())
+    if args.verbose:
+        print()
+        _print_compile_stats(result.compiled)
     return 0
 
 
@@ -58,6 +82,9 @@ def cmd_run(args) -> int:
     inputs = spec.inputs(seed=args.seed)
     outputs, cycles = result.run(inputs)
     print(result.listing())
+    if args.verbose:
+        print()
+        _print_compile_stats(result.compiled)
     print()
     print(f"inputs (seed {args.seed}): {inputs}")
     print(f"outputs: {outputs}")
@@ -121,6 +148,9 @@ def main(argv=None) -> int:
     _add_target_option(compile_parser)
     compile_parser.add_argument("--compiler", default="record",
                                 choices=("record", "baseline", "hand"))
+    compile_parser.add_argument("-v", "--verbose", action="store_true",
+                                help="print per-stage compile timings "
+                                     "and selection statistics")
 
     run_parser = commands.add_parser("run",
                                      help="compile + simulate a kernel")
@@ -129,6 +159,9 @@ def main(argv=None) -> int:
     run_parser.add_argument("--compiler", default="record",
                             choices=("record", "baseline", "hand"))
     run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument("-v", "--verbose", action="store_true",
+                            help="print per-stage compile timings "
+                                 "and selection statistics")
 
     commands.add_parser("table1", help="regenerate the paper's Table 1")
     commands.add_parser("cube", help="the Fig. 1 processor cube")

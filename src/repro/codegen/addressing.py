@@ -17,8 +17,9 @@ Runs after instruction selection and loop-level optimizations:
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Set, Tuple, TYPE_CHECKING
+from typing import Deque, Dict, List, Optional, Set, Tuple, TYPE_CHECKING
 
 from repro.codegen.asm import AddrOf, AsmInstr, CodeSeq, Imm, Mem, Reg
 from repro.codegen.compiled import MemoryMap
@@ -152,38 +153,76 @@ class AddressAssigner:
                     f"({len(self.stream_registers)} registers total)")
             return available.pop(0)
 
-        for group_name in merge_groups:
-            group_register[group_name] = take_register(group_name)
-        for key in counts:
-            if key in merged:
-                group_name, step = merged[key]
-                allocation[key] = group_register[group_name]
-                post_of[key] = step
-                continue
-            if abs(key.coeff) > max_post:
-                raise AddressingError(
-                    f"stride {key.coeff} exceeds target post-modify "
-                    f"capability ({max_post})")
-            allocation[key] = take_register(
-                f"{key.symbol}[{key.coeff}*i+{key.offset}]")
-            if counts[key] > 1:
-                # Several access sites per iteration: accesses leave the
-                # register untouched; a single pointer-bump at the end
-                # of the body advances the stream.
-                multi_access.add(key)
-                post_of[key] = 0
-            else:
-                post_of[key] = key.coeff
+        # When the conservative plan wants more registers than the loop
+        # has left, fall back to generalized chain merging: *all* sites
+        # of one (array, stride) pair share a single register that hops
+        # between sites via post-modify.  Fallback-only, so programs
+        # that fit keep their historical register assignment.
+        loose_count = sum(1 for key in counts if key not in merged)
+        chains = None
+        if len(merge_groups) + loose_count > len(available):
+            chains = self._plan_site_chains(occurrences, max_post)
+            if chains is not None and len(chains) > len(available):
+                chains = None       # still too many: report exhaustion
 
-        def resolve(operand: Mem) -> Mem:
-            key = self._stream_key(operand)
-            if key is not None and key in allocation:
-                return replace(operand, mode="indirect",
-                               areg=allocation[key],
-                               post_modify=post_of[key])
-            return self._resolve_scalar(operand)
+        if chains is not None:
+            chain_register = {
+                group: take_register(f"{group[0]} stride {group[1]}")
+                for group in chains
+            }
+            site_queues: Dict[Tuple[str, int],
+                              Deque[Tuple[_StreamKey, int]]] = {
+                group: deque(sites) for group, sites in chains.items()
+            }
 
-        inner_used = used_registers | set(allocation.values())
+            def resolve(operand: Mem) -> Mem:
+                key = self._stream_key(operand)
+                if key is not None:
+                    group = (key.symbol, key.coeff)
+                    site_key, step = site_queues[group].popleft()
+                    if site_key != key:   # traversal out of step: a bug
+                        raise AddressingError(
+                            f"loop {loop.loop_id}: access-site order "
+                            f"mismatch ({site_key} != {key})")
+                    return replace(operand, mode="indirect",
+                                   areg=chain_register[group],
+                                   post_modify=step)
+                return self._resolve_scalar(operand)
+
+            inner_used = used_registers | set(chain_register.values())
+        else:
+            for group_name in merge_groups:
+                group_register[group_name] = take_register(group_name)
+            for key in counts:
+                if key in merged:
+                    group_name, step = merged[key]
+                    allocation[key] = group_register[group_name]
+                    post_of[key] = step
+                    continue
+                if abs(key.coeff) > max_post:
+                    raise AddressingError(
+                        f"stride {key.coeff} exceeds target post-modify "
+                        f"capability ({max_post})")
+                allocation[key] = take_register(
+                    f"{key.symbol}[{key.coeff}*i+{key.offset}]")
+                if counts[key] > 1:
+                    # Several access sites per iteration: accesses leave
+                    # the register untouched; a single pointer-bump at
+                    # the end of the body advances the stream.
+                    multi_access.add(key)
+                    post_of[key] = 0
+                else:
+                    post_of[key] = key.coeff
+
+            def resolve(operand: Mem) -> Mem:
+                key = self._stream_key(operand)
+                if key is not None and key in allocation:
+                    return replace(operand, mode="indirect",
+                                   areg=allocation[key],
+                                   post_modify=post_of[key])
+                return self._resolve_scalar(operand)
+
+            inner_used = used_registers | set(allocation.values())
         index = 0
         while index < len(loop.body):
             child = loop.body[index]
@@ -213,10 +252,18 @@ class AddressAssigner:
                 loop.body.append(Run(items=bumps))
 
         # Preheader: initialize each stream register to the address of
-        # its first-iteration element (merge groups: the first access).
-        # Returned to the caller, which places the loads before this
-        # loop's LoopBegin.
+        # its first-iteration element (merge groups / site chains: the
+        # first access).  Returned to the caller, which places the
+        # loads before this loop's LoopBegin.
         prologue: List[AsmInstr] = []
+        if chains is not None:
+            for group, sites in chains.items():
+                first = sites[0][0]
+                address = self.memory_map.address_of(first.symbol,
+                                                     first.offset)
+                prologue.append(self._load_address_register(
+                    chain_register[group], address))
+            return prologue
         initialized: Set[str] = set()
         for group_name, keys in merge_groups.items():
             register = group_register[group_name]
@@ -231,6 +278,34 @@ class AddressAssigner:
             address = self.memory_map.address_of(key.symbol, key.offset)
             prologue.append(self._load_address_register(register, address))
         return prologue
+
+    def _plan_site_chains(
+            self, occurrences: List[_StreamKey], max_post: int
+    ) -> Optional[Dict[Tuple[str, int],
+                       List[Tuple[_StreamKey, int]]]]:
+        """Generalized chain merging (register-exhaustion fallback).
+
+        Groups the loop's access sites by (array, stride); within a
+        group the shared register visits the sites in textual order,
+        each access post-modifying by the hop to the next site (the
+        last one returns to the next iteration's first site).  Returns
+        ``{group: [(site key, post-modify), ...]}`` -- one entry per
+        access *site*, aligned with the body's traversal order -- or
+        ``None`` when some hop exceeds the target's post-modify reach.
+        """
+        groups: Dict[Tuple[str, int], List[_StreamKey]] = {}
+        for key in occurrences:
+            groups.setdefault((key.symbol, key.coeff), []).append(key)
+        chains: Dict[Tuple[str, int],
+                     List[Tuple[_StreamKey, int]]] = {}
+        for (symbol, coeff), sites in groups.items():
+            steps = [after.offset - site.offset
+                     for site, after in zip(sites, sites[1:])]
+            steps.append(coeff + sites[0].offset - sites[-1].offset)
+            if any(abs(step) > max_post for step in steps):
+                return None
+            chains[(symbol, coeff)] = list(zip(sites, steps))
+        return chains
 
     def _pointer_bump(self, register: str, stride: int) -> AsmInstr:
         maker = getattr(self.target, "make_pointer_bump", None)

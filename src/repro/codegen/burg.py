@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
 
 from repro.codegen.asm import Mem
@@ -125,15 +126,24 @@ class BurgMatcher:
     words; the paper's Table 1 metric) or ``"speed"`` (cycles).
     """
 
-    def __init__(self, grammar: TreeGrammar, metric: str = "size"):
+    def __init__(self, grammar: TreeGrammar, metric: str = "size",
+                 cache: bool = True):
         self.grammar = grammar
         self.metric = metric
         Cost().key(metric)   # validate metric early
         # Persistent label cache: states depend only on the (fixed)
         # grammar and the subtree, so they are shared across label()
         # calls -- the selector labels many algebraic variants that
-        # overlap heavily in subtrees.
+        # overlap heavily in subtrees, and a matcher kept alive by the
+        # compiler's pool shares them across whole programs.  With
+        # ``cache=False`` every label() call starts cold (the
+        # before/after baseline of bench_compile_speed).
+        self.cache = cache
         self._states: Dict[Tree, _State] = {}
+        # Cache telemetry, surfaced through SelectionStats.
+        self.label_hits = 0
+        self.label_misses = 0
+        self.label_seconds = 0.0
 
     # ------------------------------------------------------------------
     # Labelling
@@ -142,12 +152,17 @@ class BurgMatcher:
     def label(self, tree: Tree) -> Dict[Tree, _State]:
         """Compute optimal-derivation states for every distinct subtree
         (cached across calls; the grammar is immutable per matcher)."""
-        self._label_node(tree, self._states)
-        return self._states
+        states = self._states if self.cache else {}
+        started = perf_counter()
+        self._label_node(tree, states)
+        self.label_seconds += perf_counter() - started
+        return states
 
     def _label_node(self, tree: Tree, states: Dict[Tree, _State]) -> None:
         if tree in states:
+            self.label_hits += 1
             return
+        self.label_misses += 1
         for child in tree.children:
             self._label_node(child, states)
         state: _State = {}

@@ -22,9 +22,11 @@ ablation benchmarks can quantify each design choice separately.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from time import perf_counter
 from typing import Dict, List, Optional, Set, Tuple, TYPE_CHECKING
 
 from repro.codegen.addressing import AddressAssigner
+from repro.codegen.burg import BurgMatcher
 from repro.codegen.asm import AsmInstr, CodeSeq, Label, LoopBegin, LoopEnd, Mem
 from repro.codegen.compiled import (
     CompiledProgram, MemoryMap, PmemTable, build_memory_map,
@@ -60,6 +62,10 @@ class RecordOptions:
     offset_assignment: str = "liao"    # banked/indirect targets
     bank_assignment: str = "greedy"    # banked targets
     compaction: str = "greedy"         # targets with parallel slots
+    # Share one BURS labeller (and its label cache) across compile()
+    # calls of the same compiler instance.  OFF reproduces the cold
+    # per-compile path (the bench_compile_speed baseline).
+    label_cache: bool = True
 
 
 class CompileError(Exception):
@@ -75,33 +81,57 @@ class RecordCompiler:
                  options: Optional[RecordOptions] = None):
         self.target = target
         self.options = options or RecordOptions()
+        # Matcher pool, keyed by metric: BURS label states depend only
+        # on the (immutable) grammar and the subtree, so one labeller --
+        # and its label cache -- serves every compile() of this
+        # compiler.  Kernels of a suite share many subtrees (MAC sums,
+        # delay-line shifts), which the cache turns into O(1) lookups.
+        self._matchers: Dict[str, BurgMatcher] = {}
+
+    def _matcher_for(self, metric: str) -> BurgMatcher:
+        matcher = self._matchers.get(metric)
+        if matcher is None:
+            matcher = BurgMatcher(self.target.grammar(), metric)
+            self._matchers[metric] = matcher
+        return matcher
 
     # ------------------------------------------------------------------
 
     def compile(self, program: Program) -> CompiledProgram:
         """Run the full RECORD pipeline on a lowered program."""
         options = self.options
+        timings: Dict[str, float] = {}
+        started = perf_counter()
         selector = Selector(self.target.grammar(), metric=options.metric,
                             algebraic=options.algebraic,
                             variant_limit=options.variant_limit,
-                            fpc=self.target.fpc)
+                            fpc=self.target.fpc,
+                            matcher=self._matcher_for(options.metric)
+                            if options.label_cache else None,
+                            label_cache=options.label_cache)
         ctx = EmitContext()
         temp_counter = [0]
         loop_counter = [0]
         self._select_items(program.body, selector, ctx, temp_counter,
                            loop_counter)
         code = ctx.code
+        timings["selection"] = perf_counter() - started
 
+        started = perf_counter()
         read_only = read_only_input_arrays(program)
         code, tables = self.target.loop_optimizations(
             code, read_only,
             promote_accumulators=options.promote_accumulators,
             repeat_idioms=options.repeat_idioms,
             fuse_shift_idioms=options.fuse_shift_idioms)
+        timings["loop_opt"] = perf_counter() - started
 
+        started = perf_counter()
         if options.peephole:
             code = self.target.peephole(code)
+        timings["peephole"] = perf_counter() - started
 
+        started = perf_counter()
         extra_scalars = collect_extra_scalars(code, program)
         address_hook = getattr(self.target, "assign_addresses", None)
         if address_hook is not None:
@@ -116,15 +146,24 @@ class RecordCompiler:
                 if options.scalar_order else None)
             code = AddressAssigner(self.target, memory_map,
                                    code).run(code)
+        timings["addressing"] = perf_counter() - started
 
+        started = perf_counter()
         compaction_hook = getattr(self.target, "compact", None)
         if compaction_hook is not None:
             code = compaction_hook(code, options)
 
         code = minimize_mode_changes(code, self.target,
                                      naive=not options.minimize_modes)
+        timings["modes"] = perf_counter() - started
 
+        started = perf_counter()
         code = finalize_loops(code, self.target)
+        timings["finalize"] = perf_counter() - started
+
+        # Sub-stage detail measured inside selection:
+        timings["variants"] = selector.stats.variant_seconds
+        timings["labeling"] = selector.stats.label_seconds
 
         return CompiledProgram(
             name=program.name,
@@ -137,6 +176,7 @@ class RecordCompiler:
             stats={
                 "selection": selector.stats,
                 "words": code.words(),
+                "timings": timings,
             },
         )
 
@@ -193,15 +233,17 @@ def collect_extra_scalars(code: CodeSeq, program: Program) -> List[str]:
     """Compiler-generated scalars referenced by the code but not declared
     (decomposition temporaries, selector scratch cells, induction
     variables of the baseline)."""
-    seen: List[str] = []
+    seen: List[str] = []          # discovery order (memory-map layout)
+    seen_set: Set[str] = set()    # membership test stays O(1)
     known = set(program.symbols)
     for item in code:
         if not isinstance(item, AsmInstr):
             continue
         for operand in item.memory_operands():
             if operand.mode == "symbolic" and operand.symbol not in known \
-                    and operand.symbol not in seen:
+                    and operand.symbol not in seen_set:
                 seen.append(operand.symbol)
+                seen_set.add(operand.symbol)
     return seen
 
 

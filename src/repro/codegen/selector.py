@@ -20,6 +20,7 @@ Two extra mechanisms make selection total on real input:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import List, Optional, Sequence, Tuple
 
 from repro.codegen.burg import BurgMatcher, CoverError
@@ -51,6 +52,19 @@ class SelectionStats:
     # times the coverage-only variant rescue was needed (algebraic=False)
     rescues: int = 0
     total_cost: Cost = field(default_factory=Cost)
+    # BURS label-cache telemetry (deltas of the matcher's counters over
+    # this selector's lifetime; the matcher may be shared/pooled).
+    label_hits: int = 0
+    label_misses: int = 0
+    # wall-clock spent enumerating algebraic variants / labelling
+    variant_seconds: float = 0.0
+    label_seconds: float = 0.0
+
+    @property
+    def label_hit_rate(self) -> float:
+        """Fraction of subtree labelings answered by the cache."""
+        total = self.label_hits + self.label_misses
+        return self.label_hits / total if total else 0.0
 
 
 def wrap_store(symbol: str, index: Optional[ArrayIndex],
@@ -68,8 +82,16 @@ class Selector:
                  algebraic: bool = True,
                  rewrite_rules: Optional[Sequence[RewriteRule]] = None,
                  variant_limit: int = 64,
-                 fpc: Optional[FixedPointContext] = None):
-        self.matcher = BurgMatcher(grammar, metric)
+                 fpc: Optional[FixedPointContext] = None,
+                 matcher: Optional[BurgMatcher] = None,
+                 label_cache: bool = True):
+        """``matcher`` shares an existing (pooled) labeller -- it must
+        have been built from the same grammar and metric; its label
+        cache then persists across selectors and compiles."""
+        if matcher is not None:
+            self.matcher = matcher
+        else:
+            self.matcher = BurgMatcher(grammar, metric, cache=label_cache)
         self.metric = metric
         self.algebraic = algebraic
         self.rewrite_rules = list(rewrite_rules) if rewrite_rules is not None \
@@ -77,6 +99,9 @@ class Selector:
         self.variant_limit = variant_limit
         self.fpc = fpc if fpc is not None else FixedPointContext(16)
         self.stats = SelectionStats()
+        self._label_base = (self.matcher.label_hits,
+                            self.matcher.label_misses,
+                            self.matcher.label_seconds)
 
     # ------------------------------------------------------------------
 
@@ -93,15 +118,30 @@ class Selector:
         cost = self._select(assignment.symbol, assignment.index,
                             assignment.tree, ctx)
         self.stats.total_cost = self.stats.total_cost + cost
+        self._sync_label_stats()
         return cost
+
+    def _sync_label_stats(self) -> None:
+        """Fold the matcher's cache counters (delta since this selector
+        was created -- the matcher may be shared) into the stats."""
+        hits0, misses0, seconds0 = self._label_base
+        self.stats.label_hits = self.matcher.label_hits - hits0
+        self.stats.label_misses = self.matcher.label_misses - misses0
+        self.stats.label_seconds = self.matcher.label_seconds - seconds0
 
     # ------------------------------------------------------------------
 
     def _variants(self, tree: Tree) -> List[Tree]:
         if not self.algebraic:
             return [tree]
-        return enumerate_variants(tree, self.rewrite_rules,
-                                  self.variant_limit)
+        return self._enumerate(tree)
+
+    def _enumerate(self, tree: Tree) -> List[Tree]:
+        started = perf_counter()
+        variants = enumerate_variants(tree, self.rewrite_rules,
+                                      self.variant_limit)
+        self.stats.variant_seconds += perf_counter() - started
+        return variants
 
     def _select(self, symbol: str, index: Optional[ArrayIndex],
                 tree: Tree, ctx: EmitContext,
@@ -120,9 +160,7 @@ class Selector:
             # algebraic variants for cost must still know that e.g.
             # ``a - b`` can be built as ``a + (-b)`` when the direct
             # form has no cover.  Enumerate rewrites once, coverage-only.
-            for position, variant in enumerate(
-                    enumerate_variants(tree, self.rewrite_rules,
-                                       self.variant_limit)):
+            for position, variant in enumerate(self._enumerate(tree)):
                 wrapped = wrap_store(symbol, index, variant)
                 cost = self.matcher.cover_cost(wrapped, goal)
                 if cost is not None:
@@ -195,6 +233,22 @@ class Selector:
             return None
         return cut_cost + rest_cost
 
+    def _probe_coverable(self, subtree: Tree) -> bool:
+        """Whether a cut of ``subtree`` into a temporary could be
+        selected: the raw tree is checked first (cheap, and the
+        historical behaviour), then its algebraic variants -- ``_select``
+        on the cut searches variants too, so a subtree whose *rewritten*
+        form is coverable (e.g. ``mul(#k, x)`` on a machine whose
+        multiply wants the constant on the right) is a valid cut."""
+        if self.matcher.cover_cost(wrap_store("$probe", None, subtree),
+                                   self.GOAL) is not None:
+            return True
+        for variant in self._enumerate(subtree):
+            wrapped = wrap_store("$probe", None, variant)
+            if self.matcher.cover_cost(wrapped, self.GOAL) is not None:
+                return True
+        return False
+
     def _find_cut(self, tree: Tree) -> Optional[Tree]:
         """Largest proper compute subtree coverable as a statement;
         falls back to cutting a constant leaf into a memory cell (for
@@ -211,8 +265,7 @@ class Selector:
                 continue
             if subtree.kind is not OpKind.COMPUTE:
                 continue
-            wrapped = wrap_store("$probe", None, subtree)
-            if self.matcher.cover_cost(wrapped, self.GOAL) is not None:
+            if self._probe_coverable(subtree):
                 # prefer cut points whose value provably fits the word:
                 # a spill wraps, so word-sized cuts are always safe
                 candidates.append((fits_word(subtree, self.fpc),

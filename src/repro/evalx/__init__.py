@@ -5,6 +5,8 @@ One module per experiment (see DESIGN.md's experiment index); the
 and EXPERIMENTS.md records the measured-vs-paper comparison.
 """
 
+from repro.evalx.farm import CompileJob, FarmResult, compile_many
 from repro.evalx.table1 import Table1Row, compute_table1, format_table1
 
-__all__ = ["Table1Row", "compute_table1", "format_table1"]
+__all__ = ["CompileJob", "FarmResult", "compile_many",
+           "Table1Row", "compute_table1", "format_table1"]

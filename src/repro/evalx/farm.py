@@ -1,0 +1,170 @@
+"""A compile farm: many (kernel, compiler, target) jobs, one call.
+
+Every evaluation harness in this repository compiles the same closed
+set of DSPStone kernels against the same closed set of targets --
+Table 1, the timing bench, the retargeting matrix, the full report.
+This module gives them one shared engine:
+
+- a :class:`CompileJob` names its work by *registry key* (kernel name,
+  compiler name, target name) plus a frozen options dataclass, so a job
+  pickles in a few bytes and the worker rebuilds everything from the
+  registries;
+- :func:`compile_many` runs a job list either serially or on a
+  ``concurrent.futures`` process pool.  Results come back in job order
+  in both modes (``Executor.map`` preserves ordering), so callers are
+  oblivious to how the work was scheduled;
+- a worker process keeps one compiler instance per (compiler, target,
+  options) triple alive between jobs, so the BURS label cache and the
+  memoized target grammar pay off across kernels exactly as they do in
+  a long-lived serial session;
+- failures never kill the farm: a worker catches ``CompileError`` (and
+  anything else the pipeline raises) and returns it inside the
+  :class:`FarmResult`, keyed to its job, in order.
+
+Parallelism degrades gracefully: on a single-core container, when the
+pool cannot start, or for a singleton job list, the farm simply runs
+serially in-process -- same results, same order.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.codegen.compiled import CompiledProgram
+
+#: Compiler registry: name -> (factory, options default). Extended here
+#: rather than imported lazily so job validation can happen up front.
+COMPILER_NAMES = ("record", "baseline", "hand")
+
+
+@dataclass(frozen=True)
+class CompileJob:
+    """One unit of farm work, picklable by construction.
+
+    ``kernel``, ``compiler`` and ``target`` are registry names (see
+    :func:`repro.api.available_kernels` / ``available_targets``);
+    ``options`` is the compiler's frozen options dataclass or ``None``
+    for defaults.  ``fresh`` bypasses the worker's compiler pool -- the
+    job then compiles with a cold compiler instance (used as the
+    uncached baseline by ``benchmarks/bench_compile_speed.py``).
+    """
+
+    kernel: str
+    compiler: str = "record"
+    target: str = "tc25"
+    options: object = None
+    fresh: bool = False
+
+
+@dataclass
+class FarmResult:
+    """Outcome of one job: a compiled program or a captured error."""
+
+    job: CompileJob
+    compiled: Optional[CompiledProgram] = None
+    error: Optional[str] = None
+    error_type: Optional[str] = None
+    seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+# One compiler instance per (compiler, target, options) per process:
+# RecordCompiler's matcher pool and the target's grammar cache then
+# persist across every job this worker handles.
+_POOL: Dict[Tuple[str, str, str], object] = {}
+
+
+def _build_compiler(job: CompileJob):
+    from repro.api import _resolve_target
+    target = _resolve_target(job.target)
+    if job.compiler == "record":
+        from repro.codegen.pipeline import RecordCompiler
+        return RecordCompiler(target, job.options)
+    if job.compiler == "baseline":
+        from repro.baseline.compiler import BaselineCompiler
+        return BaselineCompiler(target, job.options)
+    raise ValueError(f"unknown compiler {job.compiler!r}; "
+                     f"expected one of {COMPILER_NAMES}")
+
+
+def _compiler_for(job: CompileJob):
+    if job.fresh:
+        return _build_compiler(job)
+    key = (job.compiler, job.target, repr(job.options))
+    compiler = _POOL.get(key)
+    if compiler is None:
+        compiler = _build_compiler(job)
+        _POOL[key] = compiler
+    return compiler
+
+
+def run_job(job: CompileJob) -> FarmResult:
+    """Execute one job; never raises -- errors travel in the result."""
+    started = perf_counter()
+    try:
+        if job.compiler == "hand":
+            from repro.api import _resolve_target
+            from repro.dspstone import hand_reference
+            compiled = hand_reference(job.kernel,
+                                      _resolve_target(job.target))
+        else:
+            from repro.dspstone import kernel
+            program = kernel(job.kernel).program
+            compiled = _compiler_for(job).compile(program)
+    except Exception as exc:                      # noqa: BLE001
+        return FarmResult(job=job, error=str(exc),
+                          error_type=type(exc).__name__,
+                          seconds=perf_counter() - started)
+    return FarmResult(job=job, compiled=compiled,
+                      seconds=perf_counter() - started)
+
+
+def clear_worker_pool() -> None:
+    """Drop this process's pooled compilers (cold-start measurements)."""
+    _POOL.clear()
+
+
+# ----------------------------------------------------------------------
+# Driver side
+# ----------------------------------------------------------------------
+
+def default_workers() -> int:
+    """Worker count the farm would use: one per core, at most 8."""
+    return max(1, min(os.cpu_count() or 1, 8))
+
+
+def compile_many(jobs: Sequence[CompileJob],
+                 parallel: Optional[bool] = None,
+                 max_workers: Optional[int] = None) -> List[FarmResult]:
+    """Run all jobs; results are returned in job order.
+
+    ``parallel=None`` auto-detects: a process pool when the machine has
+    more than one core and there is more than one job, serial
+    otherwise.  ``parallel=True`` requests a pool but still falls back
+    to serial execution when the pool cannot be started (restricted
+    environments, missing fork support) -- the results are identical
+    either way, only the wall clock differs.
+    """
+    jobs = list(jobs)
+    workers = max_workers if max_workers is not None else default_workers()
+    if parallel is None:
+        parallel = workers > 1 and len(jobs) > 1
+    if parallel and len(jobs) > 1 and workers > 1:
+        try:
+            with concurrent.futures.ProcessPoolExecutor(
+                    max_workers=min(workers, len(jobs))) as pool:
+                return list(pool.map(run_job, jobs))
+        except Exception:                          # noqa: BLE001
+            pass          # pool refused to start or died: run serially
+    return [run_job(job) for job in jobs]

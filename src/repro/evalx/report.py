@@ -20,10 +20,16 @@ def _section(title: str, body: str) -> str:
     return f"## {title}\n\n```\n{body}\n```\n"
 
 
-def table1_section() -> str:
-    """The headline Table 1 reproduction."""
+def table1_section(parallel=None) -> str:
+    """The headline Table 1 reproduction.
+
+    The per-cell compiles run through the compile farm
+    (:mod:`repro.evalx.farm`): a process pool on multi-core machines,
+    serial on one core -- either way the rows are identical.
+    """
     return _section("Table 1 — size relative to hand assembly",
-                    format_table1(compute_table1(seeds=1)))
+                    format_table1(compute_table1(seeds=1,
+                                                 parallel=parallel)))
 
 
 def overhead_section() -> str:

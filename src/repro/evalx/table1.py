@@ -78,19 +78,55 @@ def _outputs_match(spec: KernelSpec, reference: Dict[str, object],
     return True
 
 
+def _farm_builds(specs, record_options: Optional[RecordOptions],
+                 parallel: Optional[bool]) -> Dict[str, Dict[str, object]]:
+    """Compile every (kernel, compiler) cell through the compile farm."""
+    from repro.evalx.farm import CompileJob, compile_many
+    jobs = []
+    for spec in specs:
+        jobs.append(CompileJob(kernel=spec.name, compiler="baseline"))
+        jobs.append(CompileJob(kernel=spec.name, compiler="record",
+                               options=record_options))
+    results = compile_many(jobs, parallel=parallel)
+    built: Dict[str, Dict[str, object]] = {}
+    for result in results:
+        if not result.ok:
+            raise RuntimeError(
+                f"table 1 build failed for {result.job.kernel} "
+                f"({result.job.compiler}): [{result.error_type}] "
+                f"{result.error}")
+        built.setdefault(result.job.kernel, {})[result.job.compiler] = \
+            result.compiled
+    return built
+
+
 def compute_table1(target: Optional[TC25] = None, seeds: int = 3,
-                   record_options: Optional[RecordOptions] = None
-                   ) -> List[Table1Row]:
-    """Build, verify and measure every Table 1 row."""
+                   record_options: Optional[RecordOptions] = None,
+                   parallel: Optional[bool] = None) -> List[Table1Row]:
+    """Build, verify and measure every Table 1 row.
+
+    With the stock target (``target=None``) the per-cell compiles run
+    through :mod:`repro.evalx.farm` (process pool on multi-core
+    machines, serial otherwise -- results are identical).  A custom
+    target instance forces the in-process path, since only registry
+    names travel to farm workers.
+    """
+    specs = list(all_kernels())
+    built = None
     if target is None:
         target = TC25()
+        built = _farm_builds(specs, record_options, parallel)
     fpc = FixedPointContext(target.word_bits)
     rows: List[Table1Row] = []
-    for spec in all_kernels():
+    for spec in specs:
         program = spec.program
         hand = hand_reference(spec.name, target)
-        baseline = BaselineCompiler(target).compile(program)
-        record = RecordCompiler(target, record_options).compile(program)
+        if built is not None:
+            baseline = built[spec.name]["baseline"]
+            record = built[spec.name]["record"]
+        else:
+            baseline = BaselineCompiler(target).compile(program)
+            record = RecordCompiler(target, record_options).compile(program)
 
         verified = True
         cycles = {"hand": 0, "baseline": 0, "record": 0}

@@ -19,9 +19,20 @@ from dataclasses import dataclass
 from typing import Callable, Iterator, List, Optional, Sequence
 
 from repro.ir.ops import OpKind
-from repro.ir.trees import Tree
+from repro.ir.trees import Tree, tree_caching_enabled
 
 DEFAULT_VARIANT_LIMIT = 64
+
+# Variant enumeration is a pure function of (tree, rules, limit); with
+# interned trees the key hashes in O(1), so repeated compiles of the
+# same programs (benchmark rounds, report regeneration, the compile
+# farm's per-process compiler pool) skip the whole rewrite search.
+_VARIANT_CACHE: "dict" = {}
+
+
+def clear_variant_cache() -> None:
+    """Drop the memoized variant lists (used by the caching toggle)."""
+    _VARIANT_CACHE.clear()
 
 
 @dataclass(frozen=True)
@@ -192,6 +203,20 @@ def enumerate_variants(tree: Tree,
         rules = DEFAULT_RULES
     if limit < 1:
         raise ValueError("limit must be at least 1")
+    caching = tree_caching_enabled()
+    if caching:
+        key = (tree, tuple(rules), limit)
+        cached = _VARIANT_CACHE.get(key)
+        if cached is not None:
+            return list(cached)
+    variants = _enumerate_variants(tree, rules, limit)
+    if caching:
+        _VARIANT_CACHE[key] = tuple(variants)
+    return variants
+
+
+def _enumerate_variants(tree: Tree, rules: Sequence[RewriteRule],
+                        limit: int) -> List[Tree]:
     seen = {tree}
     frontier = [tree]
     variants = [tree]

@@ -56,6 +56,12 @@ class Op:
     def __repr__(self) -> str:
         return f"Op({self.name})"
 
+    def __reduce__(self):
+        # Operators form a closed registry and carry lambdas (``py``),
+        # so pickle them by name and resolve through the table on load
+        # (the compile farm ships trees across process boundaries).
+        return (op, (self.name,))
+
 
 def _shift_left(a: int, b: int) -> int:
     if b < 0:

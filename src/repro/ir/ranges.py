@@ -21,7 +21,18 @@ from typing import Optional
 
 from repro.ir.fixedpoint import FixedPointContext
 from repro.ir.ops import OpKind
-from repro.ir.trees import Tree
+from repro.ir.trees import Tree, tree_caching_enabled
+
+# Range analysis is a pure function of (tree, word width); the rewrite
+# guards of repro.ir.algebraic call it for every candidate rewrite, so
+# with interned trees a per-width memo turns the repeated interval
+# walks into dictionary hits.
+_RANGE_CACHE: "dict" = {}
+
+
+def clear_range_cache() -> None:
+    """Drop the memoized intervals (used by the caching toggle)."""
+    _RANGE_CACHE.clear()
 
 
 @dataclass(frozen=True)
@@ -102,6 +113,17 @@ def _combine(op_name: str, a: Interval, b: Optional[Interval],
 
 def tree_range(tree: Tree, fpc: FixedPointContext) -> Interval:
     """Interval of possible values of a tree (leaves are word-sized)."""
+    if not tree_caching_enabled():
+        return _tree_range(tree, fpc)
+    key = (tree, fpc.width)
+    cached = _RANGE_CACHE.get(key)
+    if cached is None:
+        cached = _tree_range(tree, fpc)
+        _RANGE_CACHE[key] = cached
+    return cached
+
+
+def _tree_range(tree: Tree, fpc: FixedPointContext) -> Interval:
     if tree.kind is OpKind.CONST:
         value = fpc.reduce(tree.value)
         return Interval(value, value)

@@ -9,12 +9,21 @@ memory references to that temporary.
 
 Trees are immutable and hashable; the algebraic rewriter and the BURS
 matcher both rely on that.
+
+Trees are also *hash-consed*: the constructor interns every node, so
+structurally equal trees are one object, ``==`` is (almost always) an
+identity check, and the structural hash is computed once per node
+instead of once per dictionary operation.  The BURS label cache, the
+variant deduplication of :mod:`repro.ir.algebraic` and the range memo
+of :mod:`repro.ir.ranges` all key on trees and inherit the O(1)
+lookups.  :func:`set_tree_caching` switches the whole layer off for
+before/after benchmarking (``benchmarks/bench_compile_speed.py``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import ClassVar, Dict, Iterator, List, Optional, Tuple
 
 from repro.ir.dfg import ArrayIndex, DataFlowGraph, Node
 from repro.ir.fixedpoint import FixedPointContext
@@ -22,14 +31,51 @@ from repro.ir.ops import Op, OpKind, op as lookup_op
 
 TEMP_PREFIX = "$t"
 
+_CACHING = True
 
-@dataclass(frozen=True)
+
+def set_tree_caching(enabled: bool) -> bool:
+    """Enable/disable interning and hash caching; returns the previous
+    setting.  Disabling also drops the intern table (existing trees stay
+    valid -- equality falls back to the structural walk)."""
+    global _CACHING
+    previous = _CACHING
+    _CACHING = bool(enabled)
+    if not _CACHING:
+        clear_tree_caches()
+    return previous
+
+
+def tree_caching_enabled() -> bool:
+    """Whether the interning/memoization layer is active (consulted by
+    the variant and range caches as well)."""
+    return _CACHING
+
+
+def clear_tree_caches() -> None:
+    """Drop the intern table and the dependent memo tables."""
+    Tree._intern.clear()
+    from repro.ir import algebraic, ranges
+    algebraic.clear_variant_cache()
+    ranges.clear_range_cache()
+
+
+def intern_table_size() -> int:
+    """Number of distinct trees currently interned (for diagnostics)."""
+    return len(Tree._intern)
+
+
+@dataclass(frozen=True, eq=False)
 class Tree:
-    """An immutable expression tree.
+    """An immutable, interned expression tree.
 
     Exactly one of the payload groups is populated, according to ``kind``:
     ``CONST`` carries ``value``; ``REF`` carries ``symbol`` (and optionally
     ``index``); ``COMPUTE`` carries ``operator`` and ``children``.
+
+    Construction is hash-consed: building a tree that already exists
+    returns the existing object, so structural equality of interned
+    trees is pointer equality and ``hash`` is cached per node.
     """
 
     kind: OpKind
@@ -38,6 +84,66 @@ class Tree:
     value: Optional[int] = None
     symbol: Optional[str] = None
     index: Optional[ArrayIndex] = None
+
+    _intern: ClassVar[Dict[tuple, "Tree"]] = {}
+
+    def __new__(cls, kind: OpKind, operator: Optional[Op] = None,
+                children: Tuple["Tree", ...] = (),
+                value: Optional[int] = None,
+                symbol: Optional[str] = None,
+                index: Optional[ArrayIndex] = None) -> "Tree":
+        if not _CACHING:
+            return object.__new__(cls)
+        key = (kind, operator, children, value, symbol, index)
+        cached = cls._intern.get(key)
+        if cached is not None:
+            return cached
+        self = object.__new__(cls)
+        cls._intern[key] = self
+        return self
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, Tree):
+            return NotImplemented
+        # Interned trees that are equal are identical; this walk only
+        # runs for trees built while caching was off (and for hash
+        # collisions inside the intern table itself).
+        return (self.kind is other.kind
+                and self.operator == other.operator
+                and self.value == other.value
+                and self.symbol == other.symbol
+                and self.index == other.index
+                and self.children == other.children)
+
+    def __hash__(self) -> int:
+        cached = self.__dict__.get("_hash")
+        if cached is not None:
+            return cached
+        result = hash((self.kind, self.operator, self.children,
+                       self.value, self.symbol, self.index))
+        if _CACHING:
+            object.__setattr__(self, "_hash", result)
+        return result
+
+    # Pickle support (the compile farm ships compiled results across
+    # processes).  ``__getnewargs__`` routes reconstruction through
+    # ``__new__`` so unpickled trees re-intern in the receiving process;
+    # hashes are salted per process (string hashing), so a cached one
+    # must never travel -- ``__getstate__`` strips it.
+    def __getnewargs__(self) -> tuple:
+        return (self.kind, self.operator, self.children, self.value,
+                self.symbol, self.index)
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state.pop("_hash", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        for name, value in state.items():
+            object.__setattr__(self, name, value)
 
     # -- constructors ---------------------------------------------------
 

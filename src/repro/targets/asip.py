@@ -91,9 +91,9 @@ class Asip(TC25):
 
     # ------------------------------------------------------------------
 
-    def grammar(self) -> TreeGrammar:
+    def _build_grammar(self) -> TreeGrammar:
         """Prune / extend the TC25 grammar according to the parameters."""
-        base = super().grammar()
+        base = super()._build_grammar()
         params = self.params
         rules: List[Rule] = []
         imm_top = (1 << params.immediate_bits) - 1

@@ -111,7 +111,7 @@ class M56(TargetModel):
     # Grammar
     # ------------------------------------------------------------------
 
-    def grammar(self) -> TreeGrammar:
+    def _build_grammar(self) -> TreeGrammar:
         rules: List[Rule] = []
         add = rules.append
 

@@ -76,8 +76,29 @@ class TargetModel:
     # -- code selection --------------------------------------------------
 
     def grammar(self) -> TreeGrammar:
-        """The target's tree grammar: instruction patterns + costs."""
+        """The target's tree grammar: instruction patterns + costs.
+
+        Built once per model instance by :meth:`_build_grammar` and
+        memoized -- rules and emit closures are immutable, and grammar
+        construction used to be paid on *every* ``compile()`` call.
+        """
+        cached = self.__dict__.get("_grammar_cache")
+        if cached is None:
+            cached = self._build_grammar()
+            self.__dict__["_grammar_cache"] = cached
+        return cached
+
+    def _build_grammar(self) -> TreeGrammar:
+        """Construct the tree grammar (subclass hook; called once)."""
         raise NotImplementedError
+
+    def __getstate__(self) -> dict:
+        """Pickle support for the compile farm: the grammar cache holds
+        emit closures, which do not pickle -- drop it and rebuild lazily
+        on the other side."""
+        state = dict(self.__dict__)
+        state.pop("_grammar_cache", None)
+        return state
 
     # -- simulation -------------------------------------------------------
 

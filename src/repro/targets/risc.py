@@ -80,7 +80,7 @@ class Risc16(TargetModel):
     # Grammar: three-address code over virtual registers
     # ------------------------------------------------------------------
 
-    def grammar(self) -> TreeGrammar:
+    def _build_grammar(self) -> TreeGrammar:
         rules: List[Rule] = []
         add = rules.append
 

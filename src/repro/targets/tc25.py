@@ -140,7 +140,7 @@ class TC25(TargetModel):
     # Grammar
     # ------------------------------------------------------------------
 
-    def grammar(self) -> TreeGrammar:
+    def _build_grammar(self) -> TreeGrammar:
         rules: List[Rule] = []
         add = rules.append
 

@@ -92,7 +92,9 @@ class TdlTarget(TargetModel):
             has_repeat=False,
             has_hardware_loop=False,
         )
-        self._grammar = self._build_grammar()
+        # Build eagerly so malformed TDL fails at construction time;
+        # the base class serves it from this cache.
+        self._grammar_cache = self._build_grammar()
 
     # ------------------------------------------------------------------
     # Grammar generation
@@ -139,9 +141,6 @@ class TdlTarget(TargetModel):
             name=tdl_rule.name,
             clobbers=_written_registers(tdl_rule),
         )
-
-    def grammar(self) -> TreeGrammar:
-        return self._grammar
 
     # ------------------------------------------------------------------
     # Simulation

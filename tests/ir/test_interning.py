@@ -1,0 +1,111 @@
+"""Property-based tests for hash-consed trees.
+
+The interning layer (``repro.ir.trees``) promises that it is purely an
+optimization: a tree built with caching on is *indistinguishable* --
+under ``==``, ``hash`` and every accessor -- from the same tree built
+with caching off.  Hypothesis generates random trees and checks the
+contract from both sides.
+"""
+
+import pickle
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ir.trees import (
+    Tree, clear_tree_caches, intern_table_size, set_tree_caching,
+    tree_caching_enabled,
+)
+
+_OPERATORS = ("add", "sub", "mul", "and", "or", "xor", "shl", "shr")
+
+
+def _tree_strategy() -> st.SearchStrategy:
+    """Random well-formed trees over a small symbol/value vocabulary
+    (small on purpose: collisions between draws are what exercise the
+    intern table)."""
+    leaf = st.one_of(
+        st.integers(min_value=-8, max_value=8).map(Tree.const),
+        st.sampled_from(["a", "b", "x"]).map(Tree.ref),
+    )
+    return st.recursive(
+        leaf,
+        lambda children: st.tuples(
+            st.sampled_from(_OPERATORS), children, children,
+        ).map(lambda t: Tree.compute(t[0], t[1], t[2])),
+        max_leaves=12,
+    )
+
+
+def _rebuild_uncached(tree: Tree) -> Tree:
+    """Deep-copy a tree through the constructor with interning off."""
+    previous = set_tree_caching(False)
+    try:
+        return _rebuild(tree)
+    finally:
+        set_tree_caching(previous)
+
+
+def _rebuild(tree: Tree) -> Tree:
+    children = tuple(_rebuild(child) for child in tree.children)
+    return Tree(tree.kind, operator=tree.operator, children=children,
+                value=tree.value, symbol=tree.symbol, index=tree.index)
+
+
+@settings(max_examples=200, deadline=None)
+@given(_tree_strategy())
+def test_interned_equals_structural(tree):
+    """Interned rebuilds are pointer-identical; uncached rebuilds are
+    structurally equal with the same hash."""
+    assert tree_caching_enabled()
+    interned = _rebuild(tree)
+    assert interned is tree          # hash-consing: same object back
+    uncached = _rebuild_uncached(tree)
+    assert uncached is not tree      # caching off: a genuine copy
+    assert uncached == tree and tree == uncached
+    assert hash(uncached) == hash(tree)
+
+
+@settings(max_examples=100, deadline=None)
+@given(_tree_strategy(), _tree_strategy())
+def test_equality_symmetric_and_hash_consistent(left, right):
+    """For arbitrary pairs: == is symmetric and equal trees hash equal
+    (the dict/set contract the BURS label cache depends on)."""
+    assert (left == right) == (right == left)
+    if left == right:
+        assert hash(left) == hash(right)
+        assert left is right         # interning makes equality identity
+
+
+@settings(max_examples=100, deadline=None)
+@given(_tree_strategy())
+def test_pickle_reinterns(tree):
+    """Unpickled trees re-enter the intern table (the compile farm
+    ships results across processes)."""
+    payload = pickle.dumps(tree)
+    assert b"_hash" not in payload   # per-process hash salt never ships
+    clone = pickle.loads(payload)
+    assert clone == tree
+    assert clone is tree             # __getnewargs__ routes via __new__
+    assert hash(clone) == hash(tree)
+
+
+def test_cache_toggle_round_trip():
+    """set_tree_caching returns the previous state and clears on
+    disable; intern_table_size reflects fresh construction."""
+    assert tree_caching_enabled()
+    clear_tree_caches()
+    base = intern_table_size()
+    Tree.compute("add", Tree.ref("q0"), Tree.const(77))
+    grown = intern_table_size()
+    assert grown > base
+    previous = set_tree_caching(False)
+    try:
+        assert previous is True
+        assert not tree_caching_enabled()
+        assert intern_table_size() == 0      # disabling clears the table
+        a = Tree.const(5)
+        b = Tree.const(5)
+        assert a is not b and a == b
+    finally:
+        set_tree_caching(True)
+    assert tree_caching_enabled()
