@@ -1,0 +1,218 @@
+"""Simulator benchmark: translation caching vs. the reference machine.
+
+PR 2 made compilation fast; the evaluation harnesses then spend their
+time *executing* compiled kernels (Table 1 cycle counts, DSPStone
+bit-exactness sweeps, the selftest fault corpus).  This bench measures
+what the translation-caching simulator (`repro.sim.fastmachine`) buys
+over the reference interpreter on the full DSPStone kernel x target
+matrix -- and proves the caches transparent:
+
+- **equivalence** -- for every (kernel, producer, seed) the read-back
+  environment and the cycle count must be identical in both modes
+  (checked on every run, quick or full; any divergence fails the bench);
+- **speed** -- pure ``run()`` wall-clock (state setup untimed, decode
+  warmed) for the reference ``Machine`` vs. the ``FastMachine``; the
+  full run enforces >= 3x aggregate speedup.
+
+Producers per kernel: the hand-written TC25 reference, the baseline
+compiler on TC25, and the RECORD pipeline on tc25/m56/risc16/asip.
+Results land in ``BENCH_SIM.json`` at the repository root.
+
+Run:  python benchmarks/bench_sim_speed.py            (full matrix)
+or :  python benchmarks/bench_sim_speed.py --quick    (CI smoke)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from time import perf_counter
+from typing import Dict, List, Optional, Tuple
+
+from repro.baseline.compiler import BaselineCompiler
+from repro.codegen.pipeline import RecordCompiler
+from repro.dspstone import all_kernels, hand_reference
+from repro.sim.decode import clear_decode_cache, decode_cache_stats
+from repro.sim.fastmachine import FastMachine
+from repro.sim.harness import load_environment, read_environment
+from repro.sim.machine import Machine
+from repro.targets.asip import Asip, AsipParams
+from repro.targets.m56 import M56
+from repro.targets.risc import Risc16
+from repro.targets.tc25 import TC25
+
+ROOT = Path(__file__).resolve().parent.parent
+
+SEEDS = (0, 1, 2)
+SPEEDUP_FLOOR = 3.0
+
+
+def build_cells(kernels: List[str]) -> List[Tuple[str, str, object, object]]:
+    """(kernel, producer, compiled, spec) for the full producer matrix."""
+    tc25 = TC25()
+    targets = [tc25, M56(), Risc16(), Asip(AsipParams())]
+    specs = {spec.name: spec for spec in all_kernels()}
+    cells = []
+    for name in kernels:
+        spec = specs[name]
+        cells.append((name, "hand/tc25",
+                      hand_reference(name, tc25), spec))
+        cells.append((name, "baseline/tc25",
+                      BaselineCompiler(tc25).compile(spec.program), spec))
+        for target in targets:
+            label = target.name.split("(")[0]
+            cells.append((name, f"record/{label}",
+                          RecordCompiler(target).compile(spec.program),
+                          spec))
+    return cells
+
+
+def _loaded_states(compiled, inputs, count: int):
+    states = []
+    for _ in range(count):
+        state = compiled.target.initial_state()
+        load_environment(compiled, inputs, state)
+        states.append(state)
+    return states
+
+
+def check_equivalence(compiled, spec) -> Tuple[bool, List[str]]:
+    """Both modes must produce identical environments and cycle counts."""
+    problems = []
+    for seed in SEEDS:
+        inputs = spec.inputs(seed=seed)
+        ref_state, fast_state = _loaded_states(compiled, inputs, 2)
+        Machine(compiled.target).run(compiled.code, ref_state)
+        FastMachine(compiled.target).run(compiled.code, fast_state)
+        if read_environment(compiled, ref_state) \
+                != read_environment(compiled, fast_state):
+            problems.append(f"environment mismatch (seed {seed})")
+        if ref_state.cycles != fast_state.cycles:
+            problems.append(
+                f"cycle mismatch (seed {seed}): "
+                f"{ref_state.cycles} vs {fast_state.cycles}")
+    return not problems, problems
+
+
+def time_cell(compiled, spec, reps: int) -> Tuple[float, float]:
+    """Pure run() wall-clock for (reference, fast); setup untimed."""
+    inputs = spec.inputs(seed=0)
+    reference = Machine(compiled.target)
+    fast = FastMachine(compiled.target)
+    # Warm the decode cache so steady-state execution is what's timed.
+    fast.run(compiled.code, _loaded_states(compiled, inputs, 1)[0])
+
+    states = _loaded_states(compiled, inputs, reps)
+    started = perf_counter()
+    for state in states:
+        reference.run(compiled.code, state)
+    reference_wall = perf_counter() - started
+
+    states = _loaded_states(compiled, inputs, reps)
+    started = perf_counter()
+    for state in states:
+        fast.run(compiled.code, state)
+    fast_wall = perf_counter() - started
+    return reference_wall, fast_wall
+
+
+def measure(kernels: Optional[List[str]] = None,
+            reps: int = 50) -> Dict[str, object]:
+    """Equivalence-check and time the whole matrix; build the report."""
+    if kernels is None:
+        kernels = [spec.name for spec in all_kernels()]
+    clear_decode_cache()
+    cells = build_cells(kernels)
+
+    rows = []
+    mismatches: List[str] = []
+    total_reference = total_fast = 0.0
+    for name, producer, compiled, spec in cells:
+        identical, problems = check_equivalence(compiled, spec)
+        if not identical:
+            mismatches.extend(f"{name}/{producer}: {p}" for p in problems)
+        reference_wall, fast_wall = time_cell(compiled, spec, reps)
+        total_reference += reference_wall
+        total_fast += fast_wall
+        rows.append({
+            "kernel": name,
+            "producer": producer,
+            "identical": identical,
+            "reference_seconds": round(reference_wall, 6),
+            "fast_seconds": round(fast_wall, 6),
+            "speedup": round(reference_wall / fast_wall, 3)
+            if fast_wall else 0.0,
+        })
+    return {
+        "kernels": kernels,
+        "cells": len(cells),
+        "reps_per_cell": reps,
+        "seeds_checked": list(SEEDS),
+        "identical_output": not mismatches,
+        "mismatches": mismatches,
+        "reference_seconds": round(total_reference, 6),
+        "fast_seconds": round(total_fast, 6),
+        "speedup": round(total_reference / total_fast, 3)
+        if total_fast else 0.0,
+        "decode_cache": decode_cache_stats(),
+        "rows": rows,
+    }
+
+
+def render(report: Dict[str, object]) -> str:
+    lines = [f"{'kernel':22s} {'producer':15s} {'ref (ms)':>9s} "
+             f"{'fast (ms)':>9s} {'speedup':>8s}",
+             "-" * 68]
+    for row in report["rows"]:
+        lines.append(
+            f"{row['kernel']:22s} {row['producer']:15s} "
+            f"{row['reference_seconds'] * 1000:>9.2f} "
+            f"{row['fast_seconds'] * 1000:>9.2f} "
+            f"{row['speedup']:>7.2f}x"
+            + ("" if row["identical"] else "  MISMATCH"))
+    lines.append("-" * 68)
+    stats = report["decode_cache"]
+    lines.append(
+        f"aggregate: {report['speedup']:.2f}x over {report['cells']} "
+        f"cells x {report['reps_per_cell']} runs "
+        f"(decode cache: {stats['hits']} hits, {stats['misses']} misses, "
+        f"{stats['fallbacks']} fallbacks)")
+    lines.append("fast == reference (environments and cycles): "
+                 + ("yes" if report["identical_output"] else
+                    "NO -- " + "; ".join(report["mismatches"])))
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke: 3 kernels, few reps, no speedup "
+                             "floor (timing is noisy on shared runners);"
+                             " equivalence is still enforced")
+    parser.add_argument("--output", default=str(ROOT / "BENCH_SIM.json"),
+                        help="where the report JSON is written")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        report = measure(["real_update", "fir", "convolution"], reps=5)
+    else:
+        report = measure()
+    print(render(report))
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    if not report["identical_output"]:
+        print("FAIL: fast simulator diverged from the reference",
+              file=sys.stderr)
+        return 1
+    if not args.quick and report["speedup"] < SPEEDUP_FLOOR:
+        print(f"FAIL: expected >= {SPEEDUP_FLOOR}x fast-vs-reference "
+              f"speedup, got {report['speedup']:.2f}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

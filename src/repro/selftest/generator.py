@@ -27,7 +27,7 @@ from repro.codegen.compiled import CompiledProgram
 from repro.codegen.pipeline import RecordCompiler
 from repro.ir.dfg import DataFlowGraph
 from repro.ir.program import Block, Program, Symbol
-from repro.sim.harness import run_compiled
+from repro.sim.harness import run_many
 from repro.sim.machine import MachineState
 
 
@@ -44,7 +44,16 @@ class Fault:
 
 
 class FaultySim:
-    """Wraps a target model, injecting one decoder fault."""
+    """Wraps a target model, injecting one decoder fault.
+
+    Works with both simulators: the reference interpreter calls
+    ``execute`` (which swaps inline), the translation-caching decoder
+    calls ``decode_instr`` (where the swap belongs conceptually -- a
+    decoder fault *is* a wrong decode) and then the fault-free target's
+    binding hooks see the already-swapped instruction.  Each wrapper
+    instance is a distinct decode-cache key, so faulty decoded programs
+    never collide with clean ones.
+    """
 
     def __init__(self, target, fault: Fault):
         self._target = target
@@ -62,17 +71,37 @@ class FaultySim:
 
     def execute(self, state, instr: AsmInstr) -> Optional[str]:
         """Execute ``instr``, decoding the faulty opcode as its swap."""
-        if instr.opcode == self.fault.original:
-            instr = AsmInstr(opcode=self.fault.replacement,
-                             operands=self._adapt_operands(instr),
-                             words=instr.words, cycles=instr.cycles,
-                             modes=instr.modes, parallel=instr.parallel)
-        return self._target.execute(state, instr)
+        return self._target.execute(state, self._swap(instr))
 
-    def _adapt_operands(self, instr: AsmInstr) -> tuple:
+    def decode_instr(self, instr: AsmInstr) -> AsmInstr:
+        """The fault, expressed as a decode hook (fast simulator)."""
+        return self._target.decode_instr(self._swap(instr))
+
+    def is_branch(self, instr: AsmInstr) -> bool:
+        """Delegate to the fault-free target (the view is pre-swapped)."""
+        return self._target.is_branch(instr)
+
+    def static_repeat(self, instr: AsmInstr) -> Optional[int]:
+        """Delegate to the fault-free target (the view is pre-swapped)."""
+        return self._target.static_repeat(instr)
+
+    def pre_dispatch(self, instr: AsmInstr):
+        """Delegate to the fault-free target (the view is pre-swapped)."""
+        return self._target.pre_dispatch(instr)
+
+    def bind_step(self, instr: AsmInstr):
+        """Delegate to the fault-free target (the view is pre-swapped)."""
+        return self._target.bind_step(instr)
+
+    def _swap(self, instr: AsmInstr) -> AsmInstr:
+        if instr.opcode != self.fault.original:
+            return instr
         # Replacement opcodes in a fault universe are chosen with
         # compatible operand shapes, so operands pass through.
-        return instr.operands
+        return AsmInstr(opcode=self.fault.replacement,
+                        operands=instr.operands,
+                        words=instr.words, cycles=instr.cycles,
+                        modes=instr.modes, parallel=instr.parallel)
 
 
 # Decoder-fault universes per target family.  Pairs are chosen with
@@ -197,7 +226,9 @@ def _signature(compiled: CompiledProgram,
         memory_map=compiled.memory_map, symbols=compiled.symbols,
         pmem_tables=compiled.pmem_tables, compiler=compiled.compiler)
     try:
-        outputs, _state = run_compiled(wrapped, inputs)
+        # run_many keeps the decoded form cached per (target, code), so
+        # repeating the corpus across the fault universe skips decode.
+        outputs, _state = run_many(wrapped, [inputs])[0]
     except Exception:
         return None       # a fault may crash the machine: detected
     return tuple(int(outputs[name])

@@ -11,8 +11,13 @@ two things the paper's testbed gave the authors:
 - the words/cycles numbers that the benchmark harness reports.
 """
 
+from repro.sim.decode import (DecodedProgram, clear_decode_cache, decode,
+                              decode_cache_stats, decode_cached)
+from repro.sim.fastmachine import FastMachine
 from repro.sim.machine import Machine, MachineState, SimulationError
 from repro.sim.trace import Trace, TraceEntry
 
-__all__ = ["Machine", "MachineState", "SimulationError", "Trace",
-           "TraceEntry"]
+__all__ = ["DecodedProgram", "FastMachine", "Machine", "MachineState",
+           "SimulationError", "Trace", "TraceEntry",
+           "clear_decode_cache", "decode", "decode_cache_stats",
+           "decode_cached"]

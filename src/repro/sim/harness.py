@@ -8,10 +8,11 @@ coefficient tables, executes, and reads every program symbol back.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.codegen.compiled import CompiledProgram
 from repro.ir.fixedpoint import FixedPointContext
+from repro.sim.fastmachine import FastMachine
 from repro.sim.machine import Machine, MachineState, SimulationError
 from repro.sim.trace import Trace
 
@@ -63,19 +64,54 @@ def run_compiled(compiled: CompiledProgram,
                  env: Mapping[str, object],
                  state: Optional[MachineState] = None,
                  trace: Optional[Trace] = None,
-                 max_steps: int = 2_000_000
+                 max_steps: int = 2_000_000,
+                 fast_sim: bool = True
                  ) -> Tuple[Dict[str, object], MachineState]:
-    """Execute one invocation; returns (environment after, state)."""
+    """Execute one invocation; returns (environment after, state).
+
+    Runs the translation-caching :class:`FastMachine` by default (it
+    produces bit-identical environments and cycle counts); pass
+    ``fast_sim=False`` to force the reference interpreter.  Requesting
+    a trace always uses the reference interpreter.
+    """
     if state is None:
         state = compiled.target.initial_state()
     load_environment(compiled, env, state)
-    Machine(compiled.target, max_steps=max_steps).run(
-        compiled.code, state, trace)
+    if fast_sim and trace is None:
+        FastMachine(compiled.target, max_steps=max_steps).run(
+            compiled.code, state)
+    else:
+        Machine(compiled.target, max_steps=max_steps).run(
+            compiled.code, state, trace)
     return read_environment(compiled, state), state
 
 
+def run_many(compiled: CompiledProgram,
+             envs: Iterable[Mapping[str, object]],
+             max_steps: int = 2_000_000,
+             fast_sim: bool = True
+             ) -> List[Tuple[Dict[str, object], MachineState]]:
+    """Execute one compiled program over a batch of environments.
+
+    Decodes (or reuses the cached decoded form of) the program once and
+    runs every environment against it on a fresh machine state; this is
+    the bulk-validation entry point for the self-test signature corpus,
+    Table 1 evaluation and DSPStone reference sweeps.
+    """
+    machine = (FastMachine if fast_sim else Machine)(
+        compiled.target, max_steps=max_steps)
+    results: List[Tuple[Dict[str, object], MachineState]] = []
+    for env in envs:
+        state = compiled.target.initial_state()
+        load_environment(compiled, env, state)
+        machine.run(compiled.code, state)
+        results.append((read_environment(compiled, state), state))
+    return results
+
+
 def cycles_of(compiled: CompiledProgram,
-              env: Mapping[str, object]) -> int:
+              env: Mapping[str, object],
+              fast_sim: bool = True) -> int:
     """Cycle count of one invocation (fresh machine)."""
-    _, state = run_compiled(compiled, env)
+    _, state = run_compiled(compiled, env, fast_sim=fast_sim)
     return state.cycles

@@ -100,19 +100,31 @@ class Machine:
 
         pc = 0
         steps = 0
-        while pc < len(instructions):
-            steps += 1
-            if steps > self.max_steps:
-                raise SimulationError(
-                    f"exceeded {self.max_steps} steps; runaway loop?")
+        count = len(instructions)
+        execute = self.target.execute
+        repeat_count = self.target.repeat_count
+        max_steps = self.max_steps
+        while pc < count:
             instr = instructions[pc]
-            repeat = self.target.repeat_count(state, instr)
+            repeat = repeat_count(state, instr)
+            # Every repeat iteration spends budget: a huge hardware
+            # repeat count must trip the runaway guard, not bypass it.
+            steps += repeat
+            if steps > max_steps:
+                raise SimulationError(
+                    f"exceeded {max_steps} steps; runaway loop?")
             jump_target: Optional[str] = None
-            for _ in range(repeat):
-                jump_target = self.target.execute(state, instr)
-                state.cycles += instr.cycles
-                if trace is not None:
-                    trace.record(TraceEntry(pc=pc, text=instr.render(),
+            cycles = instr.cycles
+            if trace is None:
+                for _ in range(repeat):
+                    jump_target = execute(state, instr)
+                    state.cycles += cycles
+            else:
+                text = instr.render()     # render once per instruction
+                for _ in range(repeat):
+                    jump_target = execute(state, instr)
+                    state.cycles += cycles
+                    trace.record(TraceEntry(pc=pc, text=text,
                                             cycles=state.cycles))
             if jump_target is not None:
                 if jump_target not in labels:

@@ -35,9 +35,9 @@ from typing import List, Tuple
 from repro.codegen.asm import AsmInstr, Imm
 from repro.codegen.grammar import Cost, Nt, Pat, Rule, Term, TreeGrammar
 from repro.ir.trees import Tree
-from repro.sim.machine import MachineState, SimulationError
-from repro.targets.model import TargetCapabilities
-from repro.targets.tc25 import TC25, _ins
+from repro.sim.machine import MachineState
+from repro.targets.model import TargetCapabilities, binder, semantics
+from repro.targets.tc25 import TC25, _ins, _wrap32
 
 
 @dataclass(frozen=True)
@@ -174,15 +174,27 @@ class Asip(TC25):
             state.regs.setdefault(f"AR{index}", 0)
         return state
 
-    def execute(self, state: MachineState, instr: AsmInstr):
+    # The barrel-shifter instructions extend the inherited TC25
+    # semantics registry; everything else dispatches through the same
+    # handlers (and fast-simulator binders) as the parent.
+
+    @semantics("SFLK")
+    def _exec_sflk(self, state: MachineState, instr: AsmInstr) -> None:
+        state.regs["acc"] = _wrap32(
+            state.regs["acc"] << instr.operands[0].value)
+
+    @semantics("SFRK")
+    def _exec_sfrk(self, state: MachineState, instr: AsmInstr) -> None:
+        state.regs["acc"] >>= instr.operands[0].value
+
+    @binder("SFLK", "SFRK")
+    def _bind_barrel_shift(self, instr: AsmInstr):
+        amount = instr.operands[0].value
         if instr.opcode == "SFLK":
-            value = state.regs["acc"] << instr.operands[0].value
-            value &= (1 << 32) - 1
-            if value >= (1 << 31):
-                value -= 1 << 32
-            state.regs["acc"] = value
-            return None
-        if instr.opcode == "SFRK":
-            state.regs["acc"] >>= instr.operands[0].value
-            return None
-        return super().execute(state, instr)
+            def step(state: MachineState) -> None:
+                regs = state.regs
+                regs["acc"] = _wrap32(regs["acc"] << amount)
+        else:
+            def step(state: MachineState) -> None:
+                state.regs["acc"] >>= amount
+        return step

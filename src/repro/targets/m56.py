@@ -45,7 +45,9 @@ from repro.codegen.structure import LoopNode, Run, flatten, iter_loops, parse
 from repro.ir.ops import OpKind
 from repro.ir.trees import Tree
 from repro.sim.machine import MachineState, SimulationError
-from repro.targets.model import TargetCapabilities, TargetModel
+from repro.targets.model import (
+    TargetCapabilities, TargetModel, binder, semantics,
+)
 
 _MASK32 = (1 << 32) - 1
 _MASK16 = (1 << 16) - 1
@@ -627,82 +629,397 @@ class M56(TargetModel):
 
     def _execute_one(self, state: MachineState, instr: AsmInstr,
                      post, reg_writes, mem_writes) -> Optional[str]:
-        op = instr.opcode
-        read = lambda operand: self._read_operand(state, operand, post)
+        handler = self.dispatch_table().get(instr.opcode)
+        if handler is None:
+            raise SimulationError(f"m56: unknown opcode "
+                                  f"{instr.opcode!r}")
+        return handler(state, instr, post, reg_writes, mem_writes)
 
-        if op == "MOVE":
-            dst, src = instr.operands
-            value = read(src)
-            if isinstance(dst, Reg):
-                width = _wrap32 if dst.name == "a" else _wrap16
-                reg_writes.append((dst.name, width(value)))
-            else:
-                address = self._address(state, dst)
-                if dst.mode == "indirect" and dst.post_modify:
-                    post.append((dst.areg, dst.post_modify))
-                mem_writes.append((address, value))
-        elif op in ("MOVEI", "LUA"):
-            dst, imm = instr.operands
-            reg_writes.append((dst.name, imm.value))
-        elif op == "CLR":
-            reg_writes.append(("a", 0))
-        elif op in ("ADD", "SUB"):
-            source = read(instr.operands[0])
-            acc = state.reg("a")
-            value = acc + source if op == "ADD" else acc - source
-            reg_writes.append(("a", _wrap32(value)))
-        elif op in ("AND", "OR", "EOR"):
-            # word-width logic unit: the accumulator passes through at
-            # 16 bits (see FixedPointContext semantics)
-            source = read(instr.operands[0])
+    # -- instruction semantics (gather halves; execute() commits) -------
+    #
+    # M56 handlers take ``(state, instr, post, reg_writes, mem_writes)``:
+    # they *gather* reads and pending writes, and the :meth:`execute`
+    # driver commits everything afterwards -- the parallel-move
+    # discipline.  The registry still feeds both simulators.
+
+    @semantics("MOVE")
+    def _exec_move(self, state, instr, post, reg_writes,
+                   mem_writes) -> None:
+        dst, src = instr.operands
+        value = self._read_operand(state, src, post)
+        if isinstance(dst, Reg):
+            width = _wrap32 if dst.name == "a" else _wrap16
+            reg_writes.append((dst.name, width(value)))
+        else:
+            address = self._address(state, dst)
+            if dst.mode == "indirect" and dst.post_modify:
+                post.append((dst.areg, dst.post_modify))
+            mem_writes.append((address, value))
+
+    @semantics("MOVEI", "LUA")
+    def _exec_movei(self, state, instr, post, reg_writes,
+                    mem_writes) -> None:
+        dst, imm = instr.operands
+        reg_writes.append((dst.name, imm.value))
+
+    @semantics("CLR")
+    def _exec_clr(self, state, instr, post, reg_writes,
+                  mem_writes) -> None:
+        reg_writes.append(("a", 0))
+
+    @semantics("ADD", "SUB")
+    def _exec_add_sub(self, state, instr, post, reg_writes,
+                      mem_writes) -> None:
+        source = self._read_operand(state, instr.operands[0], post)
+        acc = state.reg("a")
+        value = acc + source if instr.opcode == "ADD" else acc - source
+        reg_writes.append(("a", _wrap32(value)))
+
+    @semantics("AND", "OR", "EOR")
+    def _exec_logic(self, state, instr, post, reg_writes,
+                    mem_writes) -> None:
+        # word-width logic unit: the accumulator passes through at
+        # 16 bits (see FixedPointContext semantics)
+        source = self._read_operand(state, instr.operands[0], post)
+        acc = _wrap16(state.reg("a"))
+        value = {"AND": acc & source, "OR": acc | source,
+                 "EOR": acc ^ source}[instr.opcode]
+        reg_writes.append(("a", value))
+
+    @semantics("MPY", "MAC", "MACN", "MPYF", "MACF", "MACNF")
+    def _exec_multiply(self, state, instr, post, reg_writes,
+                       mem_writes) -> None:
+        op = instr.opcode
+        x = self._read_operand(state, instr.operands[0], post)
+        y = self._read_operand(state, instr.operands[1], post)
+        product = x * y
+        if op.endswith("F"):
+            product >>= 15      # fractional (Q15) multiplier mode
+        if op in ("MPY", "MPYF"):
+            value = product
+        elif op in ("MAC", "MACF"):
+            value = state.reg("a") + product
+        else:
+            value = state.reg("a") - product
+        reg_writes.append(("a", _wrap32(value)))
+
+    @semantics("SATA")
+    def _exec_sata(self, state, instr, post, reg_writes,
+                   mem_writes) -> None:
+        reg_writes.append(("a", max(-(1 << 15),
+                                    min((1 << 15) - 1,
+                                        state.reg("a")))))
+
+    @semantics("NEG")
+    def _exec_neg(self, state, instr, post, reg_writes,
+                  mem_writes) -> None:
+        reg_writes.append(("a", _wrap32(-state.reg("a"))))
+
+    @semantics("ABS")
+    def _exec_abs(self, state, instr, post, reg_writes,
+                  mem_writes) -> None:
+        reg_writes.append(("a", _wrap32(abs(state.reg("a")))))
+
+    @semantics("NOT")
+    def _exec_not(self, state, instr, post, reg_writes,
+                  mem_writes) -> None:
+        reg_writes.append(("a", ~_wrap16(state.reg("a"))))
+
+    @semantics("ASL")
+    def _exec_asl(self, state, instr, post, reg_writes,
+                  mem_writes) -> None:
+        reg_writes.append(("a", _wrap32(state.reg("a") << 1)))
+
+    @semantics("ASR")
+    def _exec_asr(self, state, instr, post, reg_writes,
+                  mem_writes) -> None:
+        reg_writes.append(("a", state.reg("a") >> 1))
+
+    @semantics("DO")
+    def _exec_do(self, state, instr, post, reg_writes,
+                 mem_writes) -> None:
+        state.loop_stack.append(instr.operands[0].value - 1)
+
+    @semantics("LOOPEND", branch=True)
+    def _exec_loopend(self, state, instr, post, reg_writes,
+                      mem_writes) -> Optional[str]:
+        if not state.loop_stack:
+            raise SimulationError("LOOPEND without DO")
+        if state.loop_stack[-1] > 0:
+            state.loop_stack[-1] -= 1
+            return instr.operands[0].name
+        state.loop_stack.pop()
+        return None
+
+    @semantics("LEA")
+    def _exec_lea(self, state, instr, post, reg_writes,
+                  mem_writes) -> None:
+        operand = instr.operands[0]
+        post.append((operand.areg, operand.post_modify))
+
+    @semantics("NOP")
+    def _exec_nop(self, state, instr, post, reg_writes,
+                  mem_writes) -> None:
+        pass
+
+    # -- fast-simulator decode ------------------------------------------
+
+    def bind_step(self, instr: AsmInstr):
+        # The @binder specializations below assume a bare instruction;
+        # anything carrying parallel move slots keeps the gather/commit
+        # discipline (with handlers pre-resolved at decode time).
+        if instr.parallel:
+            return self._default_step(instr)
+        return super().bind_step(instr)
+
+    def _default_step(self, instr: AsmInstr):
+        """Gather/commit step with handlers resolved at decode time."""
+        table = self.dispatch_table()
+        primary = table.get(instr.opcode)
+        bad = instr.opcode if primary is None else next(
+            (move.opcode for move in instr.parallel
+             if move.opcode not in table), None)
+        if bad is not None:
+            # Defer to run time: an unknown opcode behind a never-taken
+            # branch must behave exactly like the reference interpreter.
+            def unknown(state: MachineState) -> Optional[str]:
+                raise SimulationError(f"m56: unknown opcode {bad!r}")
+            return unknown
+        moves = tuple((table[move.opcode], move)
+                      for move in instr.parallel)
+
+        def step(state: MachineState) -> Optional[str]:
+            post: List[Tuple[str, int]] = []
+            reg_writes: List[Tuple[str, int]] = []
+            mem_writes: List[Tuple[int, int]] = []
+            branch = primary(state, instr, post, reg_writes, mem_writes)
+            for handler, move in moves:
+                handler(state, move, post, reg_writes, mem_writes)
+            for name, value in reg_writes:
+                state.set_reg(name, value)
+            for address, value in mem_writes:
+                state.store(address, _wrap16(value))
+            for areg, bump in post:
+                state.set_reg(areg, state.reg(areg) + bump)
+            return branch
+
+        return step
+
+    # Specialized binders for bare (no parallel slots) instructions.
+    # With a single gather half, committing writes in place is
+    # observationally identical to the gather/commit order: the only
+    # same-register overlap (write then post-modify of the same
+    # register) keeps the reference ordering below.
+
+    def _bind_read(self, operand):
+        """read(state) -> value, recording post-modify as a trailing
+        bump the caller must apply after its writes."""
+        if isinstance(operand, Reg):
+            name = operand.name
+            return (lambda state: state.reg(name)), None
+        if isinstance(operand, Imm):
+            value = operand.value
+            return (lambda state: value), None
+        if isinstance(operand, Mem):
+            if operand.mode == "direct":
+                address = operand.address
+                return (lambda state: state.load(address)), None
+            if operand.mode == "indirect":
+                areg = operand.areg
+                bump = operand.post_modify
+                read = (lambda state, areg=areg:
+                        state.load(state.reg(areg)))
+                if bump:
+                    def apply_bump(state: MachineState) -> None:
+                        state.set_reg(areg, state.reg(areg) + bump)
+                    return read, apply_bump
+                return read, None
+
+            def unresolved(state: MachineState) -> int:
+                raise SimulationError(f"unresolved operand {operand}")
+            return unresolved, None
+        def unreadable(state: MachineState) -> int:
+            raise SimulationError(f"cannot read operand {operand}")
+        return unreadable, None
+
+    @binder("MOVE")
+    def _bind_move(self, instr: AsmInstr):
+        dst, src = instr.operands
+        read, src_bump = self._bind_read(src)
+        if isinstance(dst, Reg):
+            name = dst.name
+            width = _wrap32 if name == "a" else _wrap16
+
+            def step(state: MachineState) -> None:
+                state.set_reg(name, width(read(state)))
+                if src_bump is not None:
+                    src_bump(state)
+            return step
+        if isinstance(dst, Mem):
+            if dst.mode == "direct":
+                address = dst.address
+
+                def step(state: MachineState) -> None:
+                    state.store(address, _wrap16(read(state)))
+                    if src_bump is not None:
+                        src_bump(state)
+                return step
+            if dst.mode == "indirect":
+                areg = dst.areg
+                dst_bump = dst.post_modify
+
+                def step(state: MachineState) -> None:
+                    value = read(state)
+                    address = state.reg(areg)
+                    state.store(address, _wrap16(value))
+                    if src_bump is not None:
+                        src_bump(state)
+                    if dst_bump:
+                        state.set_reg(areg,
+                                      state.reg(areg) + dst_bump)
+                return step
+        return None     # symbolic / exotic shapes: generic gather step
+
+    @binder("MOVEI", "LUA")
+    def _bind_movei(self, instr: AsmInstr):
+        name = instr.operands[0].name
+        value = instr.operands[1].value
+
+        def step(state: MachineState) -> None:
+            state.set_reg(name, value)
+        return step
+
+    @binder("CLR")
+    def _bind_clr(self, instr: AsmInstr):
+        def step(state: MachineState) -> None:
+            state.set_reg("a", 0)
+        return step
+
+    @binder("ADD", "SUB")
+    def _bind_add_sub(self, instr: AsmInstr):
+        operand = instr.operands[0]
+        if not isinstance(operand, (Reg, Imm)):
+            return None
+        read, _ = self._bind_read(operand)
+        if instr.opcode == "ADD":
+            def step(state: MachineState) -> None:
+                state.set_reg("a", _wrap32(state.reg("a")
+                                           + read(state)))
+        else:
+            def step(state: MachineState) -> None:
+                state.set_reg("a", _wrap32(state.reg("a")
+                                           - read(state)))
+        return step
+
+    @binder("AND", "OR", "EOR")
+    def _bind_logic(self, instr: AsmInstr):
+        operand = instr.operands[0]
+        if not isinstance(operand, (Reg, Imm)):
+            return None
+        read, _ = self._bind_read(operand)
+        op = instr.opcode
+
+        def step(state: MachineState) -> None:
             acc = _wrap16(state.reg("a"))
+            source = read(state)
             value = {"AND": acc & source, "OR": acc | source,
                      "EOR": acc ^ source}[op]
-            reg_writes.append(("a", value))
-        elif op in ("MPY", "MAC", "MACN", "MPYF", "MACF", "MACNF"):
-            x = read(instr.operands[0])
-            y = read(instr.operands[1])
-            product = x * y
-            if op.endswith("F"):
-                product >>= 15      # fractional (Q15) multiplier mode
-            if op in ("MPY", "MPYF"):
-                value = product
-            elif op in ("MAC", "MACF"):
-                value = state.reg("a") + product
-            else:
-                value = state.reg("a") - product
-            reg_writes.append(("a", _wrap32(value)))
-        elif op == "SATA":
-            reg_writes.append(("a", max(-(1 << 15),
-                                        min((1 << 15) - 1,
-                                            state.reg("a")))))
-        elif op == "NEG":
-            reg_writes.append(("a", _wrap32(-state.reg("a"))))
-        elif op == "ABS":
-            reg_writes.append(("a", _wrap32(abs(state.reg("a")))))
-        elif op == "NOT":
-            reg_writes.append(("a", ~_wrap16(state.reg("a"))))
-        elif op == "ASL":
-            reg_writes.append(("a", _wrap32(state.reg("a") << 1)))
-        elif op == "ASR":
-            reg_writes.append(("a", state.reg("a") >> 1))
-        elif op == "DO":
-            state.loop_stack.append(instr.operands[0].value - 1)
-        elif op == "LOOPEND":
-            if not state.loop_stack:
-                raise SimulationError("LOOPEND without DO")
-            if state.loop_stack[-1] > 0:
-                state.loop_stack[-1] -= 1
-                return instr.operands[0].name
-            state.loop_stack.pop()
-        elif op == "LEA":
-            operand = instr.operands[0]
-            post.append((operand.areg, operand.post_modify))
-        elif op == "NOP":
-            pass
+            state.set_reg("a", value)
+        return step
+
+    @binder("MPY", "MAC", "MACN", "MPYF", "MACF", "MACNF")
+    def _bind_multiply(self, instr: AsmInstr):
+        left, right = instr.operands[0], instr.operands[1]
+        if not (isinstance(left, (Reg, Imm))
+                and isinstance(right, (Reg, Imm))):
+            return None
+        read_x, _ = self._bind_read(left)
+        read_y, _ = self._bind_read(right)
+        op = instr.opcode
+        fractional = op.endswith("F")
+        kind = op[:-1] if fractional else op
+
+        if kind == "MPY":
+            def step(state: MachineState) -> None:
+                product = read_x(state) * read_y(state)
+                if fractional:
+                    product >>= 15
+                state.set_reg("a", _wrap32(product))
+        elif kind == "MAC":
+            def step(state: MachineState) -> None:
+                product = read_x(state) * read_y(state)
+                if fractional:
+                    product >>= 15
+                state.set_reg("a", _wrap32(state.reg("a") + product))
         else:
-            raise SimulationError(f"m56: unknown opcode {op!r}")
-        return None
+            def step(state: MachineState) -> None:
+                product = read_x(state) * read_y(state)
+                if fractional:
+                    product >>= 15
+                state.set_reg("a", _wrap32(state.reg("a") - product))
+        return step
+
+    @binder("SATA", "NEG", "ABS", "NOT", "ASL", "ASR")
+    def _bind_acc_unary(self, instr: AsmInstr):
+        op = instr.opcode
+        if op == "SATA":
+            def step(state: MachineState) -> None:
+                state.set_reg("a", max(-(1 << 15),
+                                       min((1 << 15) - 1,
+                                           state.reg("a"))))
+        elif op == "NEG":
+            def step(state: MachineState) -> None:
+                state.set_reg("a", _wrap32(-state.reg("a")))
+        elif op == "ABS":
+            def step(state: MachineState) -> None:
+                state.set_reg("a", _wrap32(abs(state.reg("a"))))
+        elif op == "NOT":
+            def step(state: MachineState) -> None:
+                state.set_reg("a", ~_wrap16(state.reg("a")))
+        elif op == "ASL":
+            def step(state: MachineState) -> None:
+                state.set_reg("a", _wrap32(state.reg("a") << 1))
+        else:
+            def step(state: MachineState) -> None:
+                state.set_reg("a", state.reg("a") >> 1)
+        return step
+
+    @binder("DO")
+    def _bind_do(self, instr: AsmInstr):
+        initial = instr.operands[0].value - 1
+
+        def step(state: MachineState) -> None:
+            state.loop_stack.append(initial)
+        return step
+
+    @binder("LOOPEND")
+    def _bind_loopend(self, instr: AsmInstr):
+        label = instr.operands[0].name
+
+        def step(state: MachineState) -> Optional[str]:
+            stack = state.loop_stack
+            if not stack:
+                raise SimulationError("LOOPEND without DO")
+            if stack[-1] > 0:
+                stack[-1] -= 1
+                return label
+            stack.pop()
+            return None
+        return step
+
+    @binder("LEA")
+    def _bind_lea(self, instr: AsmInstr):
+        operand = instr.operands[0]
+        areg = operand.areg
+        bump = operand.post_modify
+
+        def step(state: MachineState) -> None:
+            state.set_reg(areg, state.reg(areg) + bump)
+        return step
+
+    @binder("NOP")
+    def _bind_nop(self, instr: AsmInstr):
+        return lambda state: None
 
 
 class M56SlotModel(SlotModel):

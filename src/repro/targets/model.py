@@ -12,12 +12,53 @@ the bit-true meaning of each instruction -- is answered by this object.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.codegen.asm import AsmInstr, CodeSeq
 from repro.codegen.grammar import TreeGrammar
 from repro.ir.fixedpoint import FixedPointContext
-from repro.sim.machine import MachineState
+from repro.sim.decode import DecodeFallback
+from repro.sim.machine import MachineState, SimulationError
+
+
+def semantics(*opcodes: str, branch: bool = False):
+    """Register a method as the bit-true handler for ``opcodes``.
+
+    Handlers take ``(state, instr)`` (targets with a different driver,
+    e.g. the M56 parallel-move commit, may define their own handler
+    signature) and return a label name to branch to, or ``None``.
+    ``branch=True`` marks opcodes that may redirect control flow --
+    the fast simulator uses this to end basic blocks at decode time.
+
+    The registry is collected along the MRO by
+    ``TargetModel.__init_subclass__``, so a subclass can override a
+    single opcode's handler (or add new ones, as ``Asip`` does) without
+    touching the inherited dispatch chain.
+    """
+
+    def register(fn):
+        fn.__semantics__ = tuple(opcodes)
+        fn.__semantics_branch__ = branch
+        return fn
+
+    return register
+
+
+def binder(*opcodes: str):
+    """Register a decode-time specializer for ``opcodes``.
+
+    A binder takes an :class:`AsmInstr` and returns a closure
+    ``step(state)`` with operands pre-extracted (or ``None`` to decline,
+    falling back to the generic dispatch step).  Binders are the fast
+    simulator's translation layer; they must be observationally
+    identical to the :func:`semantics` handler for the same opcode.
+    """
+
+    def register(fn):
+        fn.__binds__ = tuple(opcodes)
+        return fn
+
+    return register
 
 
 @dataclass(frozen=True)
@@ -70,8 +111,35 @@ class TargetModel:
     word_bits: int = 16
     capabilities: TargetCapabilities = TargetCapabilities()
 
+    #: opcode -> attribute name of the @semantics handler (per class,
+    #: collected along the MRO so subclasses inherit and may override).
+    _SEMANTICS_ATTRS: Mapping[str, str] = {}
+    #: opcodes whose handler may return a branch-target label.
+    _BRANCH_OPCODES: frozenset = frozenset()
+    #: opcode -> attribute name of the @binder specializer.
+    _BINDER_ATTRS: Mapping[str, str] = {}
+
     def __init__(self) -> None:
         self.fpc = FixedPointContext(self.word_bits)
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        handlers: Dict[str, str] = {}
+        branches = set()
+        binders: Dict[str, str] = {}
+        for klass in reversed(cls.__mro__):
+            for attr, fn in vars(klass).items():
+                for opcode in getattr(fn, "__semantics__", ()):
+                    handlers[opcode] = attr
+                    if fn.__semantics_branch__:
+                        branches.add(opcode)
+                    else:
+                        branches.discard(opcode)
+                for opcode in getattr(fn, "__binds__", ()):
+                    binders[opcode] = attr
+        cls._SEMANTICS_ATTRS = handlers
+        cls._BRANCH_OPCODES = frozenset(branches)
+        cls._BINDER_ATTRS = binders
 
     # -- code selection --------------------------------------------------
 
@@ -94,10 +162,13 @@ class TargetModel:
 
     def __getstate__(self) -> dict:
         """Pickle support for the compile farm: the grammar cache holds
-        emit closures, which do not pickle -- drop it and rebuild lazily
+        emit closures (and the dispatch/binder caches hold bound
+        methods), none of which pickle -- drop them and rebuild lazily
         on the other side."""
         state = dict(self.__dict__)
         state.pop("_grammar_cache", None)
+        state.pop("_dispatch_cache", None)
+        state.pop("_binder_cache", None)
         return state
 
     # -- simulation -------------------------------------------------------
@@ -106,14 +177,113 @@ class TargetModel:
         """A fresh machine state (registers zeroed, memory cleared)."""
         raise NotImplementedError
 
+    def dispatch_table(self) -> Dict[str, Callable]:
+        """opcode -> bound @semantics handler (built once per instance)."""
+        table = self.__dict__.get("_dispatch_cache")
+        if table is None:
+            table = {opcode: getattr(self, attr)
+                     for opcode, attr in type(self)._SEMANTICS_ATTRS.items()}
+            self.__dict__["_dispatch_cache"] = table
+        return table
+
+    def binder_table(self) -> Dict[str, Callable]:
+        """opcode -> bound @binder specializer (built once per instance)."""
+        table = self.__dict__.get("_binder_cache")
+        if table is None:
+            table = {opcode: getattr(self, attr)
+                     for opcode, attr in type(self)._BINDER_ATTRS.items()}
+            self.__dict__["_binder_cache"] = table
+        return table
+
     def execute(self, state: MachineState,
                 instr: AsmInstr) -> Optional[str]:
-        """Execute one instruction; return a label name to branch to."""
-        raise NotImplementedError
+        """Execute one instruction; return a label name to branch to.
+
+        The default driver dispatches on the @semantics registry; a
+        target with instruction-level parallelism (M56) overrides this
+        to add its commit discipline around the same handlers.
+        """
+        handler = self.dispatch_table().get(instr.opcode)
+        if handler is None:
+            raise SimulationError(
+                f"{self.name}: unknown opcode {instr.opcode!r}")
+        return handler(state, instr)
 
     def repeat_count(self, state: MachineState, instr: AsmInstr) -> int:
         """How many times the simulator runs ``instr`` (hardware repeat)."""
         return 1
+
+    # -- fast-simulator decode hooks ---------------------------------------
+
+    def decode_instr(self, instr: AsmInstr) -> AsmInstr:
+        """The instruction the simulator should decode for ``instr``.
+
+        Identity here; fault-injection wrappers (``FaultySim``) swap
+        opcodes at this point so mutations cost nothing at run time.
+        """
+        return instr
+
+    def is_branch(self, instr: AsmInstr) -> bool:
+        """May ``instr`` redirect control flow?  (Ends a basic block.)"""
+        return instr.opcode in type(self)._BRANCH_OPCODES
+
+    def static_repeat(self, instr: AsmInstr) -> Optional[int]:
+        """If ``instr`` arms a hardware repeat whose count is known at
+        decode time, return the iteration count applied to the *next*
+        instruction; else ``None``.  Lets the decoder fuse the pair into
+        one specialized step with statically-known cycles."""
+        return None
+
+    def pre_dispatch(self, instr: AsmInstr) -> Optional[Callable]:
+        """Per-dispatch state fixup the reference interpreter performs in
+        ``repeat_count`` (e.g. TC25 resets its MAC table cursor).  The
+        decoder prepends the returned closure -- once per dispatch, not
+        once per repeat iteration -- to the bound step.  ``None`` when
+        the opcode needs no fixup (the common case)."""
+        return None
+
+    def bind_step(self, instr: AsmInstr) -> Callable:
+        """Decode ``instr`` into a ``step(state)`` closure.
+
+        Tries the @binder registry first (operand-pre-extracted fast
+        closures); falls back to a thin wrapper over the reference
+        ``execute`` so every opcode is decodable even before it has a
+        specialized binder.  Unknown opcodes fail here, at decode time,
+        with the same error the reference interpreter raises.
+        """
+        bind = self.binder_table().get(instr.opcode)
+        if bind is not None:
+            step = bind(instr)
+            if step is not None:
+                return step
+        return self._default_step(instr)
+
+    def _default_step(self, instr: AsmInstr) -> Callable:
+        """Generic step: resolve the handler now, bind the instruction."""
+        handler = self.dispatch_table().get(instr.opcode)
+        if handler is None:
+            if type(self).execute is not TargetModel.execute:
+                # The target defines semantics in an overridden
+                # ``execute`` that the registry knows nothing about
+                # (e.g. synthesized netlist targets); the block decoder
+                # cannot soundly specialize that, so run the reference
+                # interpreter.
+                raise DecodeFallback(
+                    f"{self.name}: no registered semantics for "
+                    f"{instr.opcode!r}")
+
+            # Registry targets: defer the error to run time so an
+            # unknown opcode behind a never-taken branch behaves
+            # exactly like the reference interpreter.
+            def unknown(state: MachineState) -> Optional[str]:
+                raise SimulationError(
+                    f"{self.name}: unknown opcode {instr.opcode!r}")
+            return unknown
+
+        def step(state: MachineState) -> Optional[str]:
+            return handler(state, instr)
+
+        return step
 
     # -- back-end hooks -----------------------------------------------------
 

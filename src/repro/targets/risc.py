@@ -32,7 +32,9 @@ from repro.codegen.grammar import (
 from repro.codegen.regalloc import allocate_registers
 from repro.ir.trees import Tree
 from repro.sim.machine import MachineState, SimulationError
-from repro.targets.model import TargetCapabilities, TargetModel
+from repro.targets.model import (
+    TargetCapabilities, TargetModel, binder, semantics,
+)
 
 _MASK16 = (1 << 16) - 1
 _MASK32 = (1 << 32) - 1
@@ -258,62 +260,187 @@ class Risc16(TargetModel):
             return state.reg(operand.areg)
         raise SimulationError(f"unresolved operand {operand}")
 
-    def execute(self, state: MachineState,
-                instr: AsmInstr) -> Optional[str]:
+    # -- instruction semantics (reference interpreter) ------------------
+
+    _ALU_OPS = {
+        "ADD": lambda a, b: a + b, "SUB": lambda a, b: a - b,
+        "MUL": lambda a, b: a * b, "AND": lambda a, b: a & b,
+        "OR": lambda a, b: a | b, "XOR": lambda a, b: a ^ b,
+        "MIN": min, "MAX": max,
+    }
+
+    @semantics("LW")
+    def _exec_lw(self, state: MachineState, instr: AsmInstr) -> None:
+        dest, source = instr.operands
+        state.regs[dest.name] = state.load(self._address(state, source))
+
+    @semantics("SW")
+    def _exec_sw(self, state: MachineState, instr: AsmInstr) -> None:
+        value_reg, dest = instr.operands
+        state.store(self._address(state, dest),
+                    _wrap16(state.reg(value_reg.name)))
+
+    @semantics("LI")
+    def _exec_li(self, state: MachineState, instr: AsmInstr) -> None:
+        dest, imm = instr.operands
+        state.regs[dest.name] = imm.value
+
+    @semantics("ADD", "SUB", "MUL", "AND", "OR", "XOR", "MIN", "MAX")
+    def _exec_alu(self, state: MachineState, instr: AsmInstr) -> None:
         op = instr.opcode
-        regs = state.regs
+        dest, left, right = instr.operands
+        a, b = state.reg(left.name), state.reg(right.name)
+        if op not in ("ADD", "SUB"):
+            # multiplier / logic / compare ports are 16 bits wide
+            a, b = _wrap16(a), _wrap16(b)
+        state.regs[dest.name] = _wrap32(self._ALU_OPS[op](a, b))
 
-        def reg_value(operand) -> int:
-            return state.reg(operand.name)
+    @semantics("ADDI")
+    def _exec_addi(self, state: MachineState, instr: AsmInstr) -> None:
+        dest, source, imm = instr.operands
+        state.regs[dest.name] = _wrap32(
+            state.reg(source.name) + imm.value)
 
-        if op == "LW":
-            dest, source = instr.operands
-            regs[dest.name] = state.load(self._address(state, source))
-        elif op == "SW":
-            value_reg, dest = instr.operands
-            state.store(self._address(state, dest),
-                        _wrap16(reg_value(value_reg)))
-        elif op == "LI":
-            dest, imm = instr.operands
-            regs[dest.name] = imm.value
-        elif op in ("ADD", "SUB", "MUL", "AND", "OR", "XOR",
-                    "MIN", "MAX"):
-            dest, left, right = instr.operands
-            a, b = reg_value(left), reg_value(right)
-            if op not in ("ADD", "SUB"):
-                # multiplier / logic / compare ports are 16 bits wide
-                a, b = _wrap16(a), _wrap16(b)
-            value = {"ADD": a + b, "SUB": a - b, "MUL": a * b,
-                     "AND": a & b, "OR": a | b, "XOR": a ^ b,
-                     "MIN": min(a, b), "MAX": max(a, b)}[op]
-            regs[dest.name] = _wrap32(value)
-        elif op == "ADDI":
-            dest, source, imm = instr.operands
-            regs[dest.name] = _wrap32(reg_value(source) + imm.value)
-        elif op in ("SLLI", "SRAI"):
-            dest, source, imm = instr.operands
-            value = reg_value(source)
-            regs[dest.name] = _wrap32(value << imm.value) \
-                if op == "SLLI" else (value >> imm.value)
-        elif op == "NEG":
-            dest, source = instr.operands
-            regs[dest.name] = _wrap32(-reg_value(source))
-        elif op == "NOTR":
-            dest, source = instr.operands
-            regs[dest.name] = ~_wrap16(reg_value(source))
-        elif op == "ABSR":
-            dest, source = instr.operands
-            regs[dest.name] = _wrap32(abs(reg_value(source)))
-        elif op == "SATR":
-            dest, source = instr.operands
-            regs[dest.name] = max(-(1 << 15),
-                                  min((1 << 15) - 1, reg_value(source)))
-        elif op == "BNEZ":
-            counter, label = instr.operands
-            if reg_value(counter) != 0:
-                return label.name
-        elif op == "NOP":
-            pass
-        else:
-            raise SimulationError(f"risc16: unknown opcode {op!r}")
+    @semantics("SLLI", "SRAI")
+    def _exec_shift_imm(self, state: MachineState,
+                        instr: AsmInstr) -> None:
+        dest, source, imm = instr.operands
+        value = state.reg(source.name)
+        state.regs[dest.name] = _wrap32(value << imm.value) \
+            if instr.opcode == "SLLI" else (value >> imm.value)
+
+    @semantics("NEG")
+    def _exec_neg(self, state: MachineState, instr: AsmInstr) -> None:
+        dest, source = instr.operands
+        state.regs[dest.name] = _wrap32(-state.reg(source.name))
+
+    @semantics("NOTR")
+    def _exec_notr(self, state: MachineState, instr: AsmInstr) -> None:
+        dest, source = instr.operands
+        state.regs[dest.name] = ~_wrap16(state.reg(source.name))
+
+    @semantics("ABSR")
+    def _exec_absr(self, state: MachineState, instr: AsmInstr) -> None:
+        dest, source = instr.operands
+        state.regs[dest.name] = _wrap32(abs(state.reg(source.name)))
+
+    @semantics("SATR")
+    def _exec_satr(self, state: MachineState, instr: AsmInstr) -> None:
+        dest, source = instr.operands
+        state.regs[dest.name] = max(
+            -(1 << 15), min((1 << 15) - 1, state.reg(source.name)))
+
+    @semantics("BNEZ", branch=True)
+    def _exec_bnez(self, state: MachineState,
+                   instr: AsmInstr) -> Optional[str]:
+        counter, label = instr.operands
+        if state.reg(counter.name) != 0:
+            return label.name
         return None
+
+    @semantics("NOP")
+    def _exec_nop(self, state: MachineState, instr: AsmInstr) -> None:
+        pass
+
+    # -- fast-simulator binders ----------------------------------------
+
+    def _bind_address(self, operand: Mem):
+        if operand.mode == "direct":
+            address = operand.address
+            return lambda state: address
+        if operand.mode == "indirect":
+            areg = operand.areg
+            return lambda state: state.reg(areg)
+
+        def unresolved(state: MachineState) -> int:
+            raise SimulationError(f"unresolved operand {operand}")
+        return unresolved
+
+    @binder("LW")
+    def _bind_lw(self, instr: AsmInstr):
+        dest = instr.operands[0].name
+        addr = self._bind_address(instr.operands[1])
+
+        def step(state: MachineState) -> None:
+            state.regs[dest] = state.load(addr(state))
+        return step
+
+    @binder("SW")
+    def _bind_sw(self, instr: AsmInstr):
+        source = instr.operands[0].name
+        addr = self._bind_address(instr.operands[1])
+
+        def step(state: MachineState) -> None:
+            state.store(addr(state), _wrap16(state.reg(source)))
+        return step
+
+    @binder("LI")
+    def _bind_li(self, instr: AsmInstr):
+        dest = instr.operands[0].name
+        value = instr.operands[1].value
+
+        def step(state: MachineState) -> None:
+            state.regs[dest] = value
+        return step
+
+    @binder("ADD", "SUB")
+    def _bind_add_sub(self, instr: AsmInstr):
+        dest, left, right = (operand.name for operand in instr.operands)
+        if instr.opcode == "ADD":
+            def step(state: MachineState) -> None:
+                state.regs[dest] = _wrap32(
+                    state.reg(left) + state.reg(right))
+        else:
+            def step(state: MachineState) -> None:
+                state.regs[dest] = _wrap32(
+                    state.reg(left) - state.reg(right))
+        return step
+
+    @binder("MUL", "AND", "OR", "XOR", "MIN", "MAX")
+    def _bind_alu16(self, instr: AsmInstr):
+        dest, left, right = (operand.name for operand in instr.operands)
+        combine = self._ALU_OPS[instr.opcode]
+
+        def step(state: MachineState) -> None:
+            state.regs[dest] = _wrap32(
+                combine(_wrap16(state.reg(left)),
+                        _wrap16(state.reg(right))))
+        return step
+
+    @binder("ADDI")
+    def _bind_addi(self, instr: AsmInstr):
+        dest = instr.operands[0].name
+        source = instr.operands[1].name
+        value = instr.operands[2].value
+
+        def step(state: MachineState) -> None:
+            state.regs[dest] = _wrap32(state.reg(source) + value)
+        return step
+
+    @binder("SLLI", "SRAI")
+    def _bind_shift_imm(self, instr: AsmInstr):
+        dest = instr.operands[0].name
+        source = instr.operands[1].name
+        amount = instr.operands[2].value
+        if instr.opcode == "SLLI":
+            def step(state: MachineState) -> None:
+                state.regs[dest] = _wrap32(state.reg(source) << amount)
+        else:
+            def step(state: MachineState) -> None:
+                state.regs[dest] = state.reg(source) >> amount
+        return step
+
+    @binder("BNEZ")
+    def _bind_bnez(self, instr: AsmInstr):
+        counter = instr.operands[0].name
+        label = instr.operands[1].name
+
+        def step(state: MachineState) -> Optional[str]:
+            if state.reg(counter) != 0:
+                return label
+            return None
+        return step
+
+    @binder("NOP")
+    def _bind_nop(self, instr: AsmInstr):
+        return lambda state: None

@@ -39,7 +39,9 @@ from repro.codegen.grammar import (
 from repro.ir.ops import OpKind
 from repro.ir.trees import Tree
 from repro.sim.machine import MachineState, SimulationError
-from repro.targets.model import TargetCapabilities, TargetModel
+from repro.targets.model import (
+    TargetCapabilities, TargetModel, binder, semantics,
+)
 
 _MASK32 = (1 << 32) - 1
 _MASK16 = (1 << 16) - 1
@@ -431,149 +433,274 @@ class TC25(TargetModel):
                           state.reg(operand.areg) + operand.post_modify)
 
     # -- instruction semantics ---------------------------------------------
+    #
+    # One @semantics handler per opcode group; the base TargetModel
+    # dispatches on the registry, so this *is* the reference
+    # interpreter.  The @binder methods further down are the fast
+    # simulator's decode-time specializations of the same semantics.
 
-    def execute(self, state: MachineState,
-                instr: AsmInstr) -> Optional[str]:
-        op = instr.opcode
+    @semantics("ZAC")
+    def _exec_zac(self, state: MachineState, instr: AsmInstr) -> None:
+        state.regs["acc"] = 0
+
+    @semantics("LAC")
+    def _exec_lac(self, state: MachineState, instr: AsmInstr) -> None:
+        state.regs["acc"] = self._read_mem(state, instr.operands[0])
+
+    @semantics("LACS")
+    def _exec_lacs(self, state: MachineState, instr: AsmInstr) -> None:
+        state.regs["acc"] = _wrap32(
+            self._read_mem(state, instr.operands[0])
+            << instr.operands[1].value)
+
+    @semantics("LACK", "LALK")
+    def _exec_load_imm(self, state: MachineState,
+                       instr: AsmInstr) -> None:
+        state.regs["acc"] = instr.operands[0].value
+
+    @semantics("ADD")
+    def _exec_add(self, state: MachineState, instr: AsmInstr) -> None:
         regs = state.regs
-        pm = state.modes.get("pm", 0)
+        regs["acc"] = _wrap32(regs["acc"]
+                              + self._read_mem(state, instr.operands[0]))
 
-        if op == "ZAC":
-            regs["acc"] = 0
-        elif op == "LAC":
-            regs["acc"] = self._read_mem(state, instr.operands[0])
-        elif op == "LACS":
-            regs["acc"] = _wrap32(
-                self._read_mem(state, instr.operands[0])
-                << instr.operands[1].value)
-        elif op in ("LACK", "LALK"):
-            regs["acc"] = instr.operands[0].value
-        elif op == "ADD":
-            regs["acc"] = _wrap32(regs["acc"]
-                                  + self._read_mem(state, instr.operands[0]))
-        elif op == "SUB":
-            regs["acc"] = _wrap32(regs["acc"]
-                                  - self._read_mem(state, instr.operands[0]))
-        elif op in ("ADDK", "ADLK"):
-            regs["acc"] = _wrap32(regs["acc"] + instr.operands[0].value)
-        elif op in ("SUBK", "SBLK"):
-            regs["acc"] = _wrap32(regs["acc"] - instr.operands[0].value)
-        elif op == "ANDK":
-            regs["acc"] = _wrap16(regs["acc"]) & instr.operands[0].value
-        elif op == "ORK":
-            regs["acc"] = _wrap16(regs["acc"]) | instr.operands[0].value
-        elif op == "XORK":
-            regs["acc"] = _wrap16(regs["acc"]) ^ instr.operands[0].value
-        elif op == "AND":
-            # The C25 logic unit is 16 bits wide: the accumulator passes
-            # through it at word width (see FixedPointContext semantics).
-            regs["acc"] = _wrap16(regs["acc"]) \
-                & self._read_mem(state, instr.operands[0])
-        elif op == "OR":
-            regs["acc"] = _wrap16(regs["acc"]) \
-                | self._read_mem(state, instr.operands[0])
-        elif op == "XOR":
-            regs["acc"] = _wrap16(regs["acc"]) \
-                ^ self._read_mem(state, instr.operands[0])
-        elif op == "CMPL":
-            regs["acc"] = ~_wrap16(regs["acc"])
-        elif op == "NEG":
-            regs["acc"] = _wrap32(-regs["acc"])
-        elif op == "ABS":
-            regs["acc"] = _wrap32(abs(regs["acc"]))
-        elif op == "SATL":
-            regs["acc"] = max(-(1 << 15), min((1 << 15) - 1, regs["acc"]))
-        elif op == "SFL":
-            regs["acc"] = _wrap32(regs["acc"] << 1)
-        elif op == "SFR":
-            regs["acc"] >>= 1
-        elif op == "SACL":
-            self._write_mem(state, instr.operands[0], regs["acc"])
-        elif op == "SACH":
-            self._write_mem(state, instr.operands[0], regs["acc"] >> 16)
-        elif op == "ZALH":
-            regs["acc"] = _wrap32(
-                self._read_mem(state, instr.operands[0]) << 16)
-        elif op == "ADDS":
-            regs["acc"] = _wrap32(
-                regs["acc"]
-                + (self._read_mem(state, instr.operands[0]) & 0xFFFF))
-        elif op == "DMOV":
-            operand = instr.operands[0]
-            address = self._address(state, operand)
-            state.store(address + 1, state.load(address))
-            self._post_modify(state, operand)
-        elif op == "LT":
-            regs["t"] = self._read_mem(state, instr.operands[0])
-        elif op == "MPY":
-            regs["p"] = _wrap32(regs["t"]
-                                * self._read_mem(state, instr.operands[0]))
-        elif op == "MPYK":
-            regs["p"] = _wrap32(regs["t"] * instr.operands[0].value)
-        elif op == "PAC":
-            regs["acc"] = regs["p"] >> pm
-        elif op == "APAC":
-            regs["acc"] = _wrap32(regs["acc"] + (regs["p"] >> pm))
-        elif op == "SPAC":
-            regs["acc"] = _wrap32(regs["acc"] - (regs["p"] >> pm))
-        elif op == "SPM":
-            state.modes["pm"] = instr.operands[0].value
-        elif op in ("LARK", "LRLK"):
-            regs[instr.operands[0].name] = instr.operands[1].value
-        elif op == "LAR":
-            regs[instr.operands[0].name] = self._read_mem(
-                state, instr.operands[1])
-        elif op == "SAR":
-            self._write_mem(state, instr.operands[1],
-                            regs[instr.operands[0].name])
-        elif op == "RPTK":
-            regs["rptc"] = instr.operands[0].value
-        elif op in ("MAC", "MACD"):
-            table = instr.operands[0]
-            data_operand = instr.operands[1]
-            address = self._address(state, data_operand)
-            data = state.load(address)
-            if op == "MACD":
-                state.store(address + 1, data)
-            self._post_modify(state, data_operand)
-            coefficient = self._pmem_value(state, table.name,
-                                           regs["mac_idx"])
-            regs["mac_idx"] += 1
-            regs["acc"] = _wrap32(regs["acc"] + (regs["p"] >> pm))
-            regs["p"] = _wrap32(coefficient * data)
-        elif op == "LTA":
-            regs["acc"] = _wrap32(regs["acc"] + (regs["p"] >> pm))
-            regs["t"] = self._read_mem(state, instr.operands[0])
-        elif op == "LTS":
-            regs["acc"] = _wrap32(regs["acc"] - (regs["p"] >> pm))
-            regs["t"] = self._read_mem(state, instr.operands[0])
-        elif op == "LTP":
-            regs["acc"] = regs["p"] >> pm
-            regs["t"] = self._read_mem(state, instr.operands[0])
-        elif op == "LTD":
-            regs["acc"] = _wrap32(regs["acc"] + (regs["p"] >> pm))
-            operand = instr.operands[0]
-            address = self._address(state, operand)
-            data = state.load(address)
-            regs["t"] = data
+    @semantics("SUB")
+    def _exec_sub(self, state: MachineState, instr: AsmInstr) -> None:
+        regs = state.regs
+        regs["acc"] = _wrap32(regs["acc"]
+                              - self._read_mem(state, instr.operands[0]))
+
+    @semantics("ADDK", "ADLK")
+    def _exec_add_imm(self, state: MachineState,
+                      instr: AsmInstr) -> None:
+        regs = state.regs
+        regs["acc"] = _wrap32(regs["acc"] + instr.operands[0].value)
+
+    @semantics("SUBK", "SBLK")
+    def _exec_sub_imm(self, state: MachineState,
+                      instr: AsmInstr) -> None:
+        regs = state.regs
+        regs["acc"] = _wrap32(regs["acc"] - instr.operands[0].value)
+
+    @semantics("ANDK")
+    def _exec_andk(self, state: MachineState, instr: AsmInstr) -> None:
+        regs = state.regs
+        regs["acc"] = _wrap16(regs["acc"]) & instr.operands[0].value
+
+    @semantics("ORK")
+    def _exec_ork(self, state: MachineState, instr: AsmInstr) -> None:
+        regs = state.regs
+        regs["acc"] = _wrap16(regs["acc"]) | instr.operands[0].value
+
+    @semantics("XORK")
+    def _exec_xork(self, state: MachineState, instr: AsmInstr) -> None:
+        regs = state.regs
+        regs["acc"] = _wrap16(regs["acc"]) ^ instr.operands[0].value
+
+    @semantics("AND")
+    def _exec_and(self, state: MachineState, instr: AsmInstr) -> None:
+        # The C25 logic unit is 16 bits wide: the accumulator passes
+        # through it at word width (see FixedPointContext semantics).
+        regs = state.regs
+        regs["acc"] = _wrap16(regs["acc"]) \
+            & self._read_mem(state, instr.operands[0])
+
+    @semantics("OR")
+    def _exec_or(self, state: MachineState, instr: AsmInstr) -> None:
+        regs = state.regs
+        regs["acc"] = _wrap16(regs["acc"]) \
+            | self._read_mem(state, instr.operands[0])
+
+    @semantics("XOR")
+    def _exec_xor(self, state: MachineState, instr: AsmInstr) -> None:
+        regs = state.regs
+        regs["acc"] = _wrap16(regs["acc"]) \
+            ^ self._read_mem(state, instr.operands[0])
+
+    @semantics("CMPL")
+    def _exec_cmpl(self, state: MachineState, instr: AsmInstr) -> None:
+        regs = state.regs
+        regs["acc"] = ~_wrap16(regs["acc"])
+
+    @semantics("NEG")
+    def _exec_neg(self, state: MachineState, instr: AsmInstr) -> None:
+        regs = state.regs
+        regs["acc"] = _wrap32(-regs["acc"])
+
+    @semantics("ABS")
+    def _exec_abs(self, state: MachineState, instr: AsmInstr) -> None:
+        regs = state.regs
+        regs["acc"] = _wrap32(abs(regs["acc"]))
+
+    @semantics("SATL")
+    def _exec_satl(self, state: MachineState, instr: AsmInstr) -> None:
+        regs = state.regs
+        regs["acc"] = max(-(1 << 15), min((1 << 15) - 1, regs["acc"]))
+
+    @semantics("SFL")
+    def _exec_sfl(self, state: MachineState, instr: AsmInstr) -> None:
+        regs = state.regs
+        regs["acc"] = _wrap32(regs["acc"] << 1)
+
+    @semantics("SFR")
+    def _exec_sfr(self, state: MachineState, instr: AsmInstr) -> None:
+        state.regs["acc"] >>= 1
+
+    @semantics("SACL")
+    def _exec_sacl(self, state: MachineState, instr: AsmInstr) -> None:
+        self._write_mem(state, instr.operands[0], state.regs["acc"])
+
+    @semantics("SACH")
+    def _exec_sach(self, state: MachineState, instr: AsmInstr) -> None:
+        self._write_mem(state, instr.operands[0],
+                        state.regs["acc"] >> 16)
+
+    @semantics("ZALH")
+    def _exec_zalh(self, state: MachineState, instr: AsmInstr) -> None:
+        state.regs["acc"] = _wrap32(
+            self._read_mem(state, instr.operands[0]) << 16)
+
+    @semantics("ADDS")
+    def _exec_adds(self, state: MachineState, instr: AsmInstr) -> None:
+        regs = state.regs
+        regs["acc"] = _wrap32(
+            regs["acc"]
+            + (self._read_mem(state, instr.operands[0]) & 0xFFFF))
+
+    @semantics("DMOV")
+    def _exec_dmov(self, state: MachineState, instr: AsmInstr) -> None:
+        operand = instr.operands[0]
+        address = self._address(state, operand)
+        state.store(address + 1, state.load(address))
+        self._post_modify(state, operand)
+
+    @semantics("LT")
+    def _exec_lt(self, state: MachineState, instr: AsmInstr) -> None:
+        state.regs["t"] = self._read_mem(state, instr.operands[0])
+
+    @semantics("MPY")
+    def _exec_mpy(self, state: MachineState, instr: AsmInstr) -> None:
+        regs = state.regs
+        regs["p"] = _wrap32(regs["t"]
+                            * self._read_mem(state, instr.operands[0]))
+
+    @semantics("MPYK")
+    def _exec_mpyk(self, state: MachineState, instr: AsmInstr) -> None:
+        regs = state.regs
+        regs["p"] = _wrap32(regs["t"] * instr.operands[0].value)
+
+    @semantics("PAC")
+    def _exec_pac(self, state: MachineState, instr: AsmInstr) -> None:
+        regs = state.regs
+        regs["acc"] = regs["p"] >> state.modes.get("pm", 0)
+
+    @semantics("APAC")
+    def _exec_apac(self, state: MachineState, instr: AsmInstr) -> None:
+        regs = state.regs
+        regs["acc"] = _wrap32(
+            regs["acc"] + (regs["p"] >> state.modes.get("pm", 0)))
+
+    @semantics("SPAC")
+    def _exec_spac(self, state: MachineState, instr: AsmInstr) -> None:
+        regs = state.regs
+        regs["acc"] = _wrap32(
+            regs["acc"] - (regs["p"] >> state.modes.get("pm", 0)))
+
+    @semantics("SPM")
+    def _exec_spm(self, state: MachineState, instr: AsmInstr) -> None:
+        state.modes["pm"] = instr.operands[0].value
+
+    @semantics("LARK", "LRLK")
+    def _exec_load_ar(self, state: MachineState,
+                      instr: AsmInstr) -> None:
+        state.regs[instr.operands[0].name] = instr.operands[1].value
+
+    @semantics("LAR")
+    def _exec_lar(self, state: MachineState, instr: AsmInstr) -> None:
+        state.regs[instr.operands[0].name] = self._read_mem(
+            state, instr.operands[1])
+
+    @semantics("SAR")
+    def _exec_sar(self, state: MachineState, instr: AsmInstr) -> None:
+        self._write_mem(state, instr.operands[1],
+                        state.regs[instr.operands[0].name])
+
+    @semantics("RPTK")
+    def _exec_rptk(self, state: MachineState, instr: AsmInstr) -> None:
+        state.regs["rptc"] = instr.operands[0].value
+
+    @semantics("MAC", "MACD")
+    def _exec_mac(self, state: MachineState, instr: AsmInstr) -> None:
+        regs = state.regs
+        table = instr.operands[0]
+        data_operand = instr.operands[1]
+        address = self._address(state, data_operand)
+        data = state.load(address)
+        if instr.opcode == "MACD":
             state.store(address + 1, data)
-            self._post_modify(state, operand)
-        elif op == "B":
-            return instr.operands[0].name
-        elif op == "BANZ":
-            label = instr.operands[0]
-            areg = instr.operands[1].name
-            taken = regs[areg] != 0
-            regs[areg] = _wrap16(regs[areg] - 1)
-            if taken:
-                return label.name
-        elif op == "MAR":
-            self._post_modify(state, instr.operands[0])
-        elif op == "NOP":
-            pass
-        else:
-            raise SimulationError(f"tc25: unknown opcode {op!r}")
+        self._post_modify(state, data_operand)
+        coefficient = self._pmem_value(state, table.name,
+                                       regs["mac_idx"])
+        regs["mac_idx"] += 1
+        regs["acc"] = _wrap32(
+            regs["acc"] + (regs["p"] >> state.modes.get("pm", 0)))
+        regs["p"] = _wrap32(coefficient * data)
+
+    @semantics("LTA")
+    def _exec_lta(self, state: MachineState, instr: AsmInstr) -> None:
+        regs = state.regs
+        regs["acc"] = _wrap32(
+            regs["acc"] + (regs["p"] >> state.modes.get("pm", 0)))
+        regs["t"] = self._read_mem(state, instr.operands[0])
+
+    @semantics("LTS")
+    def _exec_lts(self, state: MachineState, instr: AsmInstr) -> None:
+        regs = state.regs
+        regs["acc"] = _wrap32(
+            regs["acc"] - (regs["p"] >> state.modes.get("pm", 0)))
+        regs["t"] = self._read_mem(state, instr.operands[0])
+
+    @semantics("LTP")
+    def _exec_ltp(self, state: MachineState, instr: AsmInstr) -> None:
+        regs = state.regs
+        regs["acc"] = regs["p"] >> state.modes.get("pm", 0)
+        regs["t"] = self._read_mem(state, instr.operands[0])
+
+    @semantics("LTD")
+    def _exec_ltd(self, state: MachineState, instr: AsmInstr) -> None:
+        regs = state.regs
+        regs["acc"] = _wrap32(
+            regs["acc"] + (regs["p"] >> state.modes.get("pm", 0)))
+        operand = instr.operands[0]
+        address = self._address(state, operand)
+        data = state.load(address)
+        regs["t"] = data
+        state.store(address + 1, data)
+        self._post_modify(state, operand)
+
+    @semantics("B", branch=True)
+    def _exec_b(self, state: MachineState, instr: AsmInstr) -> str:
+        return instr.operands[0].name
+
+    @semantics("BANZ", branch=True)
+    def _exec_banz(self, state: MachineState,
+                   instr: AsmInstr) -> Optional[str]:
+        regs = state.regs
+        label = instr.operands[0]
+        areg = instr.operands[1].name
+        taken = regs[areg] != 0
+        regs[areg] = _wrap16(regs[areg] - 1)
+        if taken:
+            return label.name
         return None
+
+    @semantics("MAR")
+    def _exec_mar(self, state: MachineState, instr: AsmInstr) -> None:
+        self._post_modify(state, instr.operands[0])
+
+    @semantics("NOP")
+    def _exec_nop(self, state: MachineState, instr: AsmInstr) -> None:
+        pass
 
     def _pmem_value(self, state: MachineState, table: str,
                     index: int) -> int:
@@ -585,6 +712,406 @@ class TC25(TargetModel):
             raise SimulationError(
                 f"MAC read past end of table {table!r} (index {index})")
         return values[index]
+
+    # ------------------------------------------------------------------
+    # Fast-simulator decode hooks and binders
+    # ------------------------------------------------------------------
+    #
+    # RPTK is the *only* writer of the repeat counter and its count is an
+    # immediate, so the decoder fuses ``RPTK n ; X`` into one step that
+    # runs X's bound closure n+1 times -- cycles and step budget are
+    # static.  The per-dispatch ``mac_idx`` reset the reference
+    # interpreter performs in :meth:`repeat_count` only matters to
+    # MAC/MACD (the sole readers), hence :meth:`pre_dispatch`.
+
+    def static_repeat(self, instr: AsmInstr) -> Optional[int]:
+        if instr.opcode == "RPTK":
+            return instr.operands[0].value + 1
+        return None
+
+    def pre_dispatch(self, instr: AsmInstr):
+        if instr.opcode in ("MAC", "MACD"):
+            def reset(state: MachineState) -> None:
+                state.regs["mac_idx"] = 0
+            return reset
+        return None
+
+    # -- operand specializers ------------------------------------------
+
+    def _bind_mem_address(self, operand: Mem):
+        """addr(state) -> effective address, no post-modify."""
+        if operand.mode == "direct":
+            address = operand.address
+            return lambda state: address
+        if operand.mode == "indirect":
+            areg = operand.areg
+            return lambda state: state.reg(areg)
+
+        def unresolved(state: MachineState) -> int:
+            raise SimulationError(
+                f"unresolved memory operand {operand} "
+                "(run address assignment)")
+        return unresolved
+
+    def _bind_mem_read(self, operand: Mem):
+        """read(state) -> value, post-modify applied (ref: _read_mem)."""
+        if operand.mode == "direct":
+            address = operand.address
+            return lambda state: state.load(address)
+        if operand.mode == "indirect":
+            areg = operand.areg
+            bump = operand.post_modify
+            if bump:
+                def read(state: MachineState) -> int:
+                    address = state.reg(areg)
+                    value = state.load(address)
+                    state.regs[areg] = address + bump
+                    return value
+                return read
+            return lambda state: state.load(state.reg(areg))
+
+        def unresolved(state: MachineState) -> int:
+            raise SimulationError(
+                f"unresolved memory operand {operand} "
+                "(run address assignment)")
+        return unresolved
+
+    def _bind_mem_write(self, operand: Mem):
+        """write(state, value), 16-bit wrap + post-modify (_write_mem)."""
+        if operand.mode == "direct":
+            address = operand.address
+
+            def write(state: MachineState, value: int) -> None:
+                state.store(address, _wrap16(value))
+            return write
+        if operand.mode == "indirect":
+            areg = operand.areg
+            bump = operand.post_modify
+            if bump:
+                def write(state: MachineState, value: int) -> None:
+                    address = state.reg(areg)
+                    state.store(address, _wrap16(value))
+                    state.regs[areg] = address + bump
+                return write
+
+            def write(state: MachineState, value: int) -> None:
+                state.store(state.reg(areg), _wrap16(value))
+            return write
+
+        def unresolved(state: MachineState, value: int) -> None:
+            raise SimulationError(
+                f"unresolved memory operand {operand} "
+                "(run address assignment)")
+        return unresolved
+
+    # -- instruction binders -------------------------------------------
+
+    @binder("ZAC")
+    def _bind_zac(self, instr: AsmInstr):
+        def step(state: MachineState) -> None:
+            state.regs["acc"] = 0
+        return step
+
+    @binder("LACK", "LALK")
+    def _bind_load_imm(self, instr: AsmInstr):
+        value = instr.operands[0].value
+
+        def step(state: MachineState) -> None:
+            state.regs["acc"] = value
+        return step
+
+    @binder("LAC")
+    def _bind_lac(self, instr: AsmInstr):
+        read = self._bind_mem_read(instr.operands[0])
+
+        def step(state: MachineState) -> None:
+            state.regs["acc"] = read(state)
+        return step
+
+    @binder("LACS")
+    def _bind_lacs(self, instr: AsmInstr):
+        read = self._bind_mem_read(instr.operands[0])
+        shift = instr.operands[1].value
+
+        def step(state: MachineState) -> None:
+            state.regs["acc"] = _wrap32(read(state) << shift)
+        return step
+
+    @binder("ADD", "SUB")
+    def _bind_add_sub(self, instr: AsmInstr):
+        read = self._bind_mem_read(instr.operands[0])
+        if instr.opcode == "ADD":
+            def step(state: MachineState) -> None:
+                regs = state.regs
+                regs["acc"] = _wrap32(regs["acc"] + read(state))
+        else:
+            def step(state: MachineState) -> None:
+                regs = state.regs
+                regs["acc"] = _wrap32(regs["acc"] - read(state))
+        return step
+
+    @binder("ADDK", "ADLK", "SUBK", "SBLK")
+    def _bind_add_sub_imm(self, instr: AsmInstr):
+        value = instr.operands[0].value
+        if instr.opcode in ("SUBK", "SBLK"):
+            value = -value
+
+        def step(state: MachineState) -> None:
+            regs = state.regs
+            regs["acc"] = _wrap32(regs["acc"] + value)
+        return step
+
+    @binder("SACL", "SACH")
+    def _bind_store_acc(self, instr: AsmInstr):
+        write = self._bind_mem_write(instr.operands[0])
+        if instr.opcode == "SACL":
+            def step(state: MachineState) -> None:
+                write(state, state.regs["acc"])
+        else:
+            def step(state: MachineState) -> None:
+                write(state, state.regs["acc"] >> 16)
+        return step
+
+    @binder("ZALH")
+    def _bind_zalh(self, instr: AsmInstr):
+        read = self._bind_mem_read(instr.operands[0])
+
+        def step(state: MachineState) -> None:
+            state.regs["acc"] = _wrap32(read(state) << 16)
+        return step
+
+    @binder("ADDS")
+    def _bind_adds(self, instr: AsmInstr):
+        read = self._bind_mem_read(instr.operands[0])
+
+        def step(state: MachineState) -> None:
+            regs = state.regs
+            regs["acc"] = _wrap32(regs["acc"] + (read(state) & 0xFFFF))
+        return step
+
+    @binder("SFL", "SFR")
+    def _bind_shift(self, instr: AsmInstr):
+        if instr.opcode == "SFL":
+            def step(state: MachineState) -> None:
+                regs = state.regs
+                regs["acc"] = _wrap32(regs["acc"] << 1)
+        else:
+            def step(state: MachineState) -> None:
+                state.regs["acc"] >>= 1
+        return step
+
+    @binder("DMOV")
+    def _bind_dmov(self, instr: AsmInstr):
+        operand = instr.operands[0]
+        addr = self._bind_mem_address(operand)
+        bump = (operand.post_modify
+                if operand.mode == "indirect" else 0)
+        areg = operand.areg
+
+        def step(state: MachineState) -> None:
+            address = addr(state)
+            state.store(address + 1, state.load(address))
+            if bump:
+                state.regs[areg] = address + bump
+        return step
+
+    @binder("LT")
+    def _bind_lt(self, instr: AsmInstr):
+        read = self._bind_mem_read(instr.operands[0])
+
+        def step(state: MachineState) -> None:
+            state.regs["t"] = read(state)
+        return step
+
+    @binder("MPY")
+    def _bind_mpy(self, instr: AsmInstr):
+        read = self._bind_mem_read(instr.operands[0])
+
+        def step(state: MachineState) -> None:
+            regs = state.regs
+            regs["p"] = _wrap32(regs["t"] * read(state))
+        return step
+
+    @binder("MPYK")
+    def _bind_mpyk(self, instr: AsmInstr):
+        value = instr.operands[0].value
+
+        def step(state: MachineState) -> None:
+            regs = state.regs
+            regs["p"] = _wrap32(regs["t"] * value)
+        return step
+
+    @binder("PAC", "APAC", "SPAC")
+    def _bind_p_transfer(self, instr: AsmInstr):
+        op = instr.opcode
+        if op == "PAC":
+            def step(state: MachineState) -> None:
+                regs = state.regs
+                regs["acc"] = regs["p"] >> state.modes.get("pm", 0)
+        elif op == "APAC":
+            def step(state: MachineState) -> None:
+                regs = state.regs
+                regs["acc"] = _wrap32(
+                    regs["acc"]
+                    + (regs["p"] >> state.modes.get("pm", 0)))
+        else:
+            def step(state: MachineState) -> None:
+                regs = state.regs
+                regs["acc"] = _wrap32(
+                    regs["acc"]
+                    - (regs["p"] >> state.modes.get("pm", 0)))
+        return step
+
+    @binder("LTA", "LTS", "LTP")
+    def _bind_lt_combo(self, instr: AsmInstr):
+        read = self._bind_mem_read(instr.operands[0])
+        op = instr.opcode
+        if op == "LTA":
+            def step(state: MachineState) -> None:
+                regs = state.regs
+                regs["acc"] = _wrap32(
+                    regs["acc"]
+                    + (regs["p"] >> state.modes.get("pm", 0)))
+                regs["t"] = read(state)
+        elif op == "LTS":
+            def step(state: MachineState) -> None:
+                regs = state.regs
+                regs["acc"] = _wrap32(
+                    regs["acc"]
+                    - (regs["p"] >> state.modes.get("pm", 0)))
+                regs["t"] = read(state)
+        else:
+            def step(state: MachineState) -> None:
+                regs = state.regs
+                regs["acc"] = regs["p"] >> state.modes.get("pm", 0)
+                regs["t"] = read(state)
+        return step
+
+    @binder("LTD")
+    def _bind_ltd(self, instr: AsmInstr):
+        operand = instr.operands[0]
+        addr = self._bind_mem_address(operand)
+        bump = (operand.post_modify
+                if operand.mode == "indirect" else 0)
+        areg = operand.areg
+
+        def step(state: MachineState) -> None:
+            regs = state.regs
+            regs["acc"] = _wrap32(
+                regs["acc"] + (regs["p"] >> state.modes.get("pm", 0)))
+            address = addr(state)
+            data = state.load(address)
+            regs["t"] = data
+            state.store(address + 1, data)
+            if bump:
+                regs[areg] = address + bump
+        return step
+
+    @binder("MAC", "MACD")
+    def _bind_mac(self, instr: AsmInstr):
+        table = instr.operands[0].name
+        operand = instr.operands[1]
+        addr = self._bind_mem_address(operand)
+        bump = (operand.post_modify
+                if operand.mode == "indirect" else 0)
+        areg = operand.areg
+        shift_delay = instr.opcode == "MACD"
+
+        def step(state: MachineState) -> None:
+            regs = state.regs
+            address = addr(state)
+            data = state.load(address)
+            if shift_delay:
+                state.store(address + 1, data)
+            if bump:
+                regs[areg] = address + bump
+            values = state.pmem_tables.get(table)
+            if values is None:
+                raise SimulationError(
+                    f"program-memory table {table!r} not loaded")
+            index = regs["mac_idx"]
+            if not 0 <= index < len(values):
+                raise SimulationError(
+                    f"MAC read past end of table {table!r} "
+                    f"(index {index})")
+            regs["mac_idx"] = index + 1
+            regs["acc"] = _wrap32(
+                regs["acc"] + (regs["p"] >> state.modes.get("pm", 0)))
+            regs["p"] = _wrap32(values[index] * data)
+        return step
+
+    @binder("SPM")
+    def _bind_spm(self, instr: AsmInstr):
+        value = instr.operands[0].value
+
+        def step(state: MachineState) -> None:
+            state.modes["pm"] = value
+        return step
+
+    @binder("LARK", "LRLK")
+    def _bind_load_ar(self, instr: AsmInstr):
+        name = instr.operands[0].name
+        value = instr.operands[1].value
+
+        def step(state: MachineState) -> None:
+            state.regs[name] = value
+        return step
+
+    @binder("LAR")
+    def _bind_lar(self, instr: AsmInstr):
+        name = instr.operands[0].name
+        read = self._bind_mem_read(instr.operands[1])
+
+        def step(state: MachineState) -> None:
+            state.regs[name] = read(state)
+        return step
+
+    @binder("SAR")
+    def _bind_sar(self, instr: AsmInstr):
+        name = instr.operands[0].name
+        write = self._bind_mem_write(instr.operands[1])
+
+        def step(state: MachineState) -> None:
+            write(state, state.regs[name])
+        return step
+
+    @binder("MAR")
+    def _bind_mar(self, instr: AsmInstr):
+        operand = instr.operands[0]
+        if operand.mode == "indirect" and operand.post_modify:
+            areg = operand.areg
+            bump = operand.post_modify
+
+            def step(state: MachineState) -> None:
+                state.regs[areg] = state.reg(areg) + bump
+            return step
+
+        def step(state: MachineState) -> None:
+            pass
+        return step
+
+    @binder("B")
+    def _bind_b(self, instr: AsmInstr):
+        label = instr.operands[0].name
+        return lambda state: label
+
+    @binder("BANZ")
+    def _bind_banz(self, instr: AsmInstr):
+        label = instr.operands[0].name
+        areg = instr.operands[1].name
+
+        def step(state: MachineState) -> Optional[str]:
+            regs = state.regs
+            value = regs[areg]
+            regs[areg] = _wrap16(value - 1)
+            if value != 0:
+                return label
+            return None
+        return step
+
+    @binder("NOP")
+    def _bind_nop(self, instr: AsmInstr):
+        return lambda state: None
 
     # ------------------------------------------------------------------
     # Loop realization

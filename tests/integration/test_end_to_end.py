@@ -12,7 +12,7 @@ from repro.baseline.compiler import BaselineCompiler
 from repro.codegen.pipeline import RecordCompiler
 from repro.dspstone import all_kernels, hand_reference, kernel
 from repro.ir.fixedpoint import FixedPointContext
-from repro.sim.harness import run_compiled
+from repro.sim.harness import run_compiled, run_many
 from repro.targets.m56 import M56
 from repro.targets.risc import Risc16
 from repro.targets.tc25 import TC25
@@ -31,58 +31,55 @@ def reference_environment(spec, seed):
     return env
 
 
-def check_compiled(spec, compiled, seed):
-    reference = reference_environment(spec, seed)
-    outputs, _state = run_compiled(compiled, spec.inputs(seed=seed))
-    for symbol in spec.program.symbols.values():
-        if symbol.role in ("output", "state"):
-            assert outputs[symbol.name] == reference[symbol.name], \
-                (spec.name, compiled.compiler, compiled.target.name,
-                 symbol.name, seed)
-        # delay lines / persistent locals must also match
-        if symbol.role == "local" and symbol.is_array:
-            assert outputs[symbol.name] == reference[symbol.name], \
-                (spec.name, compiled.compiler, symbol.name)
+def check_compiled(spec, compiled, seeds=SEEDS):
+    """Batch all seeds through run_many (one decode, N validation runs)."""
+    results = run_many(compiled, [spec.inputs(seed=seed) for seed in seeds])
+    for seed, (outputs, _state) in zip(seeds, results):
+        reference = reference_environment(spec, seed)
+        for symbol in spec.program.symbols.values():
+            if symbol.role in ("output", "state"):
+                assert outputs[symbol.name] == reference[symbol.name], \
+                    (spec.name, compiled.compiler, compiled.target.name,
+                     symbol.name, seed)
+            # delay lines / persistent locals must also match
+            if symbol.role == "local" and symbol.is_array:
+                assert outputs[symbol.name] == reference[symbol.name], \
+                    (spec.name, compiled.compiler, symbol.name)
 
 
 @pytest.mark.parametrize("name", KERNELS)
 def test_record_tc25(name):
     spec = kernel(name)
     compiled = RecordCompiler(TC25()).compile(spec.program)
-    for seed in SEEDS:
-        check_compiled(spec, compiled, seed)
+    check_compiled(spec, compiled)
 
 
 @pytest.mark.parametrize("name", KERNELS)
 def test_baseline_tc25(name):
     spec = kernel(name)
     compiled = BaselineCompiler(TC25()).compile(spec.program)
-    for seed in SEEDS:
-        check_compiled(spec, compiled, seed)
+    check_compiled(spec, compiled)
 
 
 @pytest.mark.parametrize("name", KERNELS)
 def test_hand_reference_tc25(name):
     spec = kernel(name)
     compiled = hand_reference(name)
-    for seed in SEEDS:
-        check_compiled(spec, compiled, seed)
+    check_compiled(spec, compiled)
 
 
 @pytest.mark.parametrize("name", KERNELS)
 def test_record_m56(name):
     spec = kernel(name)
     compiled = RecordCompiler(M56()).compile(spec.program)
-    for seed in SEEDS:
-        check_compiled(spec, compiled, seed)
+    check_compiled(spec, compiled)
 
 
 @pytest.mark.parametrize("name", KERNELS)
 def test_record_risc16(name):
     spec = kernel(name)
     compiled = RecordCompiler(Risc16()).compile(spec.program)
-    for seed in SEEDS:
-        check_compiled(spec, compiled, seed)
+    check_compiled(spec, compiled)
 
 
 @pytest.mark.parametrize("name", KERNELS)

@@ -1,0 +1,152 @@
+"""Unit tests for the translation-caching decoder."""
+
+import pytest
+
+from repro.codegen.asm import (
+    AsmInstr, CodeSeq, Imm, Label, LabelRef, LoopBegin, Mem, Reg,
+)
+from repro.sim.decode import (
+    DecodeFallback, clear_decode_cache, decode, decode_cache_stats,
+    decode_cached,
+)
+from repro.sim.machine import SimulationError
+from repro.targets.risc import Risc16
+from repro.targets.tc25 import TC25
+
+
+def ins(name, *operands):
+    return AsmInstr(opcode=name, operands=tuple(operands))
+
+
+def direct(address):
+    return Mem(symbol=f"@{address}", mode="direct", address=address)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_decode_cache()
+    yield
+    clear_decode_cache()
+
+
+def test_semantics_registry_feeds_dispatch_table():
+    target = TC25()
+    table = target.dispatch_table()
+    assert "LAC" in table and "SACL" in table and "BANZ" in table
+    assert "B" in target._BRANCH_OPCODES
+    assert "BANZ" in target._BRANCH_OPCODES
+    assert "LAC" not in target._BRANCH_OPCODES
+
+
+def test_straightline_code_is_one_block():
+    code = CodeSeq([ins("ZAC"), ins("ADDK", Imm(5)),
+                    ins("SACL", direct(0))])
+    decoded = decode(TC25(), code)
+    # one real block plus the empty terminal block
+    assert len(decoded.blocks) == 2
+    block = decoded.blocks[0]
+    assert len(block.body) == 3
+    assert block.branch is None
+    assert block.cycles == 3 and block.steps == 3
+
+
+def test_labels_and_branches_split_blocks():
+    code = CodeSeq([
+        ins("ZAC"),
+        Label("L"),
+        ins("ADDK", Imm(1)),
+        AsmInstr(opcode="BANZ",
+                 operands=(LabelRef("L"), Reg("AR7")), cycles=2),
+        ins("SACL", direct(0)),
+    ])
+    decoded = decode(TC25(), code)
+    # blocks: [ZAC], [ADDK + BANZ branch], [SACL], terminal
+    assert len(decoded.blocks) == 4
+    assert decoded.labels["L"] == 1
+    assert decoded.blocks[1].branch is not None
+    assert decoded.blocks[1].steps == 2
+
+
+def test_rptk_fuses_with_static_cycles():
+    code = CodeSeq([ins("RPTK", Imm(3)), ins("ADDK", Imm(2))])
+    decoded = decode(TC25(), code)
+    block = decoded.blocks[0]
+    assert len(block.body) == 1          # the fused pair is one step
+    assert block.steps == 5              # 1 armer + 4 iterations
+    assert block.cycles == 1 + 4 * 1
+
+
+def test_rptk_as_last_instruction_falls_back():
+    code = CodeSeq([ins("ZAC"), ins("RPTK", Imm(3))])
+    with pytest.raises(DecodeFallback):
+        decode(TC25(), code)
+    assert decode_cached(TC25(), code) is None
+
+
+def test_rptk_of_branch_falls_back():
+    code = CodeSeq([Label("L"), ins("RPTK", Imm(3)),
+                    ins("B", LabelRef("L"))])
+    with pytest.raises(DecodeFallback):
+        decode(TC25(), code)
+
+
+def test_label_at_end_resolves_to_terminal_block():
+    code = CodeSeq([ins("B", LabelRef("done")), Label("done")])
+    decoded = decode(TC25(), code)
+    terminal = decoded.labels["done"]
+    assert decoded.blocks[terminal].body == ()
+    assert decoded.blocks[terminal].next is None
+
+
+def test_malformed_code_raises_simulation_error():
+    with pytest.raises(SimulationError):
+        decode(TC25(), CodeSeq([Label("L"), Label("L")]))
+    with pytest.raises(SimulationError):
+        decode(TC25(), CodeSeq([LoopBegin(count=2, loop_id=0)]))
+
+
+def test_cache_returns_same_object_per_target_and_code():
+    target = TC25()
+    code = CodeSeq([ins("ZAC")])
+    first = decode_cached(target, code)
+    second = decode_cached(target, code)
+    assert first is second
+    stats = decode_cache_stats()
+    assert stats["hits"] == 1 and stats["misses"] == 1
+
+
+def test_cache_is_keyed_on_target_instance():
+    code = CodeSeq([ins("ZAC")])
+    first = decode_cached(TC25(), code)
+    second = decode_cached(TC25(), code)
+    assert first is not second
+    assert decode_cache_stats()["misses"] == 2
+
+
+def test_cache_caches_fallback_verdicts():
+    target = TC25()
+    code = CodeSeq([ins("RPTK", Imm(3))])
+    assert decode_cached(target, code) is None
+    assert decode_cached(target, code) is None
+    stats = decode_cache_stats()
+    assert stats["fallbacks"] == 1       # decoded once, verdict cached
+    assert stats["hits"] == 1
+
+
+def test_clear_decode_cache_resets_stats():
+    target = TC25()
+    code = CodeSeq([ins("ZAC")])
+    decode_cached(target, code)
+    clear_decode_cache()
+    assert decode_cache_stats() == {"hits": 0, "misses": 0,
+                                    "fallbacks": 0}
+    decode_cached(target, code)
+    assert decode_cache_stats()["misses"] == 1
+
+
+def test_risc_registry_decodes_too():
+    target = Risc16()
+    code = CodeSeq([ins("LI", Reg("r1"), Imm(7)),
+                    ins("SW", Reg("r1"), direct(0))])
+    decoded = decode(target, code)
+    assert len(decoded.blocks[0].body) == 2

@@ -1,0 +1,204 @@
+"""Edge-case tests exercised against BOTH simulators.
+
+Every behaviour here is asserted for the reference ``Machine`` and the
+translation-caching ``FastMachine``: the fast path is only fast, never
+different.
+"""
+
+import pytest
+
+from repro.codegen.asm import (
+    AsmInstr, CodeSeq, Imm, Label, LabelRef, LoopBegin, Mem, Reg,
+)
+from repro.sim.decode import clear_decode_cache
+from repro.sim.fastmachine import FastMachine
+from repro.sim.machine import Machine, SimulationError
+from repro.sim.trace import Trace
+from repro.targets.m56 import M56
+from repro.targets.tc25 import TC25
+
+BOTH = pytest.mark.parametrize("machine_class", [Machine, FastMachine],
+                               ids=["reference", "fast"])
+
+
+def ins(name, *operands, **kwargs):
+    return AsmInstr(opcode=name, operands=tuple(operands), **kwargs)
+
+
+def direct(address):
+    return Mem(symbol=f"@{address}", mode="direct", address=address)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_decode_cache()
+    yield
+    clear_decode_cache()
+
+
+@BOTH
+def test_sequential_execution_and_cycles(machine_class):
+    code = CodeSeq([ins("ZAC"), ins("ADDK", Imm(5)),
+                    ins("SACL", direct(0))])
+    state = machine_class(TC25()).run(code)
+    assert state.mem[0] == 5
+    assert state.cycles == 3
+
+
+@BOTH
+def test_branch_loop(machine_class):
+    code = CodeSeq([
+        ins("ZAC"),
+        ins("LARK", Reg("AR7"), Imm(2)),
+        Label("L"),
+        ins("ADDK", Imm(1)),
+        ins("BANZ", LabelRef("L"), Reg("AR7"), cycles=2),
+        ins("SACL", direct(0)),
+    ])
+    state = machine_class(TC25()).run(code)
+    assert state.mem[0] == 3
+
+
+@BOTH
+def test_nested_m56_do_loops(machine_class):
+    code = CodeSeq([
+        ins("CLR"),
+        ins("DO", Imm(2), words=2, cycles=2),
+        Label("D0"),
+        ins("DO", Imm(3), words=2, cycles=2),
+        Label("D1"),
+        ins("ADD", Imm(1)),
+        ins("LOOPEND", LabelRef("D1"), words=0, cycles=0),
+        ins("ADD", Imm(10)),
+        ins("LOOPEND", LabelRef("D0"), words=0, cycles=0),
+        ins("MOVE", direct(0), Reg("a")),
+    ])
+    state = machine_class(M56()).run(code)
+    assert state.mem[0] == 2 * (3 * 1 + 10)
+    assert state.loop_stack == []
+
+
+@BOTH
+def test_repeat_count_zero_runs_body_once(machine_class):
+    # RPTK n repeats the next instruction n+1 times; n == 0 is one run.
+    code = CodeSeq([ins("ZAC"), ins("RPTK", Imm(0)),
+                    ins("ADDK", Imm(2)), ins("SACL", direct(0))])
+    state = machine_class(TC25()).run(code)
+    assert state.mem[0] == 2
+
+
+@BOTH
+def test_repeat_cycles_match(machine_class):
+    code = CodeSeq([ins("RPTK", Imm(3)), ins("ADDK", Imm(2)),
+                    ins("SACL", direct(0))])
+    state = machine_class(TC25()).run(code)
+    assert state.mem[0] == 8
+    assert state.cycles == 1 + 4 + 1     # armer + 4 repeats + store
+
+
+@BOTH
+def test_branch_to_self_trips_runaway_guard(machine_class):
+    code = CodeSeq([Label("L"), ins("B", LabelRef("L"), cycles=2)])
+    with pytest.raises(SimulationError) as excinfo:
+        machine_class(TC25(), max_steps=100).run(code)
+    assert "runaway" in str(excinfo.value)
+
+
+@BOTH
+def test_huge_hardware_repeat_counts_against_budget(machine_class):
+    # Regression: a single instruction with a huge repeat count must
+    # trip max_steps, not bypass the guard by counting as one step.
+    code = CodeSeq([ins("RPTK", Imm(50_000)), ins("ADDK", Imm(1))])
+    with pytest.raises(SimulationError) as excinfo:
+        machine_class(TC25(), max_steps=100).run(code)
+    assert "runaway" in str(excinfo.value)
+
+
+@BOTH
+def test_branch_to_unknown_label(machine_class):
+    code = CodeSeq([ins("B", LabelRef("nowhere"), cycles=2)])
+    with pytest.raises(SimulationError) as excinfo:
+        machine_class(TC25()).run(code)
+    assert "unknown label" in str(excinfo.value)
+
+
+@BOTH
+def test_unfinalized_item_rejected(machine_class):
+    code = CodeSeq([LoopBegin(count=2, loop_id=0)])
+    with pytest.raises(SimulationError) as excinfo:
+        machine_class(TC25()).run(code)
+    assert "unfinalized" in str(excinfo.value)
+
+
+@BOTH
+def test_out_of_range_address(machine_class):
+    code = CodeSeq([ins("ZAC"), ins("SACL", direct(5000))])
+    with pytest.raises(SimulationError) as excinfo:
+        machine_class(TC25()).run(code)
+    assert "out of range" in str(excinfo.value)
+
+
+@BOTH
+def test_unknown_opcode_raises_when_executed(machine_class):
+    code = CodeSeq([ins("XYZZY")])
+    with pytest.raises(SimulationError) as excinfo:
+        machine_class(TC25()).run(code)
+    assert "unknown opcode" in str(excinfo.value)
+
+
+@BOTH
+def test_unknown_opcode_behind_taken_branch_is_harmless(machine_class):
+    # The reference interpreter only faults on opcodes it executes; the
+    # fast simulator defers its decode error to run time to match.
+    code = CodeSeq([ins("ZAC"), ins("ADDK", Imm(7)),
+                    ins("B", LabelRef("done"), cycles=2),
+                    ins("XYZZY"),
+                    Label("done"), ins("SACL", direct(0))])
+    state = machine_class(TC25()).run(code)
+    assert state.mem[0] == 7
+
+
+def test_fastmachine_trace_falls_back_to_reference():
+    code = CodeSeq([ins("ZAC"), ins("ADDK", Imm(1))])
+    reference_trace, fast_trace = Trace(limit=10), Trace(limit=10)
+    ref_state = Machine(TC25()).run(code, trace=reference_trace)
+    fast_state = FastMachine(TC25()).run(code, trace=fast_trace)
+    assert len(fast_trace) == 2
+    assert fast_trace.render() == reference_trace.render()
+    assert fast_state.cycles == ref_state.cycles
+
+
+def test_traced_run_renders_each_instruction_once(monkeypatch):
+    calls = []
+    original = AsmInstr.render
+
+    def counting(self):
+        calls.append(self.opcode)
+        return original(self)
+
+    monkeypatch.setattr(AsmInstr, "render", counting)
+    code = CodeSeq([ins("RPTK", Imm(4)), ins("ADDK", Imm(1))])
+    Machine(TC25()).run(code, trace=Trace(limit=100))
+    # 5 trace entries for the repeated ADDK, but only one render of it
+    assert calls.count("ADDK") == 1
+
+
+def test_fastmachine_matches_reference_state_exactly():
+    code = CodeSeq([
+        ins("ZAC"),
+        ins("LARK", Reg("AR3"), Imm(4)),
+        Label("L"),
+        ins("ADDK", Imm(3)),
+        ins("BANZ", LabelRef("L"), Reg("AR3"), cycles=2),
+        ins("SACL", direct(1)),
+    ])
+    ref_state = Machine(TC25()).run(code)
+    fast_state = FastMachine(TC25()).run(code)
+    assert ref_state.mem == fast_state.mem
+    assert ref_state.cycles == fast_state.cycles
+    assert ref_state.modes == fast_state.modes
+    scratch = {"mac_idx", "rptc"}
+    assert {k: v for k, v in ref_state.regs.items()
+            if k not in scratch} \
+        == {k: v for k, v in fast_state.regs.items()
+            if k not in scratch}

@@ -6,6 +6,7 @@ from repro.codegen.pipeline import RecordCompiler
 from repro.dfl import compile_dfl
 from repro.sim.harness import (
     cycles_of, load_environment, read_environment, run_compiled,
+    run_many,
 )
 from repro.targets.tc25 import TC25
 
@@ -63,6 +64,34 @@ def test_state_persists_across_invocations(compiled):
 def test_cycles_of(compiled):
     assert cycles_of(compiled, {"x": 1, "v": [1, 2, 3]}) == \
         cycles_of(compiled, {"x": 5, "v": [4, 5, 6]})
+
+
+def test_fast_sim_opt_out_is_identical(compiled):
+    env = {"x": 7, "v": [4, 5, 6]}
+    fast_outputs, fast_state = run_compiled(compiled, env)
+    ref_outputs, ref_state = run_compiled(compiled, env,
+                                          fast_sim=False)
+    assert fast_outputs == ref_outputs
+    assert fast_state.cycles == ref_state.cycles
+    assert cycles_of(compiled, env) == cycles_of(compiled, env,
+                                                 fast_sim=False)
+
+
+def test_run_many_matches_individual_runs(compiled):
+    envs = [{"x": k, "v": [k, k + 1, k + 2]} for k in range(5)]
+    batched = run_many(compiled, envs)
+    assert len(batched) == len(envs)
+    for env, (outputs, state) in zip(envs, batched):
+        expected_outputs, expected_state = run_compiled(compiled, env)
+        assert outputs == expected_outputs
+        assert state.cycles == expected_state.cycles
+
+
+def test_run_many_reference_mode(compiled):
+    envs = [{"x": 1, "v": [1, 2, 3]}, {"x": 2, "v": [4, 5, 6]}]
+    assert [outputs for outputs, _ in run_many(compiled, envs)] \
+        == [outputs for outputs, _ in run_many(compiled, envs,
+                                               fast_sim=False)]
 
 
 def test_missing_table_input_rejected():
