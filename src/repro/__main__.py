@@ -10,6 +10,8 @@ Commands:
 - ``table1``                    -- regenerate the paper's Table 1
 - ``cube``                      -- the Fig. 1 processor cube
 - ``selftest``                  -- Sec. 4.5 fault-coverage run
+- ``verify``                    -- differential conformance fuzzing
+                                  (forwards to ``python -m repro.verify``)
 """
 
 from __future__ import annotations
@@ -134,6 +136,13 @@ def cmd_selftest(args) -> int:
 
 def main(argv=None) -> int:
     """CLI entry point; returns a process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    # ``verify`` owns its whole argument tail (argparse subparsers
+    # cannot pass through unknown options); forward it verbatim.
+    if argv and argv[0] == "verify":
+        from repro.verify.__main__ import main as verify_main
+        return verify_main(list(argv[1:]))
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Retargetable code generation for embedded core "
@@ -172,6 +181,10 @@ def main(argv=None) -> int:
         "selftest", help="Sec. 4.5 fault-coverage run")
     _add_target_option(selftest_parser)
     selftest_parser.add_argument("--programs", type=int, default=12)
+
+    commands.add_parser(
+        "verify", help="differential conformance fuzzing "
+                       "(see python -m repro.verify --help)")
 
     args = parser.parse_args(argv)
     handler = {

@@ -18,7 +18,6 @@ not have -- see DESIGN.md, restrictions.
 
 from __future__ import annotations
 
-import random
 from typing import Dict, List
 
 from repro.dspstone.kernels import KernelSpec, _ints, _q15

@@ -71,6 +71,15 @@ def selftest_section() -> str:
                     bench.report(bench.sweep()))
 
 
+def conformance_section(count: int = 20, seed: int = 0) -> str:
+    """Differential conformance: generated programs x the full
+    {compiler} x {target} x {simulator} matrix vs. the IR oracle."""
+    from repro.verify.diff import run_conformance
+    report = run_conformance(count=count, seed=seed)
+    return _section("Conformance — differential matrix vs. IR oracle",
+                    report.summary())
+
+
 def full_report() -> str:
     """All sections concatenated (markdown)."""
     sections: List[str] = [
@@ -81,5 +90,6 @@ def full_report() -> str:
         retarget_section(),
         cube_section(),
         selftest_section(),
+        conformance_section(),
     ]
     return "\n".join(sections)

@@ -25,8 +25,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.codegen.asm import AsmInstr
 from repro.codegen.compiled import CompiledProgram
 from repro.codegen.pipeline import RecordCompiler
-from repro.ir.dfg import DataFlowGraph
-from repro.ir.program import Block, Program, Symbol
+from repro.ir.program import Program
 from repro.sim.harness import run_many
 from repro.sim.machine import MachineState
 
@@ -141,42 +140,20 @@ def fault_universe(target) -> List[Fault]:
 # Test-program generation
 # ----------------------------------------------------------------------
 
-_OPERATORS = ["add", "sub", "mul", "and", "or", "xor", "neg", "abs",
-              "shl", "shr"]
-
-
 def _random_program(rng: random.Random, index: int,
                     variables: int = 4,
                     statements: int = 4,
                     depth: int = 3) -> Program:
-    """One random straight-line test program."""
-    program = Program(name=f"selftest{index}")
-    input_names = [f"i{k}" for k in range(variables)]
-    for name in input_names:
-        program.declare(Symbol(name=name, role="input"))
-    output_names = [f"o{k}" for k in range(statements)]
-    for name in output_names:
-        program.declare(Symbol(name=name, role="output"))
-    dfg = DataFlowGraph()
+    """One random straight-line test program.
 
-    def expression(levels: int) -> int:
-        if levels <= 0 or rng.random() < 0.3:
-            if rng.random() < 0.25:
-                return dfg.const(rng.randint(0, 255))
-            return dfg.ref(rng.choice(input_names))
-        operator = rng.choice(_OPERATORS)
-        if operator in ("neg", "abs"):
-            return dfg.compute(operator, expression(levels - 1))
-        if operator in ("shl", "shr"):
-            return dfg.compute(operator, expression(levels - 1),
-                               dfg.const(rng.randint(1, 4)))
-        return dfg.compute(operator, expression(levels - 1),
-                           expression(levels - 1))
-
-    for name in output_names:
-        dfg.write(name, expression(depth))
-    program.body = [Block(dfg=dfg)]
-    return program
+    The grammar itself lives in :mod:`repro.verify.progen` (the
+    conformance fuzzer generalizes it with loops, arrays and saturating
+    stores); the straight-line subset used here replays the historical
+    rng sequence, so recorded seeds keep their programs.
+    """
+    from repro.verify.progen import straight_line_program
+    return straight_line_program(rng, index, variables=variables,
+                                 statements=statements, depth=depth)
 
 
 @dataclass
@@ -220,15 +197,10 @@ class SelfTestReport:
 def _signature(compiled: CompiledProgram,
                inputs: Dict[str, int],
                target=None) -> Optional[Tuple[int, ...]]:
-    use_target = target if target is not None else compiled.target
-    wrapped = CompiledProgram(
-        name=compiled.name, target=use_target, code=compiled.code,
-        memory_map=compiled.memory_map, symbols=compiled.symbols,
-        pmem_tables=compiled.pmem_tables, compiler=compiled.compiler)
     try:
         # run_many keeps the decoded form cached per (target, code), so
         # repeating the corpus across the fault universe skips decode.
-        outputs, _state = run_many(wrapped, [inputs])[0]
+        outputs, _state = run_many(compiled, [inputs], target=target)[0]
     except Exception:
         return None       # a fault may crash the machine: detected
     return tuple(int(outputs[name])

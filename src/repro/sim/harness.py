@@ -89,20 +89,28 @@ def run_compiled(compiled: CompiledProgram,
 def run_many(compiled: CompiledProgram,
              envs: Iterable[Mapping[str, object]],
              max_steps: int = 2_000_000,
-             fast_sim: bool = True
+             fast_sim: bool = True,
+             target=None
              ) -> List[Tuple[Dict[str, object], MachineState]]:
     """Execute one compiled program over a batch of environments.
 
     Decodes (or reuses the cached decoded form of) the program once and
     runs every environment against it on a fresh machine state; this is
     the bulk-validation entry point for the self-test signature corpus,
-    Table 1 evaluation and DSPStone reference sweeps.
+    conformance checking, Table 1 evaluation and DSPStone reference
+    sweeps.
+
+    ``target`` substitutes a different execution model for the one the
+    program was compiled against -- a :class:`FaultySim` wrapper or any
+    other compatible :class:`TargetModel`.  The substitute is a distinct
+    decode-cache key, so faulty runs never pollute clean cached decodes.
     """
+    use_target = target if target is not None else compiled.target
     machine = (FastMachine if fast_sim else Machine)(
-        compiled.target, max_steps=max_steps)
+        use_target, max_steps=max_steps)
     results: List[Tuple[Dict[str, object], MachineState]] = []
     for env in envs:
-        state = compiled.target.initial_state()
+        state = use_target.initial_state()
         load_environment(compiled, env, state)
         machine.run(compiled.code, state)
         results.append((read_environment(compiled, state), state))

@@ -1,0 +1,51 @@
+"""Differential conformance checking.
+
+The paper's central claim is retargetable *correctness*: generated code
+must compute the same values as the source DFL program on every target
+(Sec. 4.3).  This package validates that claim mechanically, the way the
+instruction-selection survey literature recommends -- differential
+testing against an independent semantic oracle:
+
+- :mod:`repro.verify.oracle`   -- a pure big-step evaluator over the
+  lowered IR, independent of codegen and both simulators;
+- :mod:`repro.verify.progen`   -- a seeded, grammar-directed generator
+  of well-typed MiniDFL programs;
+- :mod:`repro.verify.diff`     -- runs generated programs through every
+  {compiler} x {target} x {simulator} cell and classifies mismatches;
+- :mod:`repro.verify.shrink`   -- delta-debugging minimizer that reduces
+  failing programs to small reproducers;
+- :mod:`repro.verify.corpus`   -- JSON (de)serialization of reproducers
+  checked into ``tests/corpus/``.
+
+``python -m repro.verify`` drives the whole loop from the command line.
+"""
+
+from repro.verify.corpus import (
+    CorpusEntry, load_corpus, program_from_spec, program_to_spec,
+)
+from repro.verify.diff import (
+    Cell, CellOutcome, ConformanceReport, MismatchClass, check_program,
+    run_conformance,
+)
+from repro.verify.oracle import Oracle, OracleError
+from repro.verify.progen import ProgenConfig, generate_inputs, generate_program
+from repro.verify.shrink import shrink_program
+
+__all__ = [
+    "Cell",
+    "CellOutcome",
+    "ConformanceReport",
+    "CorpusEntry",
+    "MismatchClass",
+    "Oracle",
+    "OracleError",
+    "ProgenConfig",
+    "check_program",
+    "generate_inputs",
+    "generate_program",
+    "load_corpus",
+    "program_from_spec",
+    "program_to_spec",
+    "run_conformance",
+    "shrink_program",
+]

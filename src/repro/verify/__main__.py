@@ -1,0 +1,191 @@
+"""Command-line conformance runner: ``python -m repro.verify``.
+
+Examples::
+
+    # 50 programs, full matrix, fail on any unexplained mismatch
+    python -m repro.verify --count 50 --seed 0
+
+    # quick smoke on two targets with a 30s budget + JSON artifact
+    python -m repro.verify --count 10 --budget 30 \\
+        --targets tc25,risc16 --json conformance.json
+
+    # prove the harness detects a seeded decoder fault, shrink the
+    # witness, and write the reproducer into tests/corpus/
+    python -m repro.verify --count 20 --inject-fault ADD:SUB \\
+        --write-corpus
+
+Exit status: 0 when the matrix is clean (or, under ``--inject-fault``,
+when the fault was detected); 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+from pathlib import Path
+
+from repro.selftest.generator import Fault
+from repro.verify.corpus import CorpusEntry, default_corpus_dir, \
+    program_to_spec
+from repro.verify.diff import (
+    DEFAULT_TARGETS, check_program, instruction_count, run_conformance,
+    still_fails,
+)
+from repro.verify.progen import ProgenConfig, generate_inputs, \
+    generate_program
+from repro.verify.shrink import shrink_program
+
+
+def _parse_targets(text: str):
+    names = tuple(name.strip() for name in text.split(",") if name.strip())
+    for name in names:
+        if name not in DEFAULT_TARGETS:
+            raise argparse.ArgumentTypeError(
+                f"unknown target {name!r}; choose from "
+                f"{', '.join(DEFAULT_TARGETS)}")
+    return names
+
+
+def _parse_fault(text: str) -> Fault:
+    try:
+        original, replacement = text.split(":")
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            "fault must be ORIGINAL:REPLACEMENT, e.g. ADD:SUB")
+    return Fault(original, replacement)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro.verify`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro.verify",
+        description="differential conformance checking: generated "
+                    "programs x {compilers} x {targets} x {simulators} "
+                    "against the IR-level oracle")
+    parser.add_argument("--count", type=int, default=20,
+                        help="programs to generate (default 20)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="fuzzer seed (default 0)")
+    parser.add_argument("--budget", type=float, default=None,
+                        help="wall-clock budget in seconds; the run "
+                             "stops early when exhausted")
+    parser.add_argument("--targets", type=_parse_targets,
+                        default=DEFAULT_TARGETS, metavar="T1,T2,...",
+                        help="comma-separated targets "
+                             f"(default {','.join(DEFAULT_TARGETS)})")
+    parser.add_argument("--inputs", type=int, default=2,
+                        help="input sets per program (default 2)")
+    parser.add_argument("--json", type=Path, default=None,
+                        help="write the mismatch report to this path")
+    parser.add_argument("--inject-fault", type=_parse_fault, default=None,
+                        metavar="ORIG:REPL",
+                        help="inject a decoder fault into every "
+                             "simulation; the run then must DETECT it")
+    parser.add_argument("--write-corpus", action="store_true",
+                        help="shrink failures and write reproducers "
+                             "into tests/corpus/")
+    parser.add_argument("--corpus-dir", type=Path,
+                        default=None,
+                        help="override the reproducer directory")
+    parser.add_argument("--max-shrink", type=int, default=5,
+                        help="failing programs to minimize per run "
+                             "(default 5)")
+    return parser
+
+
+def _shrink_and_record(args, report) -> list:
+    """Minimize each failing program; optionally write corpus entries."""
+    written = []
+    seen_programs = set()
+    for verdict, outcome in report.mismatches:
+        if verdict.seed in seen_programs:
+            continue
+        if len(seen_programs) >= args.max_shrink:
+            break
+        seen_programs.add(verdict.seed)
+        rng = random.Random(verdict.seed)
+        index = verdict.seed % 1_000_000
+        program = generate_program(rng, index)
+        all_sets = [generate_inputs(rng, program)
+                    for _ in range(args.inputs)]
+        cell = outcome.cell if outcome.cell.sim != "*" else None
+        # Pin the shrink to one exposing input set, so the recorded
+        # reproducer is self-contained: (program, inputs) must fail on
+        # replay with exactly what the corpus entry stores.
+        input_sets = next(
+            ([candidate] for candidate in all_sets
+             if still_fails(program, [candidate], targets=args.targets,
+                            fault=args.inject_fault, cell=cell)),
+            all_sets)
+        try:
+            small = shrink_program(
+                program,
+                lambda candidate: still_fails(
+                    candidate, input_sets, targets=args.targets,
+                    fault=args.inject_fault, cell=cell))
+        except ValueError:
+            # Not reproducible standalone (e.g. decode-cache dependent);
+            # record the unshrunk program instead.
+            small = program
+        kept = set(small.symbols)
+        entry = CorpusEntry(
+            name=f"shrunk-seed{verdict.seed}",
+            seed=verdict.seed,
+            program_spec=program_to_spec(small),
+            inputs={k: v for inputs in input_sets[:1]
+                    for k, v in inputs.items() if k in kept},
+            fault=((args.inject_fault.original,
+                    args.inject_fault.replacement)
+                   if args.inject_fault else None),
+            cell={"compiler": outcome.cell.compiler,
+                  "target": outcome.cell.target,
+                  "sim": outcome.cell.sim},
+            mismatch_class=("injected-fault" if args.inject_fault
+                            else outcome.mismatch_class),
+            note="auto-minimized by repro.verify.shrink")
+        try:
+            size = instruction_count(small,
+                                     target_name=outcome.cell.target)
+        except Exception:
+            size = -1
+        print(f"  shrunk {verdict.name} (seed {verdict.seed}) -> "
+              f"{size} instructions on {outcome.cell.target}")
+        if args.write_corpus:
+            directory = args.corpus_dir or default_corpus_dir()
+            path = entry.write(directory)
+            print(f"  wrote {path}")
+        written.append(entry)
+    return written
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    report = run_conformance(count=args.count, seed=args.seed,
+                             targets=args.targets,
+                             inputs_per_program=args.inputs,
+                             budget_seconds=args.budget,
+                             fault=args.inject_fault)
+    print(report.summary())
+
+    if args.json is not None:
+        args.json.write_text(json.dumps(report.to_json(), indent=2) + "\n")
+        print(f"report written to {args.json}")
+
+    if args.inject_fault is not None:
+        detected = bool(report.mismatches)
+        if detected:
+            _shrink_and_record(args, report)
+        print(f"fault {args.inject_fault.name}: "
+              f"{'DETECTED' if detected else 'NOT DETECTED'}")
+        return 0 if detected else 1
+
+    if report.mismatches and args.write_corpus:
+        _shrink_and_record(args, report)
+    return 0 if not report.mismatches else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,233 @@
+"""Serialization of conformance reproducers.
+
+A corpus entry is one JSON file under ``tests/corpus/``: a complete
+lowered program (symbols + body, expressions as nested trees), the
+input environment that exposed the failure, the seed it came from, and
+-- for fault-injection reproducers -- the decoder fault to re-inject.
+``tests/verify/test_corpus_replay.py`` replays every entry as part of
+tier-1, so a reproducer checked in by the shrinker becomes a permanent
+regression test.
+
+The format is deliberately dumb (plain dicts, no pickling, no object
+identity): an entry must stay readable and replayable across arbitrary
+refactors of the IR classes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.dfg import ArrayIndex, DataFlowGraph
+from repro.ir.ops import OpKind
+from repro.ir.program import Block, Loop, Program, ProgramItem, Symbol
+
+FORMAT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Expression trees  (nested dicts; sharing is re-established by the
+# DFG builder's interning on load)
+# ----------------------------------------------------------------------
+
+def _index_to_spec(index: Optional[ArrayIndex]) -> Optional[dict]:
+    if index is None:
+        return None
+    return {"coeff": index.coeff, "offset": index.offset}
+
+
+def _index_from_spec(spec: Optional[dict]) -> Optional[ArrayIndex]:
+    if spec is None:
+        return None
+    return ArrayIndex(coeff=int(spec["coeff"]), offset=int(spec["offset"]))
+
+
+def _node_to_spec(dfg: DataFlowGraph, ident: int) -> dict:
+    node = dfg.node(ident)
+    if node.kind is OpKind.CONST:
+        return {"kind": "const", "value": node.value}
+    if node.kind is OpKind.REF:
+        return {"kind": "ref", "symbol": node.symbol,
+                "index": _index_to_spec(node.index)}
+    return {"kind": "compute", "op": node.operator.name,
+            "children": [_node_to_spec(dfg, oid)
+                         for oid in node.operands]}
+
+
+def _node_from_spec(dfg: DataFlowGraph, spec: dict) -> int:
+    kind = spec["kind"]
+    if kind == "const":
+        return dfg.const(int(spec["value"]))
+    if kind == "ref":
+        return dfg.ref(spec["symbol"], _index_from_spec(spec.get("index")))
+    if kind == "compute":
+        children = [_node_from_spec(dfg, child)
+                    for child in spec["children"]]
+        return dfg.compute(spec["op"], *children)
+    raise ValueError(f"unknown expression kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Programs
+# ----------------------------------------------------------------------
+
+def _items_to_spec(items: List[ProgramItem]) -> List[dict]:
+    specs: List[dict] = []
+    for item in items:
+        if isinstance(item, Block):
+            specs.append({
+                "kind": "block",
+                "writes": [{
+                    "symbol": output.symbol,
+                    "index": _index_to_spec(output.index),
+                    "expr": _node_to_spec(item.dfg, output.node),
+                } for output in item.dfg.outputs],
+            })
+        elif isinstance(item, Loop):
+            specs.append({
+                "kind": "loop",
+                "var": item.var,
+                "count": item.count,
+                "body": _items_to_spec(item.body),
+            })
+        else:
+            raise ValueError(f"unexpected program item {item!r}")
+    return specs
+
+
+def _items_from_spec(specs: List[dict]) -> List[ProgramItem]:
+    items: List[ProgramItem] = []
+    for spec in specs:
+        if spec["kind"] == "block":
+            dfg = DataFlowGraph()
+            for write in spec["writes"]:
+                node = _node_from_spec(dfg, write["expr"])
+                dfg.write(write["symbol"], node,
+                          _index_from_spec(write.get("index")))
+            items.append(Block(dfg=dfg))
+        elif spec["kind"] == "loop":
+            items.append(Loop(var=spec["var"], count=int(spec["count"]),
+                              body=_items_from_spec(spec["body"])))
+        else:
+            raise ValueError(f"unknown item kind {spec['kind']!r}")
+    return items
+
+
+def program_to_spec(program: Program) -> dict:
+    """A JSON-able dict capturing the whole lowered program."""
+    return {
+        "name": program.name,
+        "symbols": [{
+            "name": symbol.name,
+            "size": symbol.size,
+            "role": symbol.role,
+            "init": symbol.init,
+        } for symbol in program.symbols.values()],
+        "body": _items_to_spec(program.body),
+    }
+
+
+def program_from_spec(spec: dict) -> Program:
+    """Rebuild a :class:`Program` from :func:`program_to_spec` output."""
+    program = Program(name=spec["name"])
+    for entry in spec["symbols"]:
+        program.declare(Symbol(name=entry["name"], size=entry["size"],
+                               role=entry["role"], init=entry["init"]))
+    program.body = _items_from_spec(spec["body"])
+    return program
+
+
+# ----------------------------------------------------------------------
+# Corpus entries
+# ----------------------------------------------------------------------
+
+@dataclass
+class CorpusEntry:
+    """One checked-in reproducer.
+
+    Attributes:
+        name: entry identifier (also the file stem).
+        seed: generator seed the failing program came from.
+        program_spec: serialized program (see :func:`program_to_spec`).
+        inputs: input environment that exposed the failure.
+        fault: optional ``(original, replacement)`` decoder fault to
+            inject on replay; ``None`` for clean-matrix regressions.
+        cell: optional ``{"compiler", "target", "sim"}`` the failure
+            was observed in; replay checks the full matrix regardless.
+        mismatch_class: classification recorded at shrink time.
+        note: free-text triage note.
+    """
+
+    name: str
+    seed: int
+    program_spec: dict
+    inputs: Dict[str, object] = field(default_factory=dict)
+    fault: Optional[Tuple[str, str]] = None
+    cell: Optional[Dict[str, str]] = None
+    mismatch_class: str = ""
+    note: str = ""
+
+    @property
+    def program(self) -> Program:
+        """The deserialized program (rebuilt on each access)."""
+        return program_from_spec(self.program_spec)
+
+    def to_json(self) -> dict:
+        """The on-disk representation."""
+        return {
+            "format": FORMAT_VERSION,
+            "name": self.name,
+            "seed": self.seed,
+            "program": self.program_spec,
+            "inputs": self.inputs,
+            "fault": list(self.fault) if self.fault else None,
+            "cell": self.cell,
+            "mismatch_class": self.mismatch_class,
+            "note": self.note,
+        }
+
+    @staticmethod
+    def from_json(payload: dict) -> "CorpusEntry":
+        """Parse the on-disk representation."""
+        if payload.get("format") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported corpus format {payload.get('format')!r}")
+        fault = payload.get("fault")
+        return CorpusEntry(
+            name=payload["name"],
+            seed=int(payload["seed"]),
+            program_spec=payload["program"],
+            inputs=payload.get("inputs", {}),
+            fault=(fault[0], fault[1]) if fault else None,
+            cell=payload.get("cell"),
+            mismatch_class=payload.get("mismatch_class", ""),
+            note=payload.get("note", ""),
+        )
+
+    def write(self, directory: Path) -> Path:
+        """Write the entry to ``directory/<name>.json``; returns the path."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"{self.name}.json"
+        path.write_text(json.dumps(self.to_json(), indent=2,
+                                   sort_keys=False) + "\n")
+        return path
+
+
+def default_corpus_dir() -> Path:
+    """``tests/corpus/`` relative to the repository root."""
+    return Path(__file__).resolve().parents[3] / "tests" / "corpus"
+
+
+def load_corpus(directory: Optional[Path] = None) -> List[CorpusEntry]:
+    """All corpus entries in ``directory`` (default checked-in corpus)."""
+    directory = Path(directory) if directory else default_corpus_dir()
+    entries: List[CorpusEntry] = []
+    if not directory.is_dir():
+        return entries
+    for path in sorted(directory.glob("*.json")):
+        entries.append(CorpusEntry.from_json(
+            json.loads(path.read_text())))
+    return entries

@@ -1,0 +1,408 @@
+"""Cross-compiler / cross-simulator equivalence checking.
+
+One generated program fans out over the full conformance matrix::
+
+    {RECORD, baseline} x {tc25, m56, risc16, asip} x {Machine, FastMachine}
+
+(the baseline compiler only exists for the TC25 family, so its cells
+only appear there).  Every cell's final output environment is compared
+against the independent IR-level oracle, and disagreements are
+*classified* so a red run points at the right layer:
+
+- ``compile-error``       the compiler refused or crashed on a legal
+                          program;
+- ``sim-crash``           the simulator raised while executing
+                          compiled code;
+- ``simulator``           the two simulators disagree on the *same*
+                          compiled code (a decode/translation bug);
+- ``overflow-semantics``  both simulators agree, the oracle disagrees,
+                          but flipping the oracle's overflow mode
+                          reproduces the simulated result (a wrap-vs-
+                          saturate contract violation);
+- ``compiler``            both simulators agree and no overflow story
+                          explains the difference -- miscompilation.
+
+:func:`run_conformance` is the fuzz loop: generate, check, optionally
+shrink failures into ``tests/corpus/`` reproducers.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.baseline.compiler import BaselineCompiler
+from repro.codegen.pipeline import CompileError, RecordCompiler
+from repro.ir.fixedpoint import FixedPointContext, Overflow
+from repro.ir.program import Program
+from repro.sim.harness import run_many
+from repro.verify.oracle import Oracle, OracleError
+from repro.verify.progen import ProgenConfig, generate_inputs, generate_program
+
+DEFAULT_TARGETS: Tuple[str, ...] = ("tc25", "m56", "risc16", "asip")
+SIM_NAMES: Tuple[str, ...] = ("reference", "fast")
+
+
+class MismatchClass:
+    """Triage labels for conformance disagreements."""
+
+    COMPILE_ERROR = "compile-error"
+    SIM_CRASH = "sim-crash"
+    SIMULATOR = "simulator"
+    OVERFLOW = "overflow-semantics"
+    COMPILER = "compiler"
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One point of the conformance matrix."""
+
+    compiler: str
+    target: str
+    sim: str
+
+    def describe(self) -> str:
+        """``compiler/target/sim`` label used in reports."""
+        return f"{self.compiler}/{self.target}/{self.sim}"
+
+
+@dataclass
+class CellOutcome:
+    """Result of one program in one matrix cell."""
+
+    cell: Cell
+    ok: bool
+    mismatch_class: str = ""
+    detail: str = ""
+    # For mismatches: (input set index, symbol, expected, got) samples.
+    samples: List[Tuple[int, str, object, object]] = field(
+        default_factory=list)
+
+    def describe(self) -> str:
+        """One-line outcome text."""
+        if self.ok:
+            return f"{self.cell.describe()}: ok"
+        return (f"{self.cell.describe()}: {self.mismatch_class}"
+                f" ({self.detail})" if self.detail else
+                f"{self.cell.describe()}: {self.mismatch_class}")
+
+
+@dataclass
+class ProgramVerdict:
+    """All cell outcomes for one generated program."""
+
+    name: str
+    seed: int
+    outcomes: List[CellOutcome] = field(default_factory=list)
+
+    @property
+    def mismatches(self) -> List[CellOutcome]:
+        """The failing cells only."""
+        return [outcome for outcome in self.outcomes if not outcome.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+
+def make_target(name: str):
+    """Instantiate a target model by registry name."""
+    from repro.api import _resolve_target
+    return _resolve_target(name)
+
+
+def compilers_for(target_name: str) -> Tuple[str, ...]:
+    """Compiler names applicable to a target (baseline is TC25-only)."""
+    if target_name == "tc25":
+        return ("record", "baseline")
+    return ("record",)
+
+
+def _make_compiler(name: str, target):
+    if name == "record":
+        return RecordCompiler(target)
+    if name == "baseline":
+        return BaselineCompiler(target)
+    raise ValueError(f"unknown compiler {name!r}")
+
+
+def _outputs_of(program: Program, env: Mapping[str, object]
+                ) -> Dict[str, object]:
+    return {name: env[name]
+            for name, symbol in program.symbols.items()
+            if symbol.role == "output" and name in env}
+
+
+def _first_differences(expected: Mapping[str, object],
+                       got: Mapping[str, object],
+                       index: int, limit: int = 3
+                       ) -> List[Tuple[int, str, object, object]]:
+    samples = []
+    for symbol in sorted(expected):
+        if expected[symbol] != got.get(symbol):
+            samples.append((index, symbol, expected[symbol],
+                            got.get(symbol)))
+            if len(samples) >= limit:
+                break
+    return samples
+
+
+# ----------------------------------------------------------------------
+# Single-program matrix check
+# ----------------------------------------------------------------------
+
+def check_program(program: Program,
+                  input_sets: Sequence[Mapping[str, object]],
+                  targets: Sequence[str] = DEFAULT_TARGETS,
+                  fault=None,
+                  seed: int = 0) -> ProgramVerdict:
+    """Run ``program`` through the conformance matrix against the oracle.
+
+    ``fault`` (a :class:`repro.selftest.generator.Fault`) injects a
+    decoder fault into every simulation -- used to prove the harness
+    *detects* seeded bugs, and by the shrinker's reproducer replay.
+    """
+    verdict = ProgramVerdict(name=program.name, seed=seed)
+    oracle_cache: Dict[int, List[Dict[str, object]]] = {}
+
+    for target_name in targets:
+        target = make_target(target_name)
+        width = target.fpc.width
+        if width not in oracle_cache:
+            oracle = Oracle(FixedPointContext(width))
+            oracle_cache[width] = [
+                _outputs_of(program, oracle.run(program, inputs))
+                for inputs in input_sets]
+        expected_sets = oracle_cache[width]
+
+        for compiler_name in compilers_for(target_name):
+            try:
+                compiled = _make_compiler(compiler_name, target) \
+                    .compile(program)
+            except Exception as exc:
+                verdict.outcomes.append(CellOutcome(
+                    cell=Cell(compiler_name, target_name, "*"),
+                    ok=False,
+                    mismatch_class=MismatchClass.COMPILE_ERROR,
+                    detail=f"{type(exc).__name__}: {exc}"))
+                continue
+
+            run_target = None
+            if fault is not None:
+                from repro.selftest.generator import FaultySim
+                run_target = FaultySim(target, fault)
+
+            per_sim: Dict[str, Optional[List[Dict[str, object]]]] = {}
+            for sim_name in SIM_NAMES:
+                cell = Cell(compiler_name, target_name, sim_name)
+                try:
+                    results = run_many(compiled, input_sets,
+                                       fast_sim=(sim_name == "fast"),
+                                       target=run_target)
+                except Exception as exc:
+                    per_sim[sim_name] = None
+                    verdict.outcomes.append(CellOutcome(
+                        cell=cell, ok=False,
+                        mismatch_class=MismatchClass.SIM_CRASH,
+                        detail=f"{type(exc).__name__}: {exc}"))
+                    continue
+                per_sim[sim_name] = [
+                    _outputs_of(program, env) for env, _state in results]
+
+            _classify(program, verdict, compiler_name, target_name,
+                      per_sim, expected_sets, input_sets, target.fpc)
+    return verdict
+
+
+def _classify(program: Program, verdict: ProgramVerdict,
+              compiler_name: str, target_name: str,
+              per_sim: Dict[str, Optional[List[Dict[str, object]]]],
+              expected_sets: Sequence[Mapping[str, object]],
+              input_sets: Sequence[Mapping[str, object]],
+              fpc: FixedPointContext) -> None:
+    """Append outcomes for the sims that ran, with triage classes."""
+    ran = {name: outs for name, outs in per_sim.items()
+           if outs is not None}
+    sims_disagree = (len(ran) == 2
+                     and ran["reference"] != ran["fast"])
+    saturating: Optional[List[Dict[str, object]]] = None
+
+    for sim_name, outputs_sets in ran.items():
+        cell = Cell(compiler_name, target_name, sim_name)
+        bad_index = next(
+            (k for k, (expected, got)
+             in enumerate(zip(expected_sets, outputs_sets))
+             if expected != got), None)
+        if bad_index is None:
+            verdict.outcomes.append(CellOutcome(cell=cell, ok=True))
+            continue
+        if sims_disagree:
+            mismatch_class = MismatchClass.SIMULATOR
+        else:
+            if saturating is None:
+                sat_oracle = Oracle(fpc.with_overflow(Overflow.SATURATE))
+                try:
+                    saturating = [
+                        _outputs_of(program, sat_oracle.run(program, inp))
+                        for inp in input_sets]
+                except OracleError:
+                    saturating = []
+            mismatch_class = (
+                MismatchClass.OVERFLOW
+                if saturating and saturating == outputs_sets
+                else MismatchClass.COMPILER)
+        verdict.outcomes.append(CellOutcome(
+            cell=cell, ok=False, mismatch_class=mismatch_class,
+            detail=f"first divergence at input set {bad_index}",
+            samples=_first_differences(expected_sets[bad_index],
+                                       outputs_sets[bad_index],
+                                       bad_index)))
+
+
+def still_fails(program: Program,
+                input_sets: Sequence[Mapping[str, object]],
+                targets: Sequence[str] = DEFAULT_TARGETS,
+                fault=None,
+                cell: Optional[Cell] = None) -> bool:
+    """Shrink predicate: does the program still expose a mismatch?
+
+    With ``cell`` the failure must reproduce in that exact matrix cell
+    (the shrinker then cannot wander onto a different bug); without it
+    any mismatch anywhere in the matrix counts.
+    """
+    verdict = check_program(program, input_sets, targets=targets,
+                            fault=fault)
+    if cell is None:
+        return not verdict.ok
+    return any(outcome.cell == cell and not outcome.ok
+               for outcome in verdict.outcomes)
+
+
+def instruction_count(program: Program, compiler_name: str = "record",
+                      target_name: str = "tc25") -> int:
+    """Number of machine instructions a program compiles to.
+
+    The yardstick for "minimal reproducer": acceptance for seeded
+    decoder faults is a reproducer of at most a handful of
+    instructions.
+    """
+    from repro.codegen.asm import AsmInstr
+    target = make_target(target_name)
+    compiled = _make_compiler(compiler_name, target).compile(program)
+    return sum(1 for item in compiled.code if isinstance(item, AsmInstr))
+
+
+# ----------------------------------------------------------------------
+# Fuzz loop
+# ----------------------------------------------------------------------
+
+@dataclass
+class ConformanceReport:
+    """Aggregate of a fuzz run."""
+
+    seed: int
+    count: int
+    targets: Tuple[str, ...]
+    verdicts: List[ProgramVerdict] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+    budget_exhausted: bool = False
+
+    @property
+    def mismatches(self) -> List[Tuple[ProgramVerdict, CellOutcome]]:
+        """Every failing (program, cell) pair."""
+        return [(verdict, outcome)
+                for verdict in self.verdicts
+                for outcome in verdict.mismatches]
+
+    @property
+    def cells_checked(self) -> int:
+        return sum(len(verdict.outcomes) for verdict in self.verdicts)
+
+    def class_counts(self) -> Dict[str, int]:
+        """Mismatch tally per triage class."""
+        counts: Dict[str, int] = {}
+        for _verdict, outcome in self.mismatches:
+            counts[outcome.mismatch_class] = \
+                counts.get(outcome.mismatch_class, 0) + 1
+        return counts
+
+    def summary(self) -> str:
+        """Human-readable multi-line run summary."""
+        lines = [
+            f"conformance: {len(self.verdicts)} programs x "
+            f"{{record,baseline}} x {{{','.join(self.targets)}}} x "
+            f"{{reference,fast}} = {self.cells_checked} cells "
+            f"in {self.elapsed_seconds:.1f}s"
+        ]
+        if self.budget_exhausted:
+            lines.append("  (time budget exhausted before --count)")
+        if not self.mismatches:
+            lines.append("  all cells agree with the IR oracle")
+            return "\n".join(lines)
+        for mismatch_class, count in sorted(self.class_counts().items()):
+            lines.append(f"  {mismatch_class}: {count}")
+        for verdict, outcome in self.mismatches[:20]:
+            lines.append(f"    {verdict.name} (seed {verdict.seed}): "
+                         f"{outcome.describe()}")
+        return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        """JSON-able run record (the CI artifact)."""
+        return {
+            "seed": self.seed,
+            "count": self.count,
+            "targets": list(self.targets),
+            "programs": len(self.verdicts),
+            "cells": self.cells_checked,
+            "elapsed_seconds": round(self.elapsed_seconds, 3),
+            "budget_exhausted": self.budget_exhausted,
+            "class_counts": self.class_counts(),
+            "mismatches": [{
+                "program": verdict.name,
+                "seed": verdict.seed,
+                "cell": outcome.cell.describe(),
+                "class": outcome.mismatch_class,
+                "detail": outcome.detail,
+                "samples": [list(sample) for sample in outcome.samples],
+            } for verdict, outcome in self.mismatches],
+        }
+
+
+def run_conformance(count: int = 20,
+                    seed: int = 0,
+                    targets: Sequence[str] = DEFAULT_TARGETS,
+                    inputs_per_program: int = 2,
+                    config: Optional[ProgenConfig] = None,
+                    budget_seconds: Optional[float] = None,
+                    fault=None,
+                    on_program: Optional[Callable] = None
+                    ) -> ConformanceReport:
+    """Generate ``count`` programs and check each across the matrix.
+
+    Each program gets its own derived seed (``seed * 10**6 + index``)
+    so any failure is reproducible in isolation without replaying the
+    whole run.  ``budget_seconds`` stops the loop early (the report
+    records that it did).
+    """
+    report = ConformanceReport(seed=seed, count=count,
+                               targets=tuple(targets))
+    started = time.monotonic()
+    for index in range(count):
+        if budget_seconds is not None \
+                and time.monotonic() - started > budget_seconds:
+            report.budget_exhausted = True
+            break
+        program_seed = seed * 1_000_000 + index
+        rng = random.Random(program_seed)
+        program = generate_program(rng, index, config)
+        input_sets = [generate_inputs(rng, program)
+                      for _ in range(inputs_per_program)]
+        verdict = check_program(program, input_sets, targets=targets,
+                                fault=fault, seed=program_seed)
+        report.verdicts.append(verdict)
+        if on_program is not None:
+            on_program(program, input_sets, verdict)
+    report.elapsed_seconds = time.monotonic() - started
+    return report

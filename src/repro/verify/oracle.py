@@ -1,0 +1,242 @@
+"""The IR-level semantic oracle.
+
+A second, independent implementation of MiniDFL's execution semantics:
+a big-step evaluator over the lowered :class:`~repro.ir.program.Program`
+that computes the expected memory state directly from the
+:mod:`repro.ir.fixedpoint` arithmetic contract.  It shares *nothing*
+with the code generators or the instruction-set simulators -- no trees,
+no selector, no machine state -- so agreement between a simulated run
+and the oracle is evidence about the whole compile-and-simulate stack,
+not a tautology.
+
+It is also deliberately implemented differently from the reference
+interpreter (:meth:`Program.run` / :meth:`DataFlowGraph.evaluate`):
+node values are computed with an explicit work stack instead of
+recursion, and block outputs are staged through a write log.  The two
+evaluators cross-check each other in ``tests/verify/test_oracle.py``.
+
+The semantic contract enforced here (and by the reference interpreter,
+and -- transitively -- by every conforming compiler/simulator pair):
+
+- constants and stored values are reduced to the word width,
+- expression intermediates are exact (extended precision), except that
+  word-port operators (:data:`FixedPointContext.WORD_OPERAND_OPS`)
+  wrap their operands,
+- a block's reads all observe the pre-block memory state; its writes
+  commit afterwards (dataflow, not sequential, semantics),
+- a counted loop binds the induction value ``0 .. count-1``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, MutableMapping, Optional, Tuple
+
+from repro.ir.dfg import ArrayIndex, DataFlowGraph
+from repro.ir.fixedpoint import FixedPointContext
+from repro.ir.ops import OpKind
+from repro.ir.program import Block, Loop, Program, ProgramItem
+
+
+class OracleError(Exception):
+    """A program is not evaluable (bad symbol, bad index, bad operand)."""
+
+
+class Oracle:
+    """Big-step evaluator for lowered programs.
+
+    One instance is immutable configuration (the fixed-point context);
+    :meth:`run` is a pure function from ``(program, inputs)`` to the
+    final environment.
+    """
+
+    def __init__(self, fpc: Optional[FixedPointContext] = None):
+        self.fpc = fpc if fpc is not None else FixedPointContext(16)
+
+    # ------------------------------------------------------------------
+    # Environments
+    # ------------------------------------------------------------------
+
+    def initial_environment(self, program: Program) -> Dict[str, object]:
+        """Declared initializers and zeroed storage, reduced to width."""
+        env: Dict[str, object] = {}
+        for symbol in program.symbols.values():
+            if symbol.is_array:
+                values = list(symbol.init) if symbol.init is not None \
+                    else [0] * symbol.size
+                if len(values) != symbol.size:
+                    raise OracleError(
+                        f"initializer for {symbol.name!r} has "
+                        f"{len(values)} elements, declared {symbol.size}")
+                env[symbol.name] = [self.fpc.wrap(int(v)) for v in values]
+            else:
+                init = int(symbol.init) if symbol.init is not None else 0
+                env[symbol.name] = self.fpc.wrap(init)
+        return env
+
+    def load_inputs(self, env: MutableMapping[str, object],
+                    inputs: Mapping[str, object]) -> None:
+        """Overlay input values, wrapped to the word width.
+
+        Mirrors what :func:`repro.sim.harness.load_environment` does on
+        the machine side: values entering 16-bit data memory wrap.
+        """
+        for name, value in inputs.items():
+            if isinstance(value, (list, tuple)):
+                env[name] = [self.fpc.wrap(int(v)) for v in value]
+            else:
+                env[name] = self.fpc.wrap(int(value))
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(self, program: Program,
+            inputs: Optional[Mapping[str, object]] = None
+            ) -> Dict[str, object]:
+        """Evaluate ``program`` on ``inputs``; returns the final env."""
+        env = self.initial_environment(program)
+        if inputs:
+            self.load_inputs(env, inputs)
+        self._exec_items(program.body, env, induction_value=0)
+        return env
+
+    def outputs(self, program: Program,
+                inputs: Optional[Mapping[str, object]] = None
+                ) -> Dict[str, object]:
+        """The output-role slice of :meth:`run`'s environment."""
+        env = self.run(program, inputs)
+        return {name: env[name]
+                for name, symbol in program.symbols.items()
+                if symbol.role == "output"}
+
+    def _exec_items(self, items: Iterable[ProgramItem],
+                    env: MutableMapping[str, object],
+                    induction_value: int) -> None:
+        for item in items:
+            if isinstance(item, Block):
+                self._exec_block(item.dfg, env, induction_value)
+            elif isinstance(item, Loop):
+                for iteration in range(item.count):
+                    self._exec_items(item.body, env,
+                                     induction_value=iteration)
+            else:
+                raise OracleError(f"unexpected program item {item!r}")
+
+    def _exec_block(self, dfg: DataFlowGraph,
+                    env: MutableMapping[str, object],
+                    induction_value: int) -> None:
+        values = self._node_values(dfg, env, induction_value)
+        # Stage every write, then commit: all reads above observed the
+        # pre-block state, and the commit order cannot matter unless
+        # two outputs alias -- in which case the later one wins, which
+        # is also what the generated code does.
+        writes: List[Tuple[str, Optional[ArrayIndex], int]] = []
+        for output in dfg.outputs:
+            writes.append((output.symbol, output.index,
+                           self.fpc.reduce(values[output.node])))
+        for symbol, index, value in writes:
+            self._write(env, symbol, index, induction_value, value)
+
+    def _node_values(self, dfg: DataFlowGraph,
+                     env: Mapping[str, object],
+                     induction_value: int) -> Dict[int, int]:
+        """Values of every node feeding an output (explicit stack)."""
+        values: Dict[int, int] = {}
+        stack: List[int] = [output.node for output in dfg.outputs]
+        while stack:
+            ident = stack.pop()
+            if ident in values:
+                continue
+            node = dfg.node(ident)
+            if node.kind is OpKind.CONST:
+                values[ident] = self.fpc.reduce(node.value)
+            elif node.kind is OpKind.REF:
+                values[ident] = self._read(env, node.symbol, node.index,
+                                           induction_value)
+            else:
+                pending = [oid for oid in node.operands
+                           if oid not in values]
+                if pending:
+                    stack.append(ident)
+                    stack.extend(pending)
+                    continue
+                operands = [values[oid] for oid in node.operands]
+                try:
+                    values[ident] = self.fpc.apply(node.operator, *operands)
+                except ValueError as exc:
+                    raise OracleError(
+                        f"node n{ident} ({node.describe()}): {exc}")
+        return values
+
+    # ------------------------------------------------------------------
+    # Memory access
+    # ------------------------------------------------------------------
+
+    def _read(self, env: Mapping[str, object], symbol: str,
+              index: Optional[ArrayIndex], induction_value: int) -> int:
+        if symbol not in env:
+            raise OracleError(f"symbol {symbol!r} is not bound")
+        stored = env[symbol]
+        if index is None:
+            if isinstance(stored, list):
+                raise OracleError(f"{symbol!r} is an array; index required")
+            return int(stored)
+        if not isinstance(stored, list):
+            raise OracleError(f"{symbol!r} is a scalar; cannot index")
+        element = index.coeff * induction_value + index.offset
+        if not 0 <= element < len(stored):
+            raise OracleError(
+                f"{symbol}[{element}] out of bounds (size {len(stored)})")
+        return int(stored[element])
+
+    def _write(self, env: MutableMapping[str, object], symbol: str,
+               index: Optional[ArrayIndex], induction_value: int,
+               value: int) -> None:
+        if index is None:
+            env[symbol] = value
+            return
+        stored = env.get(symbol)
+        if not isinstance(stored, list):
+            raise OracleError(f"{symbol!r} is not a declared array")
+        element = index.coeff * induction_value + index.offset
+        if not 0 <= element < len(stored):
+            raise OracleError(
+                f"{symbol}[{element}] out of bounds (size {len(stored)})")
+        stored[element] = value
+
+    # ------------------------------------------------------------------
+    # Tree evaluation (for the algebraic-equivalence property tests)
+    # ------------------------------------------------------------------
+
+    def evaluate_tree(self, tree, env: Mapping[str, object],
+                      induction_value: int = 0) -> int:
+        """Evaluate an expression :class:`~repro.ir.trees.Tree`.
+
+        Same semantics as node evaluation (exact intermediates, word
+        ports wrap), implemented with an explicit stack so it stays
+        independent of :meth:`Tree.evaluate`.
+        """
+        todo: List[Tuple[object, bool]] = [(tree, False)]
+        results: List[int] = []
+        while todo:
+            current, expanded = todo.pop()
+            if current.kind is OpKind.CONST:
+                results.append(self.fpc.reduce(current.value))
+            elif current.kind is OpKind.REF:
+                results.append(self._read(env, current.symbol,
+                                          current.index, induction_value))
+            elif not expanded:
+                todo.append((current, True))
+                for child in reversed(current.children):
+                    todo.append((child, False))
+            else:
+                arity = len(current.children)
+                operands = results[len(results) - arity:]
+                del results[len(results) - arity:]
+                try:
+                    results.append(self.fpc.apply(current.operator,
+                                                  *operands))
+                except ValueError as exc:
+                    raise OracleError(f"{current}: {exc}")
+        assert len(results) == 1
+        return results[0]

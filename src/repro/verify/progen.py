@@ -1,0 +1,294 @@
+"""Grammar-directed generation of well-typed MiniDFL programs.
+
+Generalizes the ad-hoc straight-line generator that
+:mod:`repro.selftest.generator` grew for fault coverage into a seeded,
+weighted grammar over the *whole* lowered-program shape: straight-line
+blocks, counted loops with affine array walks, multiply-accumulate
+chains, saturating stores.  The weights deliberately steer generated
+programs into the code shapes the backends specialize on --
+
+- ``acc + a[i]*h[i]`` sums (the RPT/MAC idiom and accumulator
+  promotion),
+- forward/backward sequential array walks (address-generation
+  post-modify selection),
+- ``sat(...)`` mixed with wrapping statements (overflow mode-switch
+  minimization)
+
+-- because those are exactly the paths where a selector or simulator
+bug would hide from uniform random expressions.
+
+Everything is driven by one explicit ``random.Random`` instance;
+identical ``(seed, config)`` always yields the identical program, on
+any platform, under any test parallelism.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.ir.dfg import ArrayIndex, DataFlowGraph
+from repro.ir.program import Block, Loop, Program, Symbol
+
+# Operators every shipped target can cover (the portable subset; see
+# the grammar tables in repro.targets.*).  Weights bias toward the
+# arithmetic core so MAC shapes appear often.
+DEFAULT_OPERATOR_WEIGHTS: Tuple[Tuple[str, int], ...] = (
+    ("add", 6), ("sub", 4), ("mul", 5),
+    ("and", 1), ("or", 1), ("xor", 1),
+    ("neg", 1), ("abs", 1),
+    ("shl", 1), ("shr", 1),
+)
+
+
+@dataclass(frozen=True)
+class ProgenConfig:
+    """Shape parameters of the program grammar.
+
+    The defaults generate small but structurally rich programs: a
+    couple of straight-line regions around a counted loop that walks
+    input arrays and accumulates.
+    """
+
+    scalars: int = 3             # scalar input variables
+    arrays: int = 2              # array input variables
+    array_size: int = 6          # elements per array
+    blocks: int = 2              # straight-line top-level regions
+    statements: int = 3          # assignments per block
+    loops: int = 1               # counted top-level loops
+    max_depth: int = 3           # expression depth
+    sat_probability: float = 0.15
+    const_lo: int = 0
+    const_hi: int = 255
+    operator_weights: Tuple[Tuple[str, int], ...] = DEFAULT_OPERATOR_WEIGHTS
+
+    def __post_init__(self) -> None:
+        if self.scalars < 1:
+            raise ValueError("need at least one scalar input")
+        if self.arrays and self.array_size < 2:
+            raise ValueError("arrays need at least two elements")
+
+
+def _weighted_choice(rng: random.Random,
+                     weights: Sequence[Tuple[str, int]]) -> str:
+    total = sum(weight for _name, weight in weights)
+    pick = rng.randrange(total)
+    for name, weight in weights:
+        pick -= weight
+        if pick < 0:
+            return name
+    return weights[-1][0]
+
+
+class _Generator:
+    """One program's worth of generation state."""
+
+    def __init__(self, rng: random.Random, config: ProgenConfig):
+        self.rng = rng
+        self.config = config
+        self.scalar_inputs = [f"i{k}" for k in range(config.scalars)]
+        self.array_inputs = [f"a{k}" for k in range(config.arrays)]
+        self.output_counter = 0
+
+    # -- expression grammar ---------------------------------------------
+
+    def leaf(self, in_loop: bool) -> "tuple":
+        """('const', v) | ('scalar', name) | ('array', name, index)."""
+        rng, config = self.rng, self.config
+        roll = rng.random()
+        if roll < 0.2:
+            return ("const", rng.randint(config.const_lo, config.const_hi))
+        if in_loop and self.array_inputs and roll < 0.65:
+            return ("array", rng.choice(self.array_inputs),
+                    self.loop_index())
+        if self.array_inputs and roll < 0.3:
+            return ("array", rng.choice(self.array_inputs),
+                    ArrayIndex(0, rng.randrange(config.array_size)))
+        return ("scalar", rng.choice(self.scalar_inputs))
+
+    def loop_index(self) -> ArrayIndex:
+        """An affine in-bounds walk for the canonical loop trip count.
+
+        Loops generated here always run ``array_size`` iterations, so a
+        forward walk needs offset 0 and a backward walk needs offset
+        ``array_size - 1`` to stay in bounds.
+        """
+        if self.rng.random() < 0.75:
+            return ArrayIndex(1, 0)
+        return ArrayIndex(-1, self.config.array_size - 1)
+
+    def expression(self, dfg: DataFlowGraph, depth: int,
+                   in_loop: bool) -> int:
+        rng = self.rng
+        if depth <= 0 or rng.random() < 0.3:
+            return self.emit_leaf(dfg, self.leaf(in_loop))
+        operator = _weighted_choice(rng, self.config.operator_weights)
+        if operator in ("neg", "abs"):
+            return dfg.compute(operator,
+                               self.expression(dfg, depth - 1, in_loop))
+        if operator in ("shl", "shr"):
+            return dfg.compute(operator,
+                               self.expression(dfg, depth - 1, in_loop),
+                               dfg.const(rng.randint(1, 4)))
+        return dfg.compute(operator,
+                           self.expression(dfg, depth - 1, in_loop),
+                           self.expression(dfg, depth - 1, in_loop))
+
+    def emit_leaf(self, dfg: DataFlowGraph, leaf: "tuple") -> int:
+        if leaf[0] == "const":
+            return dfg.const(leaf[1])
+        if leaf[0] == "scalar":
+            return dfg.ref(leaf[1])
+        return dfg.ref(leaf[1], leaf[2])
+
+    def maybe_sat(self, dfg: DataFlowGraph, node: int) -> int:
+        if self.rng.random() < self.config.sat_probability:
+            return dfg.compute("sat", node)
+        return node
+
+    # -- statement / region grammar -------------------------------------
+
+    def fresh_output(self, program: Program) -> str:
+        name = f"o{self.output_counter}"
+        self.output_counter += 1
+        program.declare(Symbol(name=name, role="output"))
+        return name
+
+    def straight_block(self, program: Program) -> Block:
+        dfg = DataFlowGraph()
+        for _ in range(self.config.statements):
+            node = self.expression(dfg, self.config.max_depth,
+                                   in_loop=False)
+            dfg.write(self.fresh_output(program),
+                      self.maybe_sat(dfg, node))
+        return Block(dfg=dfg)
+
+    def mac_loop(self, program: Program) -> Loop:
+        """A counted loop accumulating products of array walks.
+
+        ``s := s + a[i] * b[i]`` is the shape every DSP backend fuses
+        (RPT/MAC on the TC25 family, parallel-move MAC on the M56); a
+        random extra statement rides along so the loop body is not
+        always the pure idiom.
+        """
+        rng, config = self.rng, self.config
+        acc = self.fresh_output(program)
+        dfg = DataFlowGraph()
+        product = dfg.compute(
+            "mul",
+            self.emit_leaf(dfg, ("array", rng.choice(self.array_inputs),
+                                 self.loop_index())),
+            self.emit_leaf(dfg, self.leaf(in_loop=True)))
+        summed = dfg.compute("add", dfg.ref(acc), product)
+        dfg.write(acc, self.maybe_sat(dfg, summed))
+        if rng.random() < 0.4:
+            extra = self.expression(dfg, config.max_depth - 1,
+                                    in_loop=True)
+            dfg.write(self.fresh_output(program),
+                      self.maybe_sat(dfg, extra))
+        return Loop(var="i", count=config.array_size, body=[Block(dfg=dfg)])
+
+    def map_loop(self, program: Program) -> Loop:
+        """A counted loop writing an output array element-wise."""
+        config = self.config
+        out = f"o{self.output_counter}"
+        self.output_counter += 1
+        program.declare(Symbol(name=out, size=config.array_size,
+                               role="output"))
+        dfg = DataFlowGraph()
+        node = self.expression(dfg, config.max_depth - 1, in_loop=True)
+        dfg.write(out, self.maybe_sat(dfg, node), ArrayIndex(1, 0))
+        return Loop(var="i", count=config.array_size, body=[Block(dfg=dfg)])
+
+    def build(self, name: str) -> Program:
+        program = Program(name=name)
+        for scalar in self.scalar_inputs:
+            program.declare(Symbol(name=scalar, role="input"))
+        for array in self.array_inputs:
+            program.declare(Symbol(name=array, size=self.config.array_size,
+                                   role="input"))
+        items: List = []
+        for _ in range(self.config.blocks):
+            items.append(self.straight_block(program))
+        for _ in range(self.config.loops):
+            if self.array_inputs and self.rng.random() < 0.7:
+                items.append(self.mac_loop(program))
+            elif self.array_inputs:
+                items.append(self.map_loop(program))
+        self.rng.shuffle(items)
+        program.body = items
+        return program
+
+
+def generate_program(rng: random.Random, index: int = 0,
+                     config: Optional[ProgenConfig] = None) -> Program:
+    """One random well-typed program drawn from the grammar."""
+    generator = _Generator(rng, config or ProgenConfig())
+    return generator.build(f"progen{index}")
+
+
+def generate_inputs(rng: random.Random, program: Program,
+                    lo: int = -170, hi: int = 170) -> Dict[str, object]:
+    """A seeded input environment for a generated program.
+
+    The default range keeps 16x16 products inside the 32-bit
+    accumulator with margin (the DSPStone operand convention), so
+    conformance failures indicate bugs, not benchmark-input overflow.
+    """
+    inputs: Dict[str, object] = {}
+    for name, symbol in program.symbols.items():
+        if symbol.role != "input":
+            continue
+        if symbol.is_array:
+            inputs[name] = [rng.randint(lo, hi)
+                            for _ in range(symbol.size)]
+        else:
+            inputs[name] = rng.randint(lo, hi)
+    return inputs
+
+
+# The historical self-test operator list, in its historical order: the
+# straight-line subset must replay the exact same rng call sequence so
+# every recorded fault-coverage seed keeps producing the same programs.
+_SELFTEST_OPERATORS = ["add", "sub", "mul", "and", "or", "xor", "neg",
+                       "abs", "shl", "shr"]
+
+
+def straight_line_program(rng: random.Random, index: int,
+                          variables: int = 4, statements: int = 4,
+                          depth: int = 3) -> Program:
+    """Straight-line subset (the self-test generator's shape).
+
+    Signature- and distribution-compatible with the historical
+    ``repro.selftest.generator._random_program``: same rng call
+    sequence, same declaration order, so the fault-coverage corpus and
+    its seeds are unchanged by the move into this module.
+    """
+    program = Program(name=f"selftest{index}")
+    input_names = [f"i{k}" for k in range(variables)]
+    for name in input_names:
+        program.declare(Symbol(name=name, role="input"))
+    output_names = [f"o{k}" for k in range(statements)]
+    for name in output_names:
+        program.declare(Symbol(name=name, role="output"))
+    dfg = DataFlowGraph()
+
+    def expression(levels: int) -> int:
+        if levels <= 0 or rng.random() < 0.3:
+            if rng.random() < 0.25:
+                return dfg.const(rng.randint(0, 255))
+            return dfg.ref(rng.choice(input_names))
+        operator = rng.choice(_SELFTEST_OPERATORS)
+        if operator in ("neg", "abs"):
+            return dfg.compute(operator, expression(levels - 1))
+        if operator in ("shl", "shr"):
+            return dfg.compute(operator, expression(levels - 1),
+                               dfg.const(rng.randint(1, 4)))
+        return dfg.compute(operator, expression(levels - 1),
+                           expression(levels - 1))
+
+    for name in output_names:
+        dfg.write(name, expression(depth))
+    program.body = [Block(dfg=dfg)]
+    return program

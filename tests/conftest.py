@@ -12,6 +12,13 @@ def fpc16() -> FixedPointContext:
     return FixedPointContext(16)
 
 
+@pytest.fixture(scope="session")
+def oracle16():
+    """The 16-bit IR-level conformance oracle (wrap-around mode)."""
+    from repro.verify.oracle import Oracle
+    return Oracle(FixedPointContext(16))
+
+
 @pytest.fixture()
 def tc25():
     from repro.targets.tc25 import TC25

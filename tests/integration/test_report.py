@@ -1,7 +1,7 @@
 """The report generator produces all sections with live numbers."""
 
 from repro.evalx.report import (
-    cube_section, full_report, table1_section,
+    conformance_section, cube_section, full_report, table1_section,
 )
 
 
@@ -16,10 +16,15 @@ def test_cube_section():
     assert "DSP core" in section and "ASSP" in section
 
 
+def test_conformance_section_is_clean():
+    section = conformance_section(count=3, seed=0)
+    assert "all cells agree with the IR oracle" in section
+
+
 def test_full_report_has_all_sections():
     report = full_report()
     for heading in ("Table 1", "Sec. 3.1", "Sec. 3.3", "Sec. 4.2",
-                    "Fig. 1", "Sec. 4.5"):
+                    "Fig. 1", "Sec. 4.5", "Conformance"):
         assert heading in report, heading
     # markdown structure: fenced blocks come in pairs
     assert report.count("```") % 2 == 0

@@ -63,6 +63,40 @@ def test_variants_are_distinct_and_bounded(tree):
     assert len(set(variants)) == len(variants)
 
 
+def test_variants_agree_with_conformance_oracle():
+    """Every enumerated variant must evaluate identically under the
+    *independent* oracle evaluator as well -- not just under
+    ``Tree.evaluate``, which the rewriter was developed against.
+    Seeded stdlib random keeps this deterministic and dependency-free.
+    """
+    import random
+
+    from repro.verify.oracle import Oracle
+
+    oracle = Oracle(FPC)
+    rng = random.Random(99)
+    operators = ["add", "sub", "mul", "and", "or", "xor", "neg", "abs"]
+
+    def random_tree(depth):
+        if depth <= 0 or rng.random() < 0.35:
+            if rng.random() < 0.4:
+                return Tree.const(rng.randint(-64, 64))
+            return Tree.ref(rng.choice(VARIABLES))
+        name = rng.choice(operators)
+        if name in ("neg", "abs"):
+            return Tree.compute(name, random_tree(depth - 1))
+        return Tree.compute(name, random_tree(depth - 1),
+                            random_tree(depth - 1))
+
+    for _ in range(80):
+        tree = random_tree(3)
+        env = {name: rng.randint(-100, 100) for name in VARIABLES}
+        reference = oracle.evaluate_tree(tree, env)
+        for variant in enumerate_variants(tree, limit=16):
+            assert oracle.evaluate_tree(variant, env) == reference, \
+                (tree, variant, env)
+
+
 def test_commute_generates_swapped_operands():
     tree = Tree.compute("add", Tree.ref("a"), Tree.ref("b"))
     variants = enumerate_variants(tree)

@@ -97,6 +97,63 @@ def test_apply_validates_shift_amounts(fpc):
     assert fpc.apply(op("shr"), 1 << 20, 15) == 32
 
 
+def test_saturation_boundaries_are_exact(fpc):
+    # one past each boundary clamps; the boundary itself is unchanged
+    assert fpc.saturate(fpc.max_value + 1) == fpc.max_value
+    assert fpc.saturate(fpc.min_value - 1) == fpc.min_value
+    assert fpc.saturate(fpc.max_value) == fpc.max_value
+    assert fpc.saturate(fpc.min_value) == fpc.min_value
+    # wrap flips sign exactly at the boundary instead
+    assert fpc.wrap(fpc.max_value + 1) == fpc.min_value
+    assert fpc.wrap(fpc.min_value - 1) == fpc.max_value
+
+
+def test_to_fixed_rounds_to_nearest(fpc):
+    # 0.300018.. in Q15 is 9830.9..; round-to-nearest, not truncation
+    assert fpc.to_fixed(0.3, 15) == 9830
+    assert fpc.to_fixed(0.30002, 15) == 9831
+    assert fpc.to_fixed(1.5, 15) == fpc.max_value      # clamps, no wrap
+
+
+def test_fractional_multiply_truncates_toward_minus_infinity(fpc):
+    # the product shifter is an arithmetic right shift: -3 >> 1 == -2
+    assert fpc.fractional_multiply(-3, 1, 1) == -2
+    assert fpc.fractional_multiply(3, 1, 1) == 1
+
+
+def test_wrap_vs_saturate_parity_with_oracle():
+    """Randomized operand pairs: evaluating ``o := a OP b`` through the
+    conformance oracle in each overflow mode must equal reducing the
+    exact result with wrap/saturate directly (seeded stdlib random)."""
+    import random
+
+    from repro.ir.dfg import DataFlowGraph
+    from repro.ir.program import Block, Program, Symbol
+    from repro.verify.oracle import Oracle
+
+    wrap_fpc = FixedPointContext(16, Overflow.WRAP)
+    sat_fpc = FixedPointContext(16, Overflow.SATURATE)
+    rng = random.Random(2024)
+    for _ in range(200):
+        operator = rng.choice(["add", "sub", "mul"])
+        a = rng.randint(-(1 << 15), (1 << 15) - 1)
+        b = rng.randint(-(1 << 15), (1 << 15) - 1)
+        program = Program(name="pair")
+        program.declare(Symbol(name="a", role="input"))
+        program.declare(Symbol(name="b", role="input"))
+        program.declare(Symbol(name="o", role="output"))
+        dfg = DataFlowGraph()
+        dfg.write("o", dfg.compute(operator, dfg.ref("a"), dfg.ref("b")))
+        program.body = [Block(dfg=dfg)]
+
+        exact = {"add": a + b, "sub": a - b, "mul": a * b}[operator]
+        inputs = {"a": a, "b": b}
+        assert Oracle(wrap_fpc).run(program, inputs)["o"] == \
+            wrap_fpc.wrap(exact), (operator, a, b)
+        assert Oracle(sat_fpc).run(program, inputs)["o"] == \
+            sat_fpc.saturate(exact), (operator, a, b)
+
+
 def test_fractional_helpers(fpc):
     q15 = fpc.to_fixed(0.5, 15)
     assert q15 == 16384

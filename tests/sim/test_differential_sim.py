@@ -73,3 +73,64 @@ def test_random_programs_agree(make_target):
     assert stats["misses"] == PROGRAMS_PER_TARGET
     assert stats["hits"] == \
         PROGRAMS_PER_TARGET * (INPUT_SETS_PER_PROGRAM - 1)
+
+
+@pytest.mark.parametrize("make_target", [
+    TC25, M56, Risc16, lambda: Asip(AsipParams()),
+], ids=["tc25", "m56", "risc16", "asip"])
+def test_loop_programs_agree_on_cycles(make_target):
+    """The progen grammar adds loops (repeat/hardware-loop paths the
+    straight-line corpus never exercises); both simulators must agree
+    on memory *and* cycle counts there too."""
+    from repro.verify.progen import generate_inputs, generate_program
+
+    target = make_target()
+    compiler = RecordCompiler(target)
+    for seed in range(4):
+        rng = random.Random(seed)
+        program = generate_program(rng, seed)
+        compiled = compiler.compile(program)
+        inputs = generate_inputs(rng, program)
+
+        ref_state = target.initial_state()
+        load_environment(compiled, inputs, ref_state)
+        Machine(target).run(compiled.code, ref_state)
+
+        fast_state = target.initial_state()
+        load_environment(compiled, inputs, fast_state)
+        FastMachine(target).run(compiled.code, fast_state)
+
+        context = (target.name, program.name, seed)
+        assert read_environment(compiled, ref_state) \
+            == read_environment(compiled, fast_state), context
+        assert ref_state.cycles == fast_state.cycles, context
+        assert ref_state.mem == fast_state.mem, context
+
+
+@pytest.mark.slow
+def test_fuzz_corpus_cycle_agreement():
+    """Wider sweep (slow, opt-in): the full conformance fuzz corpus,
+    every target, cycle-exact simulator agreement."""
+    from repro.verify.progen import generate_inputs, generate_program
+
+    for make_target in (TC25, M56, Risc16, lambda: Asip(AsipParams())):
+        target = make_target()
+        compiler = RecordCompiler(target)
+        for seed in range(20):
+            rng = random.Random(seed)
+            program = generate_program(rng, seed)
+            compiled = compiler.compile(program)
+            for _ in range(2):
+                inputs = generate_inputs(rng, program)
+
+                ref_state = target.initial_state()
+                load_environment(compiled, inputs, ref_state)
+                Machine(target).run(compiled.code, ref_state)
+
+                fast_state = target.initial_state()
+                load_environment(compiled, inputs, fast_state)
+                FastMachine(target).run(compiled.code, fast_state)
+
+                context = (target.name, program.name, seed)
+                assert ref_state.cycles == fast_state.cycles, context
+                assert ref_state.mem == fast_state.mem, context

@@ -1,0 +1,66 @@
+"""Replay every checked-in reproducer in ``tests/corpus/``.
+
+Clean entries must pass the full conformance matrix; fault entries
+must still be detected when their decoder fault is re-injected (and
+must pass *without* it -- the program is innocent, the fault is the
+bug).  This runs in tier-1; the open-ended fuzz loop is behind the
+``slow`` marker.
+"""
+
+import pytest
+
+from repro.selftest.generator import Fault
+from repro.verify.corpus import load_corpus
+from repro.verify.diff import (
+    Cell, check_program, instruction_count, run_conformance, still_fails,
+)
+
+ENTRIES = load_corpus()
+
+
+def test_corpus_is_checked_in():
+    assert ENTRIES, "tests/corpus/ must contain reproducers"
+    assert any(entry.fault for entry in ENTRIES)
+    assert any(not entry.fault for entry in ENTRIES)
+
+
+@pytest.mark.parametrize("entry", ENTRIES, ids=lambda e: e.name)
+def test_corpus_entry_replays(entry):
+    program = entry.program
+    if entry.fault is None:
+        verdict = check_program(program, [entry.inputs])
+        assert verdict.ok, [o.describe() for o in verdict.mismatches]
+        return
+
+    fault = Fault(*entry.fault)
+    cell = Cell(**entry.cell) if entry.cell else None
+    targets = (cell.target,) if cell else ("tc25",)
+    assert still_fails(program, [entry.inputs], targets=targets,
+                       fault=fault, cell=cell), \
+        f"{entry.name}: recorded fault no longer detected"
+    assert check_program(program, [entry.inputs], targets=targets).ok, \
+        f"{entry.name}: reproducer fails even without the fault"
+
+
+@pytest.mark.parametrize(
+    "entry", [e for e in ENTRIES if e.fault], ids=lambda e: e.name)
+def test_fault_reproducers_are_minimal(entry):
+    target = entry.cell["target"] if entry.cell else "tc25"
+    size = instruction_count(entry.program, target_name=target)
+    assert size <= 5, \
+        f"{entry.name}: {size} instructions is not a minimal reproducer"
+
+
+@pytest.mark.slow
+def test_fuzz_matrix_is_clean():
+    """Open-ended fuzzing across the whole matrix (slow, opt-in)."""
+    report = run_conformance(count=25, seed=0)
+    assert not report.mismatches, report.summary()
+
+
+@pytest.mark.slow
+def test_cli_smoke(capsys):
+    from repro.verify.__main__ import main
+    assert main(["--count", "3", "--seed", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "all cells agree with the IR oracle" in out

@@ -1,0 +1,104 @@
+"""The conformance matrix: clean agreement, fault detection, triage
+classification, and the shrink-to-minimal-reproducer acceptance path."""
+
+import random
+
+import pytest
+
+from repro.selftest.generator import Fault
+from repro.verify.diff import (
+    MismatchClass, check_program, instruction_count, run_conformance,
+    still_fails,
+)
+from repro.verify.progen import generate_inputs, generate_program
+from repro.verify.shrink import shrink_program
+
+
+def test_small_matrix_is_clean():
+    report = run_conformance(count=3, seed=0,
+                             targets=("tc25", "risc16"))
+    assert not report.mismatches, report.summary()
+    assert report.cells_checked > 0
+    assert not report.budget_exhausted
+
+
+def test_report_json_roundtrips():
+    report = run_conformance(count=2, seed=1, targets=("tc25",))
+    payload = report.to_json()
+    assert payload["programs"] == 2
+    assert payload["class_counts"] == {}
+    assert payload["mismatches"] == []
+
+
+def test_budget_stops_early():
+    report = run_conformance(count=50, seed=0, targets=("tc25",),
+                             budget_seconds=0.0)
+    assert report.budget_exhausted
+    assert len(report.verdicts) < 50
+
+
+def test_injected_decoder_fault_is_detected():
+    fault = Fault("ADD", "SUB")
+    report = run_conformance(count=6, seed=3, targets=("tc25",),
+                             fault=fault)
+    assert report.mismatches, \
+        "an ADD-executes-as-SUB decoder fault must not survive 6 programs"
+    # Both simulators decode through the same faulty target, so they
+    # agree with each other and disagree with the oracle: the triage
+    # class must point at the compiled-code side, not the simulators.
+    classes = {outcome.mismatch_class
+               for _verdict, outcome in report.mismatches}
+    assert classes <= {MismatchClass.COMPILER, MismatchClass.OVERFLOW}
+
+
+def test_fault_shrinks_to_minimal_reproducer():
+    """Acceptance: a seeded decoder fault shrinks to a reproducer of at
+    most 5 instructions."""
+    fault = Fault("ADD", "SUB")
+    report = run_conformance(count=6, seed=3, targets=("tc25",),
+                             fault=fault)
+    verdict, outcome = report.mismatches[0]
+    rng = random.Random(verdict.seed)
+    program = generate_program(rng, verdict.seed % 1_000_000)
+    input_sets = [generate_inputs(rng, program) for _ in range(2)]
+    cell = outcome.cell if outcome.cell.sim != "*" else None
+
+    small = shrink_program(
+        program,
+        lambda candidate: still_fails(candidate, input_sets,
+                                      targets=("tc25",), fault=fault,
+                                      cell=cell))
+    size = instruction_count(small, target_name="tc25")
+    assert size <= 5, f"reproducer still has {size} instructions"
+    # the minimized program must still expose the fault ...
+    assert still_fails(small, input_sets, targets=("tc25",), fault=fault)
+    # ... and be clean without it (the bug is the fault, not the program)
+    assert check_program(small, input_sets, targets=("tc25",)).ok
+
+
+def test_still_fails_requires_the_pinned_cell():
+    rng = random.Random(11)
+    program = generate_program(rng, 11)
+    inputs = [generate_inputs(rng, program)]
+    assert not still_fails(program, inputs, targets=("tc25",))
+
+
+def test_compile_error_is_classified_not_raised():
+    """A program using an operator some target cannot cover must land
+    as a compile-error cell, not an exception."""
+    from repro.ir.dfg import DataFlowGraph
+    from repro.ir.program import Block, Program, Symbol
+
+    program = Program(name="needs-min")
+    program.declare(Symbol(name="x", role="input"))
+    program.declare(Symbol(name="y", role="input"))
+    program.declare(Symbol(name="o", role="output"))
+    dfg = DataFlowGraph()
+    dfg.write("o", dfg.compute("min", dfg.ref("x"), dfg.ref("y")))
+    program.body = [Block(dfg=dfg)]
+
+    verdict = check_program(program, [{"x": 3, "y": 9}])
+    for outcome in verdict.outcomes:
+        assert outcome.ok or \
+            outcome.mismatch_class == MismatchClass.COMPILE_ERROR, \
+            outcome.describe()

@@ -1,0 +1,111 @@
+"""Delta-debugging shrinker: reduction moves, predicate safety, probe
+bounds.  These tests use synthetic structural predicates (no
+compilation) so they pin shrinker behaviour in isolation."""
+
+import random
+
+import pytest
+
+from repro.verify.corpus import program_to_spec
+from repro.verify.progen import generate_program
+from repro.verify.shrink import shrink_program
+
+
+def _count_op(program, op_name):
+    total = [0]
+
+    def scan(expr):
+        if expr["kind"] == "compute":
+            if expr["op"] == op_name:
+                total[0] += 1
+            for child in expr["children"]:
+                scan(child)
+
+    def walk(items):
+        for item in items:
+            if item["kind"] == "block":
+                for write in item["writes"]:
+                    scan(write["expr"])
+            else:
+                walk(item["body"])
+
+    walk(program_to_spec(program)["body"])
+    return total[0]
+
+
+def _stats(program):
+    spec = program_to_spec(program)
+    writes = [0]
+
+    def walk(items):
+        for item in items:
+            if item["kind"] == "block":
+                writes[0] += len(item["writes"])
+            else:
+                walk(item["body"])
+
+    walk(spec["body"])
+    return len(spec["body"]), writes[0]
+
+
+def _program_with_mul():
+    for seed in range(50):
+        program = generate_program(random.Random(seed), seed)
+        if _count_op(program, "mul") >= 2:
+            return program
+    raise AssertionError("grammar no longer produces mul-heavy programs")
+
+
+def test_shrinks_to_single_write():
+    program = _program_with_mul()
+    small = shrink_program(program,
+                           lambda p: _count_op(p, "mul") >= 1)
+    items, writes = _stats(small)
+    assert items == 1 and writes == 1
+    assert _count_op(small, "mul") == 1
+    before_items, before_writes = _stats(program)
+    assert (items, writes) < (before_items, before_writes)
+
+
+def test_drops_unused_declarations():
+    program = _program_with_mul()
+    small = shrink_program(program,
+                           lambda p: _count_op(p, "mul") >= 1)
+    used = str(program_to_spec(small)["body"])
+    for symbol in small.inputs():
+        assert symbol.name in used, \
+            f"unused input {symbol.name!r} survived shrinking"
+
+
+def test_predicate_must_hold_on_original():
+    program = generate_program(random.Random(0), 0)
+    with pytest.raises(ValueError):
+        shrink_program(program, lambda p: False)
+
+
+def test_predicate_exceptions_reject_the_candidate():
+    program = _program_with_mul()
+    anchor = program.outputs()[0].name
+
+    def predicate(candidate):
+        # Raises KeyError once the anchor output is reduced away; the
+        # shrinker must treat that as "not a reproducer", not crash.
+        candidate.symbol(anchor)
+        return _count_op(candidate, "mul") >= 1
+
+    small = shrink_program(program, predicate)
+    assert anchor in small.symbols
+    assert _count_op(small, "mul") >= 1
+
+
+def test_probe_budget_is_respected():
+    program = _program_with_mul()
+    probes = [0]
+
+    def predicate(candidate):
+        probes[0] += 1
+        return _count_op(candidate, "mul") >= 1
+
+    shrink_program(program, predicate, max_probes=10)
+    # 1 initial validation + at most max_probes candidate probes
+    assert probes[0] <= 11
