@@ -136,6 +136,17 @@ class BaselineCompiler:
     # ------------------------------------------------------------------
 
     def compile(self, program: Program) -> CompiledProgram:
+        """Compile a program (artifact-cached when a cache is active).
+
+        Same contract as :meth:`RecordCompiler.compile
+        <repro.codegen.pipeline.RecordCompiler.compile>`: a
+        content-addressed hit returns the stored artifact, everything
+        else runs the conventional pipeline.
+        """
+        from repro.cache import cached_compile
+        return cached_compile(self, program, self._compile_uncached)
+
+    def _compile_uncached(self, program: Program) -> CompiledProgram:
         """Compile a program with the conventional TC25 pipeline."""
         selector = Selector(self.target.grammar(),
                             metric=self.options.metric,

@@ -1,0 +1,230 @@
+"""Persistent content-addressed store of compiled programs.
+
+Every artifact is one pickle file under the cache root, named by the
+SHA-256 of everything that determines the compile's output:
+
+- the serialized lowered program (``repro.verify.corpus`` spec form --
+  structural, so two ``Program`` objects with the same shape share a
+  key, however they were built);
+- the compiler registry name and the ``repr`` of its frozen options
+  dataclass;
+- the target registry name;
+- the repository code-version stamp (:mod:`repro.cache.version`).
+
+Design constraints, in order:
+
+- **never wrong**: a cache problem of any kind (unreadable file,
+  truncated pickle, stale class layout, full disk) degrades to a
+  recompile with a logged warning -- it can never crash a run or
+  change a result;
+- **safe under concurrency**: farm workers share one cache directory.
+  Writes go to a per-process temporary file and land with an atomic
+  ``os.replace``; readers only ever see complete entries.  Two workers
+  racing to store the same key write identical bytes, so either
+  winner is correct;
+- **bounded**: after each store the cache evicts least-recently-used
+  entries (mtime order; reads refresh mtime) until it fits
+  ``max_bytes``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import os
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+from repro.cache.version import code_version
+from repro.codegen.compiled import CompiledProgram
+
+logger = logging.getLogger("repro.cache")
+
+#: Default size bound: plenty for the full DSPStone x target matrix
+#: plus tens of thousands of fuzz programs (~10 KB per artifact).
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+_KEY_FORMAT = 1
+
+
+@dataclass
+class CacheStats:
+    """Counters of one :class:`ArtifactCache` instance's lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+    corrupt_entries: int = 0
+    store_failures: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from disk."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def to_json(self) -> dict:
+        """JSON-able counter snapshot."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hit_rate, 4),
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "corrupt_entries": self.corrupt_entries,
+            "store_failures": self.store_failures,
+        }
+
+
+@dataclass
+class ArtifactCache:
+    """A content-addressed, size-bounded, crash-tolerant artifact store."""
+
+    root: Path
+    max_bytes: int = DEFAULT_MAX_BYTES
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+        self._tmp_counter = 0
+
+    # -- keys -----------------------------------------------------------
+
+    def key_for(self, program, compiler_name: str, options: object,
+                target_name: str) -> Optional[str]:
+        """Cache key for one compile, or ``None`` for uncacheable input.
+
+        ``None`` (rather than an exception) keeps exotic programs --
+        anything the corpus spec form cannot express -- compiling
+        through the normal path.
+        """
+        from repro.verify.corpus import program_to_spec
+        try:
+            payload = json.dumps({
+                "format": _KEY_FORMAT,
+                "program": program_to_spec(program),
+                "compiler": compiler_name,
+                "options": repr(options),
+                "target": target_name,
+                "code": code_version(),
+            }, sort_keys=True)
+        except Exception:                              # noqa: BLE001
+            # Key derivation must never break a compile: anything the
+            # spec form cannot express simply bypasses the cache.
+            return None
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    # -- lookup ---------------------------------------------------------
+
+    def get(self, key: str) -> Optional[CompiledProgram]:
+        """Load an artifact, or ``None`` on miss or any disk problem."""
+        path = self._path(key)
+        try:
+            payload = path.read_bytes()
+        except OSError:
+            self.stats.misses += 1
+            return None
+        try:
+            compiled = pickle.loads(payload)
+            if not isinstance(compiled, CompiledProgram):
+                raise TypeError(
+                    f"cache entry holds {type(compiled).__name__}")
+        except Exception as exc:                       # noqa: BLE001
+            # Truncated write, stale class layout, bit rot: drop the
+            # entry and recompile.  Never let a bad artifact escape.
+            self.stats.corrupt_entries += 1
+            self.stats.misses += 1
+            logger.warning("dropping corrupt cache entry %s (%s: %s)",
+                           path.name, type(exc).__name__, exc)
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.stats.hits += 1
+        compiled.stats["artifact_cache"] = "hit"
+        try:
+            os.utime(path)             # refresh LRU position
+        except OSError:
+            pass
+        return compiled
+
+    # -- store ----------------------------------------------------------
+
+    def put(self, key: str, compiled: CompiledProgram) -> bool:
+        """Store an artifact atomically; returns whether it landed."""
+        path = self._path(key)
+        marker = compiled.stats.pop("artifact_cache", None)
+        try:
+            payload = pickle.dumps(compiled)
+        except Exception as exc:                       # noqa: BLE001
+            self.stats.store_failures += 1
+            logger.warning("artifact %s not picklable (%s: %s); "
+                           "not cached", compiled.name,
+                           type(exc).__name__, exc)
+            return False
+        finally:
+            if marker is not None:
+                compiled.stats["artifact_cache"] = marker
+        tmp = path.with_name(
+            f".{path.stem}.{os.getpid()}.{self._tmp_counter}.tmp")
+        self._tmp_counter += 1
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp.write_bytes(payload)
+            os.replace(tmp, path)
+        except OSError as exc:
+            self.stats.store_failures += 1
+            logger.warning("cannot store cache entry %s (%s); "
+                           "continuing uncached", path.name, exc)
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            return False
+        self.stats.stores += 1
+        self._enforce_size_bound()
+        return True
+
+    # -- size bound -----------------------------------------------------
+
+    def _entries(self) -> List[Tuple[float, int, Path]]:
+        """(mtime, size, path) of every entry; unreadable ones skipped."""
+        entries = []
+        for path in self.root.glob("*/*.pkl"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+        return entries
+
+    def total_bytes(self) -> int:
+        """Disk footprint of all current entries."""
+        return sum(size for _mtime, size, _path in self._entries())
+
+    def entry_count(self) -> int:
+        """Number of artifacts currently stored."""
+        return len(self._entries())
+
+    def _enforce_size_bound(self) -> None:
+        entries = self._entries()
+        total = sum(size for _mtime, size, _path in entries)
+        if total <= self.max_bytes:
+            return
+        for _mtime, size, path in sorted(entries):
+            try:
+                path.unlink()
+            except OSError:
+                continue                 # a concurrent worker beat us
+            self.stats.evictions += 1
+            total -= size
+            if total <= self.max_bytes:
+                break

@@ -98,6 +98,18 @@ class RecordCompiler:
     # ------------------------------------------------------------------
 
     def compile(self, program: Program) -> CompiledProgram:
+        """Compile a lowered program (artifact-cached when a cache is on).
+
+        When :func:`repro.cache.configure` has installed an artifact
+        cache, a content-addressed hit skips the pipeline entirely and
+        returns the stored :class:`CompiledProgram` (its ``stats`` then
+        carry an ``"artifact_cache": "hit"`` marker); otherwise -- and
+        always when no cache is active -- the full pipeline runs.
+        """
+        from repro.cache import cached_compile
+        return cached_compile(self, program, self._compile_uncached)
+
+    def _compile_uncached(self, program: Program) -> CompiledProgram:
         """Run the full RECORD pipeline on a lowered program."""
         options = self.options
         timings: Dict[str, float] = {}

@@ -1,40 +1,53 @@
-"""A compile farm: many (kernel, compiler, target) jobs, one call.
+"""A job farm: many compile or conformance-check jobs, one call.
 
 Every evaluation harness in this repository compiles the same closed
 set of DSPStone kernels against the same closed set of targets --
-Table 1, the timing bench, the retargeting matrix, the full report.
-This module gives them one shared engine:
+Table 1, the timing bench, the retargeting matrix, the full report --
+and the conformance fuzzer runs generated programs through the same
+compiler x target x simulator matrix.  This module gives them one
+shared engine:
 
 - a :class:`CompileJob` names its work by *registry key* (kernel name,
   compiler name, target name) plus a frozen options dataclass, so a job
   pickles in a few bytes and the worker rebuilds everything from the
   registries;
-- :func:`compile_many` runs a job list either serially or on a
-  ``concurrent.futures`` process pool.  Results come back in job order
-  in both modes (``Executor.map`` preserves ordering), so callers are
-  oblivious to how the work was scheduled;
-- a worker process keeps one compiler instance per (compiler, target,
-  options) triple alive between jobs, so the BURS label cache and the
-  memoized target grammar pay off across kernels exactly as they do in
-  a long-lived serial session;
+- a :class:`VerifyJob` does the same for a full ``check_program``
+  conformance cell-matrix: the program ships as its corpus spec form
+  (plain dicts), everything else by registry name, and the worker
+  rebuilds the program and fans it over the matrix;
+- :func:`compile_many` / :func:`verify_many` run a job list either
+  serially or on a ``concurrent.futures`` process pool.  Results come
+  back in job order in both modes (``Executor.map`` preserves
+  ordering), so callers are oblivious to how the work was scheduled;
+- a worker process keeps compilers (and, for verify jobs, the whole
+  :class:`~repro.verify.diff.VerifySession` of targets, compilers and
+  oracles) alive between jobs, so BURS label caches, memoized target
+  grammars and decode caches pay off across jobs exactly as they do in
+  a long-lived serial session -- and the persistent artifact cache
+  (:mod:`repro.cache`), when configured, is shared by every worker;
 - failures never kill the farm: a worker catches ``CompileError`` (and
-  anything else the pipeline raises) and returns it inside the
-  :class:`FarmResult`, keyed to its job, in order.
+  anything else the pipeline or the harness raises) and returns it
+  *as a string* inside the result, keyed to its job, in order -- an
+  unpicklable exception object therefore never crosses the process
+  boundary.
 
 Parallelism degrades gracefully: on a single-core container, when the
-pool cannot start, or for a singleton job list, the farm simply runs
-serially in-process -- same results, same order.
+pool cannot start or dies mid-run, or for a singleton job list, the
+farm simply runs serially in-process -- same results, same order.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from repro.codegen.compiled import CompiledProgram
+
+if TYPE_CHECKING:   # pragma: no cover
+    from repro.verify.diff import ProgramVerdict
 
 #: Compiler registry: name -> (factory, options default). Extended here
 #: rather than imported lazily so job validation can happen up front.
@@ -136,6 +149,105 @@ def clear_worker_pool() -> None:
 
 
 # ----------------------------------------------------------------------
+# Conformance-check jobs
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class VerifyJob:
+    """One full conformance matrix check, picklable by construction.
+
+    ``program_spec`` is the corpus serialization of the lowered program
+    (:func:`repro.verify.corpus.program_to_spec` -- plain dicts);
+    ``input_sets`` the input environments to replay; ``targets`` the
+    registry names of the matrix columns; ``fault`` an optional
+    ``(original, replacement)`` decoder-fault pair; ``seed`` the
+    derived fuzzer seed recorded in the verdict.
+    """
+
+    program_spec: dict
+    input_sets: Tuple[dict, ...]
+    targets: Tuple[str, ...] = ("tc25", "m56", "risc16", "asip")
+    fault: Optional[Tuple[str, str]] = None
+    seed: int = 0
+
+
+@dataclass
+class VerifyResult:
+    """Outcome of one verify job: a verdict or a captured error."""
+
+    job: VerifyJob
+    verdict: Optional["ProgramVerdict"] = None
+    error: Optional[str] = None
+    error_type: Optional[str] = None
+    seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+# One VerifySession per worker process: targets, compilers (with their
+# label caches) and oracles persist across every verify job the worker
+# handles, mirroring what _POOL does for compile jobs.
+_VERIFY_SESSION: List[object] = []
+
+
+def _verify_session():
+    if not _VERIFY_SESSION:
+        from repro.verify.diff import VerifySession
+        _VERIFY_SESSION.append(VerifySession())
+    return _VERIFY_SESSION[0]
+
+
+def clear_verify_session() -> None:
+    """Drop this process's pooled verify session (cold-start runs)."""
+    _VERIFY_SESSION.clear()
+
+
+def run_verify_job(job: VerifyJob) -> VerifyResult:
+    """Execute one job; never raises -- errors travel in the result.
+
+    Errors are stringified before they travel, so an exception type
+    that cannot pickle (or whose constructor a round-trip would choke
+    on) still reports cleanly from a worker process.
+    """
+    started = perf_counter()
+    try:
+        from repro.verify.corpus import program_from_spec
+        from repro.verify.diff import check_program
+        program = program_from_spec(job.program_spec)
+        fault = None
+        if job.fault is not None:
+            from repro.selftest.generator import Fault
+            fault = Fault(job.fault[0], job.fault[1])
+        verdict = check_program(program, list(job.input_sets),
+                                targets=job.targets, fault=fault,
+                                seed=job.seed,
+                                session=_verify_session())
+    except Exception as exc:                          # noqa: BLE001
+        return VerifyResult(job=job, error=str(exc),
+                            error_type=type(exc).__name__,
+                            seconds=perf_counter() - started)
+    return VerifyResult(job=job, verdict=verdict,
+                        seconds=perf_counter() - started)
+
+
+def _verify_worker_init(cache_dir: Optional[str],
+                        cache_max_bytes: Optional[int]) -> None:
+    """Pool initializer: point the worker at the shared artifact cache.
+
+    Explicit (rather than relying on fork inheriting the parent's
+    configured cache) so spawn-based start methods behave identically,
+    and so each worker gets its own stats counters.
+    """
+    if cache_dir:
+        import repro.cache
+        repro.cache.configure(
+            cache_dir,
+            max_bytes=cache_max_bytes or repro.cache.DEFAULT_MAX_BYTES)
+
+
+# ----------------------------------------------------------------------
 # Driver side
 # ----------------------------------------------------------------------
 
@@ -168,3 +280,44 @@ def compile_many(jobs: Sequence[CompileJob],
         except Exception:                          # noqa: BLE001
             pass          # pool refused to start or died: run serially
     return [run_job(job) for job in jobs]
+
+
+def verify_many(jobs: Sequence[VerifyJob],
+                parallel: Optional[bool] = None,
+                max_workers: Optional[int] = None,
+                cache_dir: Optional[object] = None,
+                cache_max_bytes: Optional[int] = None
+                ) -> List[VerifyResult]:
+    """Run conformance jobs; results are returned in job order.
+
+    Scheduling rules match :func:`compile_many` -- auto-detected
+    parallelism, serial fallback whenever the pool cannot start (or
+    dies mid-run: the whole list is then recomputed serially, which is
+    safe because jobs are pure functions of their specs).
+
+    Workers are pointed at ``cache_dir`` (default: the driver's active
+    :mod:`repro.cache` directory, if any), so all processes share one
+    persistent artifact store.
+    """
+    jobs = list(jobs)
+    workers = max_workers if max_workers is not None else default_workers()
+    if parallel is None:
+        parallel = workers > 1 and len(jobs) > 1
+    if cache_dir is None:
+        from repro.cache import active_cache
+        active = active_cache()
+        if active is not None:
+            cache_dir = active.root
+            if cache_max_bytes is None:
+                cache_max_bytes = active.max_bytes
+    if parallel and len(jobs) > 1 and workers > 1:
+        try:
+            with concurrent.futures.ProcessPoolExecutor(
+                    max_workers=min(workers, len(jobs)),
+                    initializer=_verify_worker_init,
+                    initargs=(str(cache_dir) if cache_dir else None,
+                              cache_max_bytes)) as pool:
+                return list(pool.map(run_verify_job, jobs))
+        except Exception:                          # noqa: BLE001
+            pass          # pool refused to start or died: run serially
+    return [run_verify_job(job) for job in jobs]

@@ -15,6 +15,7 @@ exhausted.  Soundness of every rule is checked by property-based tests
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Iterator, List, Optional, Sequence
 
@@ -27,12 +28,48 @@ DEFAULT_VARIANT_LIMIT = 64
 # interned trees the key hashes in O(1), so repeated compiles of the
 # same programs (benchmark rounds, report regeneration, the compile
 # farm's per-process compiler pool) skip the whole rewrite search.
-_VARIANT_CACHE: "dict" = {}
+#
+# The memo is LRU-bounded: a long fuzz run streams an unbounded number
+# of distinct trees through the selector, and each entry pins up to
+# ``limit`` variant trees (which in turn pin intern-table slots), so an
+# unbounded dict would grow memory for the whole run.  Hits move the
+# entry to the young end; inserts beyond the cap evict the oldest.
+_VARIANT_CACHE: "OrderedDict" = OrderedDict()
+_VARIANT_CACHE_LIMIT = 4096
+_VARIANT_CACHE_EVICTIONS = 0
 
 
 def clear_variant_cache() -> None:
     """Drop the memoized variant lists (used by the caching toggle)."""
+    global _VARIANT_CACHE_EVICTIONS
     _VARIANT_CACHE.clear()
+    _VARIANT_CACHE_EVICTIONS = 0
+
+
+def set_variant_cache_limit(limit: int) -> int:
+    """Set the LRU entry cap; returns the previous cap.
+
+    Shrinking below the current population evicts (oldest first)
+    immediately.
+    """
+    global _VARIANT_CACHE_LIMIT, _VARIANT_CACHE_EVICTIONS
+    if limit < 1:
+        raise ValueError("variant cache limit must be at least 1")
+    previous = _VARIANT_CACHE_LIMIT
+    _VARIANT_CACHE_LIMIT = limit
+    while len(_VARIANT_CACHE) > limit:
+        _VARIANT_CACHE.popitem(last=False)
+        _VARIANT_CACHE_EVICTIONS += 1
+    return previous
+
+
+def variant_cache_info() -> dict:
+    """Occupancy stats: ``{"size", "limit", "evictions"}``."""
+    return {
+        "size": len(_VARIANT_CACHE),
+        "limit": _VARIANT_CACHE_LIMIT,
+        "evictions": _VARIANT_CACHE_EVICTIONS,
+    }
 
 
 @dataclass(frozen=True)
@@ -208,10 +245,15 @@ def enumerate_variants(tree: Tree,
         key = (tree, tuple(rules), limit)
         cached = _VARIANT_CACHE.get(key)
         if cached is not None:
+            _VARIANT_CACHE.move_to_end(key)
             return list(cached)
     variants = _enumerate_variants(tree, rules, limit)
     if caching:
+        global _VARIANT_CACHE_EVICTIONS
         _VARIANT_CACHE[key] = tuple(variants)
+        while len(_VARIANT_CACHE) > _VARIANT_CACHE_LIMIT:
+            _VARIANT_CACHE.popitem(last=False)
+            _VARIANT_CACHE_EVICTIONS += 1
     return variants
 
 

@@ -24,8 +24,8 @@ from repro.verify.corpus import (
     CorpusEntry, load_corpus, program_from_spec, program_to_spec,
 )
 from repro.verify.diff import (
-    Cell, CellOutcome, ConformanceReport, MismatchClass, check_program,
-    run_conformance,
+    Cell, CellOutcome, ConformanceReport, MismatchClass, VerifySession,
+    check_program, run_conformance,
 )
 from repro.verify.oracle import Oracle, OracleError
 from repro.verify.progen import ProgenConfig, generate_inputs, generate_program
@@ -40,6 +40,7 @@ __all__ = [
     "Oracle",
     "OracleError",
     "ProgenConfig",
+    "VerifySession",
     "check_program",
     "generate_inputs",
     "generate_program",

@@ -9,6 +9,10 @@ Examples::
     python -m repro.verify --count 10 --budget 30 \\
         --targets tc25,risc16 --json conformance.json
 
+    # heavy traffic: 4 worker processes + the persistent artifact
+    # cache (.repro-cache/); a repeated run compiles nothing at all
+    python -m repro.verify --count 500 --jobs 4
+
     # prove the harness detects a seeded decoder fault, shrink the
     # witness, and write the reproducer into tests/corpus/
     python -m repro.verify --count 20 --inject-fault ADD:SUB \\
@@ -77,6 +81,17 @@ def build_parser() -> argparse.ArgumentParser:
                              f"(default {','.join(DEFAULT_TARGETS)})")
     parser.add_argument("--inputs", type=int, default=2,
                         help="input sets per program (default 2)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for the matrix checks "
+                             "(default 1 = serial; same triage report "
+                             "at any value)")
+    parser.add_argument("--cache", action=argparse.BooleanOptionalAction,
+                        default=True,
+                        help="use the persistent compilation-artifact "
+                             "cache (default on; --no-cache disables)")
+    parser.add_argument("--cache-dir", type=Path, default=None,
+                        help="artifact cache directory "
+                             "(default .repro-cache/)")
     parser.add_argument("--json", type=Path, default=None,
                         help="write the mismatch report to this path")
     parser.add_argument("--inject-fault", type=_parse_fault, default=None,
@@ -162,13 +177,29 @@ def _shrink_and_record(args, report) -> list:
 
 def main(argv=None) -> int:
     """CLI entry point; returns a process exit code."""
+    import repro.cache
+
     args = build_parser().parse_args(argv)
+    if args.cache:
+        repro.cache.configure(args.cache_dir
+                              or repro.cache.default_cache_dir())
+    else:
+        repro.cache.configure(None)
     report = run_conformance(count=args.count, seed=args.seed,
                              targets=args.targets,
                              inputs_per_program=args.inputs,
                              budget_seconds=args.budget,
-                             fault=args.inject_fault)
+                             fault=args.inject_fault,
+                             jobs=args.jobs)
     print(report.summary())
+    timings = report.stage_timings()
+    if timings:
+        total = sum(seconds for stage, seconds in timings.items()
+                    if stage not in ("variants", "labeling"))
+        print(f"  compile time {total:.2f}s by stage: " + ", ".join(
+            f"{stage} {seconds:.2f}s"
+            for stage, seconds in sorted(timings.items(),
+                                         key=lambda kv: -kv[1])))
 
     if args.json is not None:
         args.json.write_text(json.dumps(report.to_json(), indent=2) + "\n")

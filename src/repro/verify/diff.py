@@ -91,11 +91,22 @@ class CellOutcome:
 
 @dataclass
 class ProgramVerdict:
-    """All cell outcomes for one generated program."""
+    """All cell outcomes for one generated program.
+
+    Besides the triage outcomes the verdict carries the program's
+    share of the run's performance accounting -- compiles performed,
+    artifact-cache hits, and per-stage compile timings -- so parallel
+    workers can report throughput without a side channel and the CLI
+    can attribute a regression to a pipeline stage.  None of these
+    fields participate in triage comparisons.
+    """
 
     name: str
     seed: int
     outcomes: List[CellOutcome] = field(default_factory=list)
+    compiles: int = 0
+    cache_hits: int = 0
+    timings: Dict[str, float] = field(default_factory=dict)
 
     @property
     def mismatches(self) -> List[CellOutcome]:
@@ -128,6 +139,56 @@ def _make_compiler(name: str, target):
     raise ValueError(f"unknown compiler {name!r}")
 
 
+class VerifySession:
+    """Targets, compilers and oracles pooled across ``check_program`` calls.
+
+    Rebuilding a target model and a compiler for every program is pure
+    overhead in a fuzz loop: target construction re-derives the grammar
+    and a fresh compiler starts with a cold BURS label cache.  A session
+    keeps one of each alive, so consecutive programs reuse the memoized
+    grammar, the matcher pool and the label cache -- exactly the
+    warm-compiler behaviour of :mod:`repro.evalx.farm` workers, which
+    keep one session per process for the lifetime of the pool.
+
+    Pooling is transparent: all pooled objects are either immutable
+    configuration or caches whose hits are byte-identical to a cold
+    computation (enforced by ``tests/codegen/test_label_cache.py``), so
+    a session-run matrix and a fresh-per-program matrix produce the
+    same triage report bit for bit.
+    """
+
+    def __init__(self):
+        self._targets: Dict[str, object] = {}
+        self._compilers: Dict[Tuple[str, str], object] = {}
+        self._oracles: Dict[int, Oracle] = {}
+
+    def target(self, name: str):
+        """The pooled target model for ``name``."""
+        target = self._targets.get(name)
+        if target is None:
+            target = make_target(name)
+            self._targets[name] = target
+        return target
+
+    def compiler(self, compiler_name: str, target_name: str):
+        """The pooled compiler instance for a matrix column."""
+        key = (compiler_name, target_name)
+        compiler = self._compilers.get(key)
+        if compiler is None:
+            compiler = _make_compiler(compiler_name,
+                                      self.target(target_name))
+            self._compilers[key] = compiler
+        return compiler
+
+    def oracle(self, width: int) -> Oracle:
+        """The pooled wrap-mode oracle for a word width."""
+        oracle = self._oracles.get(width)
+        if oracle is None:
+            oracle = Oracle(FixedPointContext(width))
+            self._oracles[width] = oracle
+        return oracle
+
+
 def _outputs_of(program: Program, env: Mapping[str, object]
                 ) -> Dict[str, object]:
     return {name: env[name]
@@ -149,6 +210,21 @@ def _first_differences(expected: Mapping[str, object],
     return samples
 
 
+def _account_compile(verdict: ProgramVerdict, compiled) -> None:
+    """Fold one compile into the verdict's performance counters.
+
+    Artifact-cache hits are counted separately and contribute no stage
+    timings: their stored timings describe a historical compile, and
+    adding them would double-count work this run never did.
+    """
+    if compiled.stats.get("artifact_cache") == "hit":
+        verdict.cache_hits += 1
+        return
+    verdict.compiles += 1
+    for stage, seconds in (compiled.stats.get("timings") or {}).items():
+        verdict.timings[stage] = verdict.timings.get(stage, 0.0) + seconds
+
+
 # ----------------------------------------------------------------------
 # Single-program matrix check
 # ----------------------------------------------------------------------
@@ -157,21 +233,29 @@ def check_program(program: Program,
                   input_sets: Sequence[Mapping[str, object]],
                   targets: Sequence[str] = DEFAULT_TARGETS,
                   fault=None,
-                  seed: int = 0) -> ProgramVerdict:
+                  seed: int = 0,
+                  session: Optional[VerifySession] = None
+                  ) -> ProgramVerdict:
     """Run ``program`` through the conformance matrix against the oracle.
 
     ``fault`` (a :class:`repro.selftest.generator.Fault`) injects a
     decoder fault into every simulation -- used to prove the harness
     *detects* seeded bugs, and by the shrinker's reproducer replay.
+
+    ``session`` reuses pooled targets/compilers/oracles across calls
+    (see :class:`VerifySession`); without one, everything is built
+    fresh, as a standalone call always did.
     """
+    if session is None:
+        session = VerifySession()
     verdict = ProgramVerdict(name=program.name, seed=seed)
     oracle_cache: Dict[int, List[Dict[str, object]]] = {}
 
     for target_name in targets:
-        target = make_target(target_name)
+        target = session.target(target_name)
         width = target.fpc.width
         if width not in oracle_cache:
-            oracle = Oracle(FixedPointContext(width))
+            oracle = session.oracle(width)
             oracle_cache[width] = [
                 _outputs_of(program, oracle.run(program, inputs))
                 for inputs in input_sets]
@@ -179,8 +263,9 @@ def check_program(program: Program,
 
         for compiler_name in compilers_for(target_name):
             try:
-                compiled = _make_compiler(compiler_name, target) \
+                compiled = session.compiler(compiler_name, target_name) \
                     .compile(program)
+                _account_compile(verdict, compiled)
             except Exception as exc:
                 verdict.outcomes.append(CellOutcome(
                     cell=Cell(compiler_name, target_name, "*"),
@@ -300,7 +385,14 @@ def instruction_count(program: Program, compiler_name: str = "record",
 
 @dataclass
 class ConformanceReport:
-    """Aggregate of a fuzz run."""
+    """Aggregate of a fuzz run.
+
+    Triage content (verdicts, classes, mismatch details) is a pure
+    function of ``(seed, count, targets, config)`` -- the same at any
+    worker count, with or without the artifact cache.
+    :meth:`triage_json` serializes exactly that stable subset;
+    :meth:`to_json` adds the run's performance measurements on top.
+    """
 
     seed: int
     count: int
@@ -308,6 +400,7 @@ class ConformanceReport:
     verdicts: List[ProgramVerdict] = field(default_factory=list)
     elapsed_seconds: float = 0.0
     budget_exhausted: bool = False
+    jobs: int = 1
 
     @property
     def mismatches(self) -> List[Tuple[ProgramVerdict, CellOutcome]]:
@@ -328,13 +421,43 @@ class ConformanceReport:
                 counts.get(outcome.mismatch_class, 0) + 1
         return counts
 
+    def compile_counts(self) -> Dict[str, int]:
+        """Aggregate compile / artifact-cache-hit tallies."""
+        return {
+            "compiles": sum(v.compiles for v in self.verdicts),
+            "artifact_hits": sum(v.cache_hits for v in self.verdicts),
+        }
+
+    def stage_timings(self) -> Dict[str, float]:
+        """Total wall-clock per compile stage across all fresh compiles."""
+        totals: Dict[str, float] = {}
+        for verdict in self.verdicts:
+            for stage, seconds in verdict.timings.items():
+                totals[stage] = totals.get(stage, 0.0) + seconds
+        return totals
+
+    @property
+    def programs_per_second(self) -> float:
+        return (len(self.verdicts) / self.elapsed_seconds
+                if self.elapsed_seconds else 0.0)
+
+    @property
+    def cells_per_second(self) -> float:
+        return (self.cells_checked / self.elapsed_seconds
+                if self.elapsed_seconds else 0.0)
+
     def summary(self) -> str:
         """Human-readable multi-line run summary."""
+        counts = self.compile_counts()
         lines = [
             f"conformance: {len(self.verdicts)} programs x "
             f"{{record,baseline}} x {{{','.join(self.targets)}}} x "
             f"{{reference,fast}} = {self.cells_checked} cells "
-            f"in {self.elapsed_seconds:.1f}s"
+            f"in {self.elapsed_seconds:.1f}s "
+            f"({self.programs_per_second:.1f} programs/s, "
+            f"jobs={self.jobs})",
+            f"  compiles: {counts['compiles']} fresh, "
+            f"{counts['artifact_hits']} artifact-cache hits",
         ]
         if self.budget_exhausted:
             lines.append("  (time budget exhausted before --count)")
@@ -348,15 +471,20 @@ class ConformanceReport:
                          f"{outcome.describe()}")
         return "\n".join(lines)
 
-    def to_json(self) -> dict:
-        """JSON-able run record (the CI artifact)."""
+    def triage_json(self) -> dict:
+        """The deterministic triage record: no timings, no cache state.
+
+        Byte-identical (after ``json.dumps``) between serial and
+        parallel runs at any worker count, and between cold and warm
+        artifact caches -- the equality the throughput benchmark and
+        the degradation tests enforce.
+        """
         return {
             "seed": self.seed,
             "count": self.count,
             "targets": list(self.targets),
             "programs": len(self.verdicts),
             "cells": self.cells_checked,
-            "elapsed_seconds": round(self.elapsed_seconds, 3),
             "budget_exhausted": self.budget_exhausted,
             "class_counts": self.class_counts(),
             "mismatches": [{
@@ -369,6 +497,46 @@ class ConformanceReport:
             } for verdict, outcome in self.mismatches],
         }
 
+    def to_json(self) -> dict:
+        """JSON-able run record (the CI artifact): triage + performance."""
+        record = self.triage_json()
+        counts = self.compile_counts()
+        attempted = counts["compiles"] + counts["artifact_hits"]
+        record["elapsed_seconds"] = round(self.elapsed_seconds, 3)
+        record["performance"] = {
+            "jobs": self.jobs,
+            "programs_per_second": round(self.programs_per_second, 2),
+            "cells_per_second": round(self.cells_per_second, 2),
+            "cache": {
+                **counts,
+                "hit_rate": (round(counts["artifact_hits"] / attempted, 4)
+                             if attempted else 0.0),
+            },
+            "stage_timings_seconds": {
+                stage: round(seconds, 4)
+                for stage, seconds in sorted(self.stage_timings().items())
+            },
+        }
+        return record
+
+
+def _generate_case(seed: int, index: int, inputs_per_program: int,
+                   config: Optional[ProgenConfig]
+                   ) -> Tuple[int, Program, List[Mapping[str, object]]]:
+    """One fuzz case: (derived seed, program, input sets).
+
+    The derived seed (``seed * 10**6 + index``) makes every failure
+    reproducible in isolation without replaying the whole run, and the
+    per-case ``random.Random`` makes generation independent of *when*
+    (or in which process) the case is checked.
+    """
+    program_seed = seed * 1_000_000 + index
+    rng = random.Random(program_seed)
+    program = generate_program(rng, index, config)
+    input_sets = [generate_inputs(rng, program)
+                  for _ in range(inputs_per_program)]
+    return program_seed, program, input_sets
+
 
 def run_conformance(count: int = 20,
                     seed: int = 0,
@@ -377,32 +545,86 @@ def run_conformance(count: int = 20,
                     config: Optional[ProgenConfig] = None,
                     budget_seconds: Optional[float] = None,
                     fault=None,
-                    on_program: Optional[Callable] = None
+                    on_program: Optional[Callable] = None,
+                    jobs: int = 1
                     ) -> ConformanceReport:
     """Generate ``count`` programs and check each across the matrix.
 
-    Each program gets its own derived seed (``seed * 10**6 + index``)
-    so any failure is reproducible in isolation without replaying the
-    whole run.  ``budget_seconds`` stops the loop early (the report
-    records that it did).
+    ``budget_seconds`` stops the loop early (the report records that it
+    did).  ``jobs > 1`` fans the per-program matrix checks out over a
+    worker-process pool (:func:`repro.evalx.farm.verify_many`); triage
+    results come back in program order, so the triage report is
+    identical to a serial run -- only the wall clock changes.  When the
+    pool cannot start, the fan-out silently degrades to the serial
+    loop.
     """
+    jobs = max(1, int(jobs))
     report = ConformanceReport(seed=seed, count=count,
-                               targets=tuple(targets))
+                               targets=tuple(targets), jobs=jobs)
     started = time.monotonic()
-    for index in range(count):
+    if jobs > 1:
+        _run_conformance_parallel(report, started, count, seed, targets,
+                                  inputs_per_program, config,
+                                  budget_seconds, fault, on_program, jobs)
+    else:
+        for index in range(count):
+            if budget_seconds is not None \
+                    and time.monotonic() - started > budget_seconds:
+                report.budget_exhausted = True
+                break
+            program_seed, program, input_sets = _generate_case(
+                seed, index, inputs_per_program, config)
+            verdict = check_program(program, input_sets, targets=targets,
+                                    fault=fault, seed=program_seed)
+            report.verdicts.append(verdict)
+            if on_program is not None:
+                on_program(program, input_sets, verdict)
+    report.elapsed_seconds = time.monotonic() - started
+    return report
+
+
+def _run_conformance_parallel(report: ConformanceReport, started: float,
+                              count: int, seed: int,
+                              targets: Sequence[str],
+                              inputs_per_program: int,
+                              config: Optional[ProgenConfig],
+                              budget_seconds: Optional[float],
+                              fault, on_program: Optional[Callable],
+                              jobs: int) -> None:
+    """Fan program checks out to farm workers, aggregating in job order."""
+    from repro.evalx.farm import VerifyJob, verify_many
+    from repro.verify.corpus import program_to_spec
+
+    cases = [_generate_case(seed, index, inputs_per_program, config)
+             for index in range(count)]
+    job_list = [
+        VerifyJob(program_spec=program_to_spec(program),
+                  input_sets=tuple(input_sets),
+                  targets=tuple(targets),
+                  fault=((fault.original, fault.replacement)
+                         if fault is not None else None),
+                  seed=program_seed)
+        for program_seed, program, input_sets in cases]
+
+    # With a wall-clock budget the work is scheduled in chunks so the
+    # run can stop between them; without one, a single submission keeps
+    # every worker busy end to end.
+    chunk = max(jobs * 4, 8) if budget_seconds is not None else count
+    for start in range(0, len(job_list), max(chunk, 1)):
         if budget_seconds is not None \
                 and time.monotonic() - started > budget_seconds:
             report.budget_exhausted = True
             break
-        program_seed = seed * 1_000_000 + index
-        rng = random.Random(program_seed)
-        program = generate_program(rng, index, config)
-        input_sets = [generate_inputs(rng, program)
-                      for _ in range(inputs_per_program)]
-        verdict = check_program(program, input_sets, targets=targets,
-                                fault=fault, seed=program_seed)
-        report.verdicts.append(verdict)
-        if on_program is not None:
-            on_program(program, input_sets, verdict)
-    report.elapsed_seconds = time.monotonic() - started
-    return report
+        results = verify_many(job_list[start:start + chunk],
+                              max_workers=jobs)
+        for offset, result in enumerate(results):
+            if result.verdict is None:
+                _program_seed, program, _inputs = cases[start + offset]
+                raise RuntimeError(
+                    f"conformance worker failed on {program.name} "
+                    f"(seed {job_list[start + offset].seed}): "
+                    f"{result.error_type}: {result.error}")
+            report.verdicts.append(result.verdict)
+            if on_program is not None:
+                _seed, program, input_sets = cases[start + offset]
+                on_program(program, input_sets, result.verdict)

@@ -155,3 +155,52 @@ def test_default_limit_is_reasonable():
 def test_rules_have_unique_names():
     names = [rule.name for rule in DEFAULT_RULES]
     assert len(names) == len(set(names))
+
+
+# ----------------------------------------------------------------------
+# Variant-memo LRU bound (long fuzz runs must not grow memory forever)
+# ----------------------------------------------------------------------
+
+def test_variant_cache_is_lru_bounded():
+    from repro.ir import algebraic
+    from repro.ir.trees import tree_caching_enabled
+
+    if not tree_caching_enabled():
+        pytest.skip("tree caching disabled; the memo is inert")
+    algebraic.clear_variant_cache()
+    previous = algebraic.set_variant_cache_limit(8)
+    try:
+        trees = [Tree.compute("add", Tree.ref("a"), Tree.const(value))
+                 for value in range(20)]
+        for tree in trees:
+            enumerate_variants(tree)
+        info = algebraic.variant_cache_info()
+        assert info["size"] <= 8
+        assert info["limit"] == 8
+        assert info["evictions"] >= 12
+        # LRU, not FIFO: a hit protects its entry from eviction.  After
+        # 20 inserts the memo holds trees[12..19]; hitting the *oldest*
+        # resident moves it to the young end, so the 7 inserts below
+        # evict trees[13..19] and leave it cached.
+        survivor = trees[12]
+        assert enumerate_variants(survivor)            # refresh
+        for tree in (Tree.compute("mul", Tree.ref("b"), Tree.const(v))
+                     for v in range(7)):
+            enumerate_variants(tree)                   # 7 inserts of 8
+        before = algebraic.variant_cache_info()["evictions"]
+        enumerate_variants(survivor)
+        assert algebraic.variant_cache_info()["evictions"] == before, \
+            "hitting the survivor must not have cost an enumeration"
+    finally:
+        algebraic.set_variant_cache_limit(previous)
+        algebraic.clear_variant_cache()
+
+
+def test_variant_cache_limit_validation_and_shrink():
+    from repro.ir import algebraic
+
+    with pytest.raises(ValueError):
+        algebraic.set_variant_cache_limit(0)
+    previous = algebraic.set_variant_cache_limit(
+        algebraic.variant_cache_info()["limit"])
+    assert previous >= 1
