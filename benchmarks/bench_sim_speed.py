@@ -1,22 +1,28 @@
-"""Simulator benchmark: translation caching vs. the reference machine.
+"""Simulator benchmark: the three-tier stack on the DSPStone matrix.
 
 PR 2 made compilation fast; the evaluation harnesses then spend their
 time *executing* compiled kernels (Table 1 cycle counts, DSPStone
 bit-exactness sweeps, the selftest fault corpus).  This bench measures
-what the translation-caching simulator (`repro.sim.fastmachine`) buys
-over the reference interpreter on the full DSPStone kernel x target
-matrix -- and proves the caches transparent:
+what each simulator tier buys on the full DSPStone kernel x target
+matrix -- the reference interpreter (``Machine``), the
+translation-caching closure simulator (``FastMachine``) and the
+source-generating jit (``JitMachine``) -- and proves the stack
+transparent:
 
 - **equivalence** -- for every (kernel, producer, seed) the read-back
-  environment and the cycle count must be identical in both modes
-  (checked on every run, quick or full; any divergence fails the bench);
+  environment and the cycle count must be identical across all three
+  tiers (checked on every run, quick or full; any divergence fails the
+  bench);
 - **speed** -- pure ``run()`` wall-clock (state setup untimed, decode
-  warmed) for the reference ``Machine`` vs. the ``FastMachine``; the
-  full run enforces >= 3x aggregate speedup.
+  and translation warmed); the full run enforces the jit tier's
+  aggregate floors: >= 3x over the fast simulator and >= 10x over the
+  reference interpreter;
+- **caching** -- after the timed warmup, every jit translation must be
+  an in-process cache hit (the warm hit rate the report publishes).
 
 Producers per kernel: the hand-written TC25 reference, the baseline
 compiler on TC25, and the RECORD pipeline on tc25/m56/risc16/asip.
-Results land in ``BENCH_SIM.json`` at the repository root.
+Results land in ``BENCH_SIM.json`` (format v2) at the repository root.
 
 Run:  python benchmarks/bench_sim_speed.py            (full matrix)
 or :  python benchmarks/bench_sim_speed.py --quick    (CI smoke)
@@ -37,6 +43,7 @@ from repro.dspstone import all_kernels, hand_reference
 from repro.sim.decode import clear_decode_cache, decode_cache_stats
 from repro.sim.fastmachine import FastMachine
 from repro.sim.harness import load_environment, read_environment
+from repro.sim.jit import JitMachine, jit_cache_stats
 from repro.sim.machine import Machine
 from repro.targets.asip import Asip, AsipParams
 from repro.targets.m56 import M56
@@ -46,7 +53,13 @@ from repro.targets.tc25 import TC25
 ROOT = Path(__file__).resolve().parent.parent
 
 SEEDS = (0, 1, 2)
-SPEEDUP_FLOOR = 3.0
+#: jit aggregate floors, enforced by the full (non --quick) run.
+JIT_VS_FAST_FLOOR = 3.0
+JIT_VS_REFERENCE_FLOOR = 10.0
+
+#: tier name -> machine class, slowest first (report column order).
+TIERS = (("reference", Machine), ("fast", FastMachine),
+         ("jit", JitMachine))
 
 
 def build_cells(kernels: List[str]) -> List[Tuple[str, str, object, object]]:
@@ -79,43 +92,51 @@ def _loaded_states(compiled, inputs, count: int):
 
 
 def check_equivalence(compiled, spec) -> Tuple[bool, List[str]]:
-    """Both modes must produce identical environments and cycle counts."""
+    """All tiers must produce identical environments and cycle counts."""
     problems = []
     for seed in SEEDS:
         inputs = spec.inputs(seed=seed)
-        ref_state, fast_state = _loaded_states(compiled, inputs, 2)
-        Machine(compiled.target).run(compiled.code, ref_state)
-        FastMachine(compiled.target).run(compiled.code, fast_state)
-        if read_environment(compiled, ref_state) \
-                != read_environment(compiled, fast_state):
-            problems.append(f"environment mismatch (seed {seed})")
-        if ref_state.cycles != fast_state.cycles:
-            problems.append(
-                f"cycle mismatch (seed {seed}): "
-                f"{ref_state.cycles} vs {fast_state.cycles}")
+        states = _loaded_states(compiled, inputs, len(TIERS))
+        environments = []
+        cycles = []
+        for (tier_name, machine_cls), state in zip(TIERS, states):
+            machine_cls(compiled.target).run(compiled.code, state)
+            environments.append((tier_name,
+                                 read_environment(compiled, state)))
+            cycles.append((tier_name, state.cycles))
+        _, reference_env = environments[0]
+        for tier_name, env in environments[1:]:
+            if env != reference_env:
+                problems.append(
+                    f"environment mismatch reference vs {tier_name} "
+                    f"(seed {seed})")
+        _, reference_cycles = cycles[0]
+        for tier_name, count in cycles[1:]:
+            if count != reference_cycles:
+                problems.append(
+                    f"cycle mismatch reference vs {tier_name} "
+                    f"(seed {seed}): {reference_cycles} vs {count}")
     return not problems, problems
 
 
-def time_cell(compiled, spec, reps: int) -> Tuple[float, float]:
-    """Pure run() wall-clock for (reference, fast); setup untimed."""
+def time_cell(compiled, spec, reps: int) -> Dict[str, float]:
+    """Pure run() wall-clock per tier; setup untimed, caches warmed."""
     inputs = spec.inputs(seed=0)
-    reference = Machine(compiled.target)
-    fast = FastMachine(compiled.target)
-    # Warm the decode cache so steady-state execution is what's timed.
-    fast.run(compiled.code, _loaded_states(compiled, inputs, 1)[0])
+    machines = {name: cls(compiled.target) for name, cls in TIERS}
+    # Warm the decode cache and the jit translation so steady-state
+    # execution is what's timed.
+    for machine in machines.values():
+        machine.run(compiled.code,
+                    _loaded_states(compiled, inputs, 1)[0])
 
-    states = _loaded_states(compiled, inputs, reps)
-    started = perf_counter()
-    for state in states:
-        reference.run(compiled.code, state)
-    reference_wall = perf_counter() - started
-
-    states = _loaded_states(compiled, inputs, reps)
-    started = perf_counter()
-    for state in states:
-        fast.run(compiled.code, state)
-    fast_wall = perf_counter() - started
-    return reference_wall, fast_wall
+    walls: Dict[str, float] = {}
+    for name, machine in machines.items():
+        states = _loaded_states(compiled, inputs, reps)
+        started = perf_counter()
+        for state in states:
+            machine.run(compiled.code, state)
+        walls[name] = perf_counter() - started
+    return walls
 
 
 def measure(kernels: Optional[List[str]] = None,
@@ -128,58 +149,97 @@ def measure(kernels: Optional[List[str]] = None,
 
     rows = []
     mismatches: List[str] = []
-    total_reference = total_fast = 0.0
+    totals = {name: 0.0 for name, _cls in TIERS}
     for name, producer, compiled, spec in cells:
         identical, problems = check_equivalence(compiled, spec)
         if not identical:
             mismatches.extend(f"{name}/{producer}: {p}" for p in problems)
-        reference_wall, fast_wall = time_cell(compiled, spec, reps)
-        total_reference += reference_wall
-        total_fast += fast_wall
+        walls = time_cell(compiled, spec, reps)
+        for tier, wall in walls.items():
+            totals[tier] += wall
         rows.append({
             "kernel": name,
             "producer": producer,
             "identical": identical,
-            "reference_seconds": round(reference_wall, 6),
-            "fast_seconds": round(fast_wall, 6),
-            "speedup": round(reference_wall / fast_wall, 3)
-            if fast_wall else 0.0,
+            "reference_seconds": round(walls["reference"], 6),
+            "fast_seconds": round(walls["fast"], 6),
+            "jit_seconds": round(walls["jit"], 6),
+            "jit_vs_fast": round(walls["fast"] / walls["jit"], 3)
+            if walls["jit"] else 0.0,
+            "jit_vs_reference": round(
+                walls["reference"] / walls["jit"], 3)
+            if walls["jit"] else 0.0,
         })
+
+    jit_stats = jit_cache_stats()
+    translations = jit_stats["hits"] + jit_stats["misses"]
+    sources = (jit_stats["source_cache_hits"]
+               + jit_stats["source_cache_misses"])
     return {
+        "format": 2,
         "kernels": kernels,
         "cells": len(cells),
         "reps_per_cell": reps,
         "seeds_checked": list(SEEDS),
         "identical_output": not mismatches,
         "mismatches": mismatches,
-        "reference_seconds": round(total_reference, 6),
-        "fast_seconds": round(total_fast, 6),
-        "speedup": round(total_reference / total_fast, 3)
-        if total_fast else 0.0,
+        "reference_seconds": round(totals["reference"], 6),
+        "fast_seconds": round(totals["fast"], 6),
+        "jit_seconds": round(totals["jit"], 6),
+        "fast_vs_reference": round(
+            totals["reference"] / totals["fast"], 3)
+        if totals["fast"] else 0.0,
+        "jit_vs_fast": round(totals["fast"] / totals["jit"], 3)
+        if totals["jit"] else 0.0,
+        "jit_vs_reference": round(
+            totals["reference"] / totals["jit"], 3)
+        if totals["jit"] else 0.0,
         "decode_cache": decode_cache_stats(),
+        "jit": {
+            **jit_stats,
+            "warm_hit_rate": (round(jit_stats["hits"] / translations, 4)
+                              if translations else 0.0),
+            "source_cache_hit_rate": (
+                round(jit_stats["source_cache_hits"] / sources, 4)
+                if sources else 0.0),
+        },
         "rows": rows,
     }
 
 
 def render(report: Dict[str, object]) -> str:
     lines = [f"{'kernel':22s} {'producer':15s} {'ref (ms)':>9s} "
-             f"{'fast (ms)':>9s} {'speedup':>8s}",
-             "-" * 68]
+             f"{'fast (ms)':>9s} {'jit (ms)':>9s} {'vs fast':>8s} "
+             f"{'vs ref':>8s}",
+             "-" * 86]
     for row in report["rows"]:
         lines.append(
             f"{row['kernel']:22s} {row['producer']:15s} "
             f"{row['reference_seconds'] * 1000:>9.2f} "
             f"{row['fast_seconds'] * 1000:>9.2f} "
-            f"{row['speedup']:>7.2f}x"
+            f"{row['jit_seconds'] * 1000:>9.2f} "
+            f"{row['jit_vs_fast']:>7.2f}x "
+            f"{row['jit_vs_reference']:>7.2f}x"
             + ("" if row["identical"] else "  MISMATCH"))
-    lines.append("-" * 68)
-    stats = report["decode_cache"]
+    lines.append("-" * 86)
+    decode = report["decode_cache"]
+    jit = report["jit"]
     lines.append(
-        f"aggregate: {report['speedup']:.2f}x over {report['cells']} "
-        f"cells x {report['reps_per_cell']} runs "
-        f"(decode cache: {stats['hits']} hits, {stats['misses']} misses, "
-        f"{stats['fallbacks']} fallbacks)")
-    lines.append("fast == reference (environments and cycles): "
+        f"aggregate: jit {report['jit_vs_fast']:.2f}x over fast, "
+        f"{report['jit_vs_reference']:.2f}x over reference "
+        f"(fast alone: {report['fast_vs_reference']:.2f}x) over "
+        f"{report['cells']} cells x {report['reps_per_cell']} runs")
+    lines.append(
+        f"decode cache: {decode['hits']} hits, {decode['misses']} "
+        f"misses, {decode['fallbacks']} fallbacks; jit: "
+        f"{jit['blocks_emitted']} blocks emitted "
+        f"({jit['loop_blocks']} fused loops), "
+        f"{jit['blocks_closure']} closure blocks, "
+        f"{jit['fallbacks']} program fallbacks, warm hit rate "
+        f"{jit['warm_hit_rate']:.0%}, source cache "
+        f"{jit['source_cache_hits']} hits / "
+        f"{jit['source_cache_misses']} misses")
+    lines.append("all tiers identical (environments and cycles): "
                  + ("yes" if report["identical_output"] else
                     "NO -- " + "; ".join(report["mismatches"])))
     return "\n".join(lines)
@@ -189,11 +249,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
                         help="CI smoke: 3 kernels, few reps, no speedup "
-                             "floor (timing is noisy on shared runners);"
-                             " equivalence is still enforced")
+                             "floors (timing is noisy on shared runners);"
+                             " cross-tier equivalence is still enforced")
     parser.add_argument("--output", default=str(ROOT / "BENCH_SIM.json"),
                         help="where the report JSON is written")
+    parser.add_argument("--cache", action=argparse.BooleanOptionalAction,
+                        default=True,
+                        help="use the persistent artifact cache for jit "
+                             "source (default on: a warm .repro-cache/ "
+                             "skips code generation; --no-cache forces "
+                             "cold translation)")
     args = parser.parse_args(argv)
+
+    import repro.cache
+    if args.cache:
+        repro.cache.configure(repro.cache.default_cache_dir())
+    else:
+        repro.cache.configure(None)
 
     if args.quick:
         report = measure(["real_update", "fir", "convolution"], reps=5)
@@ -204,13 +276,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     print(f"wrote {args.output}")
 
     if not report["identical_output"]:
-        print("FAIL: fast simulator diverged from the reference",
-              file=sys.stderr)
+        print("FAIL: simulator tiers diverged", file=sys.stderr)
         return 1
-    if not args.quick and report["speedup"] < SPEEDUP_FLOOR:
-        print(f"FAIL: expected >= {SPEEDUP_FLOOR}x fast-vs-reference "
-              f"speedup, got {report['speedup']:.2f}x", file=sys.stderr)
-        return 1
+    if not args.quick:
+        if report["jit_vs_fast"] < JIT_VS_FAST_FLOOR:
+            print(f"FAIL: expected >= {JIT_VS_FAST_FLOOR}x jit-vs-fast "
+                  f"speedup, got {report['jit_vs_fast']:.2f}x",
+                  file=sys.stderr)
+            return 1
+        if report["jit_vs_reference"] < JIT_VS_REFERENCE_FLOOR:
+            print(f"FAIL: expected >= {JIT_VS_REFERENCE_FLOOR}x "
+                  f"jit-vs-reference speedup, got "
+                  f"{report['jit_vs_reference']:.2f}x", file=sys.stderr)
+            return 1
     return 0
 
 

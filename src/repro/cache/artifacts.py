@@ -121,6 +121,9 @@ class ArtifactCache:
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.pkl"
 
+    def _source_path(self, key: str) -> Path:
+        return self.root / "jit" / key[:2] / f"{key}.py"
+
     # -- lookup ---------------------------------------------------------
 
     def get(self, key: str) -> Optional[CompiledProgram]:
@@ -156,7 +159,47 @@ class ArtifactCache:
             pass
         return compiled
 
+    def get_source(self, key: str) -> Optional[str]:
+        """Load a generated-source blob (the simulator JIT's entries),
+        or ``None`` on miss or any disk problem."""
+        path = self._source_path(key)
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        try:
+            os.utime(path)             # refresh LRU position
+        except OSError:
+            pass
+        return source
+
     # -- store ----------------------------------------------------------
+
+    def put_source(self, key: str, source: str) -> bool:
+        """Store a generated-source blob atomically (same discipline as
+        :meth:`put`: racing writers produce identical bytes)."""
+        path = self._source_path(key)
+        tmp = path.with_name(
+            f".{path.stem}.{os.getpid()}.{self._tmp_counter}.tmp")
+        self._tmp_counter += 1
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp.write_text(source, encoding="utf-8")
+            os.replace(tmp, path)
+        except OSError as exc:
+            self.stats.store_failures += 1
+            logger.warning("cannot store source entry %s (%s); "
+                           "continuing uncached", path.name, exc)
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            return False
+        self.stats.stores += 1
+        self._enforce_size_bound()
+        return True
 
     def put(self, key: str, compiled: CompiledProgram) -> bool:
         """Store an artifact atomically; returns whether it landed."""
@@ -198,12 +241,13 @@ class ArtifactCache:
     def _entries(self) -> List[Tuple[float, int, Path]]:
         """(mtime, size, path) of every entry; unreadable ones skipped."""
         entries = []
-        for path in self.root.glob("*/*.pkl"):
-            try:
-                stat = path.stat()
-            except OSError:
-                continue
-            entries.append((stat.st_mtime, stat.st_size, path))
+        for pattern in ("*/*.pkl", "jit/*/*.py"):
+            for path in self.root.glob(pattern):
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                entries.append((stat.st_mtime, stat.st_size, path))
         return entries
 
     def total_bytes(self) -> int:

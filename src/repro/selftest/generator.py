@@ -92,6 +92,14 @@ class FaultySim:
         """Delegate to the fault-free target (the view is pre-swapped)."""
         return self._target.bind_step(instr)
 
+    def emit_py(self, instr: AsmInstr, ctx) -> bool:
+        """Delegate to the fault-free target (the view is pre-swapped)."""
+        return self._target.emit_py(instr, ctx)
+
+    def emit_pre_py(self, instr: AsmInstr, ctx) -> bool:
+        """Delegate to the fault-free target (the view is pre-swapped)."""
+        return self._target.emit_pre_py(instr, ctx)
+
     def _swap(self, instr: AsmInstr) -> AsmInstr:
         if instr.opcode != self.fault.original:
             return instr

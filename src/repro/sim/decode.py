@@ -49,18 +49,27 @@ class DecodedBlock:
 
     ``cycles`` and ``steps`` are the block's static totals (hardware
     repeats included), charged once per block execution.
+
+    ``plan`` records the structural recipe behind ``body``/``branch``
+    as literal tuples -- ``("step", i)`` for instruction ``i``,
+    ``("repeat", armer, repeated, count)`` for a fused hardware repeat,
+    ``("branch", i)`` for the terminating branch -- so downstream
+    translators (the source-generating JIT tier) can re-specialize the
+    same block structure without re-deriving it.
     """
 
-    __slots__ = ("body", "branch", "cycles", "steps", "next")
+    __slots__ = ("body", "branch", "cycles", "steps", "next", "plan")
 
     def __init__(self, body: Tuple[Callable, ...],
                  branch: Optional[Callable], cycles: int, steps: int,
-                 next_index: Optional[int]):
+                 next_index: Optional[int],
+                 plan: Tuple[Tuple, ...] = ()):
         self.body = body
         self.branch = branch
         self.cycles = cycles
         self.steps = steps
         self.next = next_index
+        self.plan = plan
 
 
 class DecodedProgram:
@@ -69,16 +78,25 @@ class DecodedProgram:
     ``table`` is the run-time form: one ``(body, branch, cycles, steps,
     next)`` tuple per block, so the inner loop pays a single unpack
     instead of five attribute reads.  ``blocks`` keeps the structured
-    form for introspection and tests.
+    form for introspection and tests; ``views`` the per-instruction
+    decoded views (post ``decode_instr``), in program order, for
+    translators that re-specialize the blocks.
     """
 
-    __slots__ = ("blocks", "labels", "entry", "table", "__weakref__")
+    __slots__ = ("blocks", "labels", "entry", "table", "views",
+                 "jit_entry", "__weakref__")
 
     def __init__(self, blocks: List[DecodedBlock],
-                 labels: Dict[str, int], entry: Optional[int]):
+                 labels: Dict[str, int], entry: Optional[int],
+                 views: Tuple[AsmInstr, ...] = ()):
         self.blocks = blocks
         self.labels = labels
         self.entry = entry
+        self.views = views
+        # (generation, JitProgram-or-sentinel) attached by
+        # repro.sim.jit.translate_cached; lives and dies with the
+        # decoded program so the warm path is one attribute read.
+        self.jit_entry = None
         self.table = tuple((b.body, b.branch, b.cycles, b.steps, b.next)
                            for b in blocks)
 
@@ -124,6 +142,7 @@ def decode(target: "TargetModel", code: CodeSeq) -> DecodedProgram:
         end = boundaries[number + 1]
         body: List[Callable] = []
         branch_fn: Optional[Callable] = None
+        plan: List[Tuple] = []
         cycles = 0
         steps = 0
         index = start
@@ -139,6 +158,7 @@ def decode(target: "TargetModel", code: CodeSeq) -> DecodedProgram:
                         or target.static_repeat(repeated) is not None:
                     raise DecodeFallback("unsupported repeat target")
                 body.append(_fuse_repeat(target, repeated, repeat))
+                plan.append(("repeat", index, index + 1, repeat))
                 cycles += view.cycles + repeat * repeated.cycles
                 steps += 1 + repeat
                 index += 2
@@ -149,15 +169,17 @@ def decode(target: "TargetModel", code: CodeSeq) -> DecodedProgram:
                 # by leader construction a branch is always last
                 branch_fn = step if pre is None \
                     else _with_pre(pre, step)
+                plan.append(("branch", index))
             else:
                 body.append(step if pre is None
                             else _with_pre(pre, step))
+                plan.append(("step", index))
             cycles += view.cycles
             steps += 1
             index += 1
         next_index = number + 1 if end < len(instructions) else None
         blocks.append(DecodedBlock(tuple(body), branch_fn, cycles,
-                                   steps, next_index))
+                                   steps, next_index, tuple(plan)))
 
     # Labels pointing past the last instruction (a branch there simply
     # terminates) resolve to an empty terminal block.
@@ -166,7 +188,7 @@ def decode(target: "TargetModel", code: CodeSeq) -> DecodedProgram:
     labels = {name: block_of_instr.get(target_index, terminal)
               for name, target_index in labels_at.items()}
     entry = 0 if instructions else None
-    return DecodedProgram(blocks, labels, entry)
+    return DecodedProgram(blocks, labels, entry, tuple(views))
 
 
 def _with_pre(pre: Callable, step: Callable) -> Callable:
@@ -240,9 +262,14 @@ def decode_cached(target: "TargetModel",
 
 
 def clear_decode_cache() -> None:
-    """Drop every cached decoded program (tests and benchmarks)."""
+    """Drop every cached decoded program and reset the stat counters
+    (tests and benchmarks).  Also clears the JIT tier's translated
+    programs and stats: a decoded form is the JIT's input, so the two
+    caches are only ever valid together."""
     _CACHE.clear()
     _STATS.update(hits=0, misses=0, fallbacks=0)
+    from repro.sim import jit      # local import: jit imports decode
+    jit.clear_jit_cache()
 
 
 def decode_cache_stats() -> Dict[str, int]:

@@ -13,8 +13,28 @@ from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 from repro.codegen.compiled import CompiledProgram
 from repro.ir.fixedpoint import FixedPointContext
 from repro.sim.fastmachine import FastMachine
+from repro.sim.jit import JitMachine
 from repro.sim.machine import Machine, MachineState, SimulationError
 from repro.sim.trace import Trace
+
+#: simulator tiers selectable via the ``sim=`` keyword, fastest first.
+SIM_TIERS = {"jit": JitMachine, "fast": FastMachine,
+             "reference": Machine}
+
+
+def _resolve_sim(sim: Optional[str], fast_sim: bool):
+    """Map the tier selector (plus the legacy ``fast_sim`` flag) to a
+    machine class.  ``sim`` wins when given; otherwise ``fast_sim=True``
+    selects the default jit tier and ``False`` the reference
+    interpreter."""
+    if sim is None:
+        sim = "jit" if fast_sim else "reference"
+    try:
+        return SIM_TIERS[sim]
+    except KeyError:
+        raise ValueError(
+            f"unknown simulator tier {sim!r}; "
+            f"choose from {sorted(SIM_TIERS)}") from None
 
 
 def load_environment(compiled: CompiledProgram,
@@ -65,24 +85,28 @@ def run_compiled(compiled: CompiledProgram,
                  state: Optional[MachineState] = None,
                  trace: Optional[Trace] = None,
                  max_steps: int = 2_000_000,
-                 fast_sim: bool = True
+                 fast_sim: bool = True,
+                 sim: Optional[str] = None
                  ) -> Tuple[Dict[str, object], MachineState]:
     """Execute one invocation; returns (environment after, state).
 
-    Runs the translation-caching :class:`FastMachine` by default (it
-    produces bit-identical environments and cycle counts); pass
-    ``fast_sim=False`` to force the reference interpreter.  Requesting
-    a trace always uses the reference interpreter.
+    ``sim`` selects the simulator tier: ``"jit"`` (the source-generating
+    default -- bit-identical environments and cycle counts), ``"fast"``
+    (pre-bound closures), or ``"reference"``.  The legacy ``fast_sim``
+    flag is honoured when ``sim`` is not given (``False`` means the
+    reference interpreter).  Requesting a trace always uses the
+    reference interpreter.
     """
     if state is None:
         state = compiled.target.initial_state()
     load_environment(compiled, env, state)
-    if fast_sim and trace is None:
-        FastMachine(compiled.target, max_steps=max_steps).run(
-            compiled.code, state)
-    else:
+    machine_cls = _resolve_sim(sim, fast_sim)
+    if machine_cls is Machine or trace is not None:
         Machine(compiled.target, max_steps=max_steps).run(
             compiled.code, state, trace)
+    else:
+        machine_cls(compiled.target, max_steps=max_steps).run(
+            compiled.code, state)
     return read_environment(compiled, state), state
 
 
@@ -90,7 +114,8 @@ def run_many(compiled: CompiledProgram,
              envs: Iterable[Mapping[str, object]],
              max_steps: int = 2_000_000,
              fast_sim: bool = True,
-             target=None
+             target=None,
+             sim: Optional[str] = None
              ) -> List[Tuple[Dict[str, object], MachineState]]:
     """Execute one compiled program over a batch of environments.
 
@@ -104,10 +129,12 @@ def run_many(compiled: CompiledProgram,
     program was compiled against -- a :class:`FaultySim` wrapper or any
     other compatible :class:`TargetModel`.  The substitute is a distinct
     decode-cache key, so faulty runs never pollute clean cached decodes.
+
+    ``sim`` selects the tier exactly as in :func:`run_compiled`.
     """
     use_target = target if target is not None else compiled.target
-    machine = (FastMachine if fast_sim else Machine)(
-        use_target, max_steps=max_steps)
+    machine = _resolve_sim(sim, fast_sim)(use_target,
+                                          max_steps=max_steps)
     results: List[Tuple[Dict[str, object], MachineState]] = []
     for env in envs:
         state = use_target.initial_state()
@@ -119,7 +146,8 @@ def run_many(compiled: CompiledProgram,
 
 def cycles_of(compiled: CompiledProgram,
               env: Mapping[str, object],
-              fast_sim: bool = True) -> int:
+              fast_sim: bool = True,
+              sim: Optional[str] = None) -> int:
     """Cycle count of one invocation (fresh machine)."""
-    _, state = run_compiled(compiled, env, fast_sim=fast_sim)
+    _, state = run_compiled(compiled, env, fast_sim=fast_sim, sim=sim)
     return state.cycles

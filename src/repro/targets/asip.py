@@ -36,7 +36,9 @@ from repro.codegen.asm import AsmInstr, Imm
 from repro.codegen.grammar import Cost, Nt, Pat, Rule, Term, TreeGrammar
 from repro.ir.trees import Tree
 from repro.sim.machine import MachineState
-from repro.targets.model import TargetCapabilities, binder, semantics
+from repro.targets.model import (
+    TargetCapabilities, binder, emitter, semantics,
+)
 from repro.targets.tc25 import TC25, _ins, _wrap32
 
 
@@ -198,3 +200,13 @@ class Asip(TC25):
             def step(state: MachineState) -> None:
                 state.regs["acc"] >>= amount
         return step
+
+    @emitter("SFLK", "SFRK")
+    def _emit_barrel_shift(self, instr: AsmInstr, ctx) -> bool:
+        amount = instr.operands[0].value
+        acc = ctx.reg("acc")
+        if instr.opcode == "SFLK":
+            ctx.set_reg("acc", ctx.wrap32(f"{acc} << {amount}"))
+        else:
+            ctx.set_reg("acc", f"{acc} >> {amount}")
+        return True

@@ -46,7 +46,7 @@ from repro.ir.ops import OpKind
 from repro.ir.trees import Tree
 from repro.sim.machine import MachineState, SimulationError
 from repro.targets.model import (
-    TargetCapabilities, TargetModel, binder, semantics,
+    TargetCapabilities, TargetModel, binder, emitter, semantics,
 )
 
 _MASK32 = (1 << 32) - 1
@@ -1020,6 +1020,184 @@ class M56(TargetModel):
     @binder("NOP")
     def _bind_nop(self, instr: AsmInstr):
         return lambda state: None
+
+    # -- JIT source templates ------------------------------------------
+    #
+    # One gather/commit emitter covers every data instruction including
+    # its parallel move slots, mirroring :meth:`execute`: all reads land
+    # in temporaries in gather order, then register writes, memory
+    # writes (16-bit wrapped) and pointer bumps commit in the reference
+    # order -- with operands and addresses resolved at generation time.
+    # Shapes the gather cannot express decline to the decoded
+    # gather/commit closure.
+
+    _LOGIC_CHARS = {"AND": "&", "OR": "|", "EOR": "^"}
+
+    def _jit_read(self, operand, ctx, post) -> Optional[str]:
+        """Gather one source operand into a temp (or an immediate
+        literal); ``None`` declines the instruction."""
+        if isinstance(operand, Reg):
+            tmp = ctx.tmp()
+            ctx.line(f"{tmp} = {ctx.reg(operand.name)}")
+            return tmp
+        if isinstance(operand, Imm):
+            return repr(operand.value)
+        if isinstance(operand, Mem):
+            if operand.mode == "direct":
+                tmp = ctx.tmp()
+                ctx.line(f"{tmp} = {ctx.load(operand.address)}")
+                return tmp
+            if operand.mode == "indirect":
+                if operand.post_modify:
+                    post.append((operand.areg, operand.post_modify))
+                tmp = ctx.tmp()
+                ctx.line(
+                    f"{tmp} = {ctx.load(ctx.reg(operand.areg))}")
+                return tmp
+        return None
+
+    def _jit_gather(self, part: AsmInstr, ctx, post, reg_writes,
+                    mem_writes) -> bool:
+        op = part.opcode
+        ops = part.operands
+        if op == "MOVE":
+            dst, src = ops
+            value = self._jit_read(src, ctx, post)
+            if value is None:
+                return False
+            if isinstance(dst, Reg):
+                wrap = ctx.wrap32 if dst.name == "a" else ctx.wrap16
+                tmp = ctx.tmp()
+                ctx.line(f"{tmp} = {wrap(value)}")
+                reg_writes.append((dst.name, tmp))
+                return True
+            if isinstance(dst, Mem) and dst.mode == "direct":
+                mem_writes.append((dst.address, value))
+                return True
+            if isinstance(dst, Mem) and dst.mode == "indirect":
+                address = ctx.tmp()
+                ctx.line(f"{address} = {ctx.reg(dst.areg)}")
+                if dst.post_modify:
+                    post.append((dst.areg, dst.post_modify))
+                mem_writes.append((address, value))
+                return True
+            return False
+        if op in ("MOVEI", "LUA"):
+            reg_writes.append((ops[0].name, repr(ops[1].value)))
+            return True
+        if op == "CLR":
+            reg_writes.append(("a", "0"))
+            return True
+        if op in ("ADD", "SUB"):
+            source = self._jit_read(ops[0], ctx, post)
+            if source is None:
+                return False
+            sign = "+" if op == "ADD" else "-"
+            tmp = ctx.tmp()
+            ctx.line(f"{tmp} = " + ctx.wrap32(
+                f"{ctx.reg('a')} {sign} ({source})"))
+            reg_writes.append(("a", tmp))
+            return True
+        if op in ("AND", "OR", "EOR"):
+            source = self._jit_read(ops[0], ctx, post)
+            if source is None:
+                return False
+            tmp = ctx.tmp()
+            ctx.line(f"{tmp} = {ctx.wrap16(ctx.reg('a'))} "
+                     f"{self._LOGIC_CHARS[op]} ({source})")
+            reg_writes.append(("a", tmp))
+            return True
+        if op in ("MPY", "MAC", "MACN", "MPYF", "MACF", "MACNF"):
+            x = self._jit_read(ops[0], ctx, post)
+            y = self._jit_read(ops[1], ctx, post)
+            if x is None or y is None:
+                return False
+            product = ctx.tmp()
+            ctx.line(f"{product} = ({x}) * ({y})")
+            if op.endswith("F"):
+                ctx.line(f"{product} >>= 15")
+            kind = op[:-1] if op.endswith("F") else op
+            if kind == "MPY":
+                expr = product
+            else:
+                sign = "+" if kind == "MAC" else "-"
+                expr = f"{ctx.reg('a')} {sign} {product}"
+            tmp = ctx.tmp()
+            ctx.line(f"{tmp} = {ctx.wrap32(expr)}")
+            reg_writes.append(("a", tmp))
+            return True
+        if op in ("SATA", "NEG", "ABS", "NOT", "ASL", "ASR"):
+            acc = ctx.reg("a")
+            expr = {
+                "SATA": f"max(-32768, min(32767, {acc}))",
+                "NEG": ctx.wrap32(f"-{acc}"),
+                "ABS": ctx.wrap32(f"abs({acc})"),
+                "NOT": f"~{ctx.wrap16(acc)}",
+                "ASL": ctx.wrap32(f"{acc} << 1"),
+                "ASR": f"{acc} >> 1",
+            }[op]
+            tmp = ctx.tmp()
+            ctx.line(f"{tmp} = {expr}")
+            reg_writes.append(("a", tmp))
+            return True
+        if op == "DO":
+            ctx.line(
+                f"state.loop_stack.append({ops[0].value - 1})")
+            return True
+        if op == "LEA":
+            operand = ops[0]
+            if not (isinstance(operand, Mem)
+                    and operand.mode == "indirect"):
+                return False
+            post.append((operand.areg, operand.post_modify))
+            return True
+        if op == "NOP":
+            return True
+        return False
+
+    @emitter("MOVE", "MOVEI", "LUA", "CLR", "ADD", "SUB", "AND", "OR",
+             "EOR", "MPY", "MAC", "MACN", "MPYF", "MACF", "MACNF",
+             "SATA", "NEG", "ABS", "NOT", "ASL", "ASR", "DO", "LEA",
+             "NOP")
+    def _emit_data(self, instr: AsmInstr, ctx) -> bool:
+        post: List[Tuple[str, int]] = []
+        reg_writes: List[Tuple[str, str]] = []
+        mem_writes: List[Tuple[object, str]] = []
+        for part in (instr,) + tuple(instr.parallel):
+            if not self._jit_gather(part, ctx, post, reg_writes,
+                                    mem_writes):
+                return False
+        for name, value in reg_writes:
+            ctx.set_reg(name, value)
+        for address, value in mem_writes:
+            ctx.store(address, ctx.wrap16(value))
+        for areg, bump in post:
+            ctx.set_reg(areg, f"{ctx.reg(areg)} + {bump}")
+        return True
+
+    @emitter("LOOPEND")
+    def _emit_loopend(self, instr: AsmInstr, ctx) -> bool:
+        if instr.parallel:
+            return False
+        label = instr.operands[0].name
+        ctx.helper("_no_do", (
+            "def _no_do():\n"
+            "    raise SimulationError(\"LOOPEND without DO\")"))
+        taken = ctx.tmp()
+        ctx.line("_ls = state.loop_stack")
+        ctx.line("if not _ls:")
+        with ctx.indented():
+            ctx.line("_no_do()")
+        ctx.line(f"{taken} = False")
+        ctx.line("if _ls[-1] > 0:")
+        with ctx.indented():
+            ctx.line("_ls[-1] -= 1")
+            ctx.line(f"{taken} = True")
+        ctx.line("else:")
+        with ctx.indented():
+            ctx.line("_ls.pop()")
+        ctx.jump_if(taken, label)
+        return True
 
 
 class M56SlotModel(SlotModel):

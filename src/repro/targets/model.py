@@ -61,6 +61,27 @@ def binder(*opcodes: str):
     return register
 
 
+def emitter(*opcodes: str):
+    """Register a JIT source template for ``opcodes``.
+
+    An emitter takes ``(instr, ctx)`` -- the decoded instruction view
+    and a :class:`repro.sim.jit.BlockEmitter` -- and appends specialized
+    Python source lines to the block being generated.  Return ``True``
+    when the instruction was emitted; any falsy return declines (the
+    JIT inlines a call to the instruction's bound closure instead), and
+    a raised exception abandons the whole block (it runs through its
+    already-decoded FastMachine closures).  Emitters must be
+    observationally identical to the :func:`semantics` handler for the
+    same opcode.
+    """
+
+    def register(fn):
+        fn.__emits__ = tuple(opcodes)
+        return fn
+
+    return register
+
+
 @dataclass(frozen=True)
 class TargetCapabilities:
     """Feature summary used by the optimizers and the processor cube.
@@ -118,6 +139,8 @@ class TargetModel:
     _BRANCH_OPCODES: frozenset = frozenset()
     #: opcode -> attribute name of the @binder specializer.
     _BINDER_ATTRS: Mapping[str, str] = {}
+    #: opcode -> attribute name of the @emitter JIT template.
+    _EMITTER_ATTRS: Mapping[str, str] = {}
 
     def __init__(self) -> None:
         self.fpc = FixedPointContext(self.word_bits)
@@ -127,6 +150,7 @@ class TargetModel:
         handlers: Dict[str, str] = {}
         branches = set()
         binders: Dict[str, str] = {}
+        emitters: Dict[str, str] = {}
         for klass in reversed(cls.__mro__):
             for attr, fn in vars(klass).items():
                 for opcode in getattr(fn, "__semantics__", ()):
@@ -137,9 +161,12 @@ class TargetModel:
                         branches.discard(opcode)
                 for opcode in getattr(fn, "__binds__", ()):
                     binders[opcode] = attr
+                for opcode in getattr(fn, "__emits__", ()):
+                    emitters[opcode] = attr
         cls._SEMANTICS_ATTRS = handlers
         cls._BRANCH_OPCODES = frozenset(branches)
         cls._BINDER_ATTRS = binders
+        cls._EMITTER_ATTRS = emitters
 
     # -- code selection --------------------------------------------------
 
@@ -169,6 +196,7 @@ class TargetModel:
         state.pop("_grammar_cache", None)
         state.pop("_dispatch_cache", None)
         state.pop("_binder_cache", None)
+        state.pop("_emitter_cache", None)
         return state
 
     # -- simulation -------------------------------------------------------
@@ -194,6 +222,37 @@ class TargetModel:
                      for opcode, attr in type(self)._BINDER_ATTRS.items()}
             self.__dict__["_binder_cache"] = table
         return table
+
+    def emitter_table(self) -> Dict[str, Callable]:
+        """opcode -> bound @emitter JIT template (built once per instance)."""
+        table = self.__dict__.get("_emitter_cache")
+        if table is None:
+            table = {opcode: getattr(self, attr)
+                     for opcode, attr in type(self)._EMITTER_ATTRS.items()}
+            self.__dict__["_emitter_cache"] = table
+        return table
+
+    def emit_py(self, instr: AsmInstr, ctx) -> bool:
+        """Append specialized Python source for ``instr`` to ``ctx``.
+
+        Tries the @emitter registry; returns ``True`` when source was
+        emitted, ``False`` when the JIT should inline a call to the
+        instruction's bound closure instead.  A raised exception makes
+        the JIT degrade the enclosing block to its FastMachine closures.
+        """
+        emit = self.emitter_table().get(instr.opcode)
+        if emit is None:
+            return False
+        return bool(emit(instr, ctx))
+
+    def emit_pre_py(self, instr: AsmInstr, ctx) -> bool:
+        """Emit the per-dispatch fixup (:meth:`pre_dispatch`) inline.
+
+        Returns ``True`` when nothing is needed or the fixup was
+        emitted as source; ``False`` makes the JIT call the
+        ``pre_dispatch`` closure (flushing its locals around it).
+        """
+        return self.pre_dispatch(instr) is None
 
     def execute(self, state: MachineState,
                 instr: AsmInstr) -> Optional[str]:

@@ -33,7 +33,7 @@ from repro.codegen.regalloc import allocate_registers
 from repro.ir.trees import Tree
 from repro.sim.machine import MachineState, SimulationError
 from repro.targets.model import (
-    TargetCapabilities, TargetModel, binder, semantics,
+    TargetCapabilities, TargetModel, binder, emitter, semantics,
 )
 
 _MASK16 = (1 << 16) - 1
@@ -444,3 +444,108 @@ class Risc16(TargetModel):
     @binder("NOP")
     def _bind_nop(self, instr: AsmInstr):
         return lambda state: None
+
+    # -- JIT source templates ------------------------------------------
+    #
+    # Post-modification is expanded into explicit ADDI during address
+    # assignment, so (like the binders) these ignore it and use the
+    # bare effective address.
+
+    _ALU_EXPRS = {
+        "MUL": "{a} * {b}", "AND": "{a} & {b}", "OR": "{a} | {b}",
+        "XOR": "{a} ^ {b}", "MIN": "min({a}, {b})",
+        "MAX": "max({a}, {b})",
+    }
+
+    @emitter("LW")
+    def _emit_lw(self, instr: AsmInstr, ctx) -> bool:
+        dest, source = instr.operands
+        ctx.set_reg(dest.name, ctx.load(ctx.mem_addr(source)))
+        return True
+
+    @emitter("SW")
+    def _emit_sw(self, instr: AsmInstr, ctx) -> bool:
+        source, dest = instr.operands
+        ctx.store(ctx.mem_addr(dest), ctx.wrap16(ctx.reg(source.name)))
+        return True
+
+    @emitter("LI")
+    def _emit_li(self, instr: AsmInstr, ctx) -> bool:
+        dest, imm = instr.operands
+        ctx.set_reg(dest.name, repr(imm.value))
+        return True
+
+    @emitter("ADD", "SUB")
+    def _emit_add_sub(self, instr: AsmInstr, ctx) -> bool:
+        dest, left, right = (operand.name for operand in instr.operands)
+        sign = "+" if instr.opcode == "ADD" else "-"
+        ctx.set_reg(dest, ctx.wrap32(
+            f"{ctx.reg(left)} {sign} {ctx.reg(right)}"))
+        return True
+
+    @emitter("MUL", "AND", "OR", "XOR", "MIN", "MAX")
+    def _emit_alu16(self, instr: AsmInstr, ctx) -> bool:
+        dest, left, right = (operand.name for operand in instr.operands)
+        a = ctx.tmp()
+        ctx.line(f"{a} = {ctx.wrap16(ctx.reg(left))}")
+        b = ctx.tmp()
+        ctx.line(f"{b} = {ctx.wrap16(ctx.reg(right))}")
+        expr = self._ALU_EXPRS[instr.opcode].format(a=a, b=b)
+        ctx.set_reg(dest, ctx.wrap32(expr))
+        return True
+
+    @emitter("ADDI")
+    def _emit_addi(self, instr: AsmInstr, ctx) -> bool:
+        dest = instr.operands[0].name
+        source = ctx.reg(instr.operands[1].name)
+        value = instr.operands[2].value
+        ctx.set_reg(dest, ctx.wrap32(f"{source} + ({value})"))
+        return True
+
+    @emitter("SLLI", "SRAI")
+    def _emit_shift_imm(self, instr: AsmInstr, ctx) -> bool:
+        dest = instr.operands[0].name
+        source = ctx.reg(instr.operands[1].name)
+        amount = instr.operands[2].value
+        if instr.opcode == "SLLI":
+            ctx.set_reg(dest, ctx.wrap32(f"{source} << {amount}"))
+        else:
+            ctx.set_reg(dest, f"{source} >> {amount}")
+        return True
+
+    @emitter("NEG")
+    def _emit_neg(self, instr: AsmInstr, ctx) -> bool:
+        dest, source = instr.operands
+        ctx.set_reg(dest.name, ctx.wrap32(f"-{ctx.reg(source.name)}"))
+        return True
+
+    @emitter("NOTR")
+    def _emit_notr(self, instr: AsmInstr, ctx) -> bool:
+        dest, source = instr.operands
+        ctx.set_reg(dest.name, f"~{ctx.wrap16(ctx.reg(source.name))}")
+        return True
+
+    @emitter("ABSR")
+    def _emit_absr(self, instr: AsmInstr, ctx) -> bool:
+        dest, source = instr.operands
+        ctx.set_reg(dest.name,
+                    ctx.wrap32(f"abs({ctx.reg(source.name)})"))
+        return True
+
+    @emitter("SATR")
+    def _emit_satr(self, instr: AsmInstr, ctx) -> bool:
+        dest, source = instr.operands
+        ctx.set_reg(dest.name,
+                    f"max(-32768, min(32767, {ctx.reg(source.name)}))")
+        return True
+
+    @emitter("BNEZ")
+    def _emit_bnez(self, instr: AsmInstr, ctx) -> bool:
+        counter = instr.operands[0].name
+        label = instr.operands[1].name
+        ctx.jump_if(f"{ctx.reg(counter)} != 0", label)
+        return True
+
+    @emitter("NOP")
+    def _emit_nop(self, instr: AsmInstr, ctx) -> bool:
+        return True

@@ -40,7 +40,7 @@ from repro.ir.ops import OpKind
 from repro.ir.trees import Tree
 from repro.sim.machine import MachineState, SimulationError
 from repro.targets.model import (
-    TargetCapabilities, TargetModel, binder, semantics,
+    TargetCapabilities, TargetModel, binder, emitter, semantics,
 )
 
 _MASK32 = (1 << 32) - 1
@@ -1112,6 +1112,290 @@ class TC25(TargetModel):
     @binder("NOP")
     def _bind_nop(self, instr: AsmInstr):
         return lambda state: None
+
+    # ------------------------------------------------------------------
+    # JIT source templates (the @emitter registry)
+    # ------------------------------------------------------------------
+    #
+    # One template per opcode group, mirroring the @semantics handlers
+    # above statement for statement: the JIT tier (repro.sim.jit) calls
+    # these to append specialized source with operands folded into
+    # literals and registers held in locals.  A template that cannot
+    # express an operand shape raises or returns False and the JIT
+    # degrades (closure call / decoded block / reference interpreter)
+    # without changing results.
+
+    def emit_pre_py(self, instr: AsmInstr, ctx) -> bool:
+        # Mirrors pre_dispatch: MAC/MACD reset the coefficient stream.
+        if instr.opcode in ("MAC", "MACD"):
+            ctx.set_reg("mac_idx", "0")
+        return True
+
+    @emitter("ZAC")
+    def _emit_zac(self, instr: AsmInstr, ctx) -> bool:
+        ctx.set_reg("acc", "0")
+        return True
+
+    @emitter("LACK", "LALK")
+    def _emit_load_imm(self, instr: AsmInstr, ctx) -> bool:
+        ctx.set_reg("acc", repr(instr.operands[0].value))
+        return True
+
+    @emitter("LAC")
+    def _emit_lac(self, instr: AsmInstr, ctx) -> bool:
+        ctx.set_reg("acc", ctx.read_mem(instr.operands[0]))
+        return True
+
+    @emitter("LACS")
+    def _emit_lacs(self, instr: AsmInstr, ctx) -> bool:
+        value = ctx.read_mem(instr.operands[0])
+        shift = instr.operands[1].value
+        ctx.set_reg("acc", ctx.wrap32(f"({value}) << {shift}"))
+        return True
+
+    @emitter("ADD", "SUB")
+    def _emit_add_sub(self, instr: AsmInstr, ctx) -> bool:
+        value = ctx.read_mem(instr.operands[0])
+        sign = "+" if instr.opcode == "ADD" else "-"
+        acc = ctx.reg("acc")
+        ctx.set_reg("acc", ctx.wrap32(f"{acc} {sign} ({value})"))
+        return True
+
+    @emitter("ADDK", "ADLK", "SUBK", "SBLK")
+    def _emit_add_sub_imm(self, instr: AsmInstr, ctx) -> bool:
+        sign = "+" if instr.opcode in ("ADDK", "ADLK") else "-"
+        acc = ctx.reg("acc")
+        ctx.set_reg("acc", ctx.wrap32(
+            f"{acc} {sign} ({instr.operands[0].value})"))
+        return True
+
+    @emitter("ANDK", "ORK", "XORK")
+    def _emit_logic_imm(self, instr: AsmInstr, ctx) -> bool:
+        op = {"ANDK": "&", "ORK": "|", "XORK": "^"}[instr.opcode]
+        acc = ctx.reg("acc")
+        ctx.set_reg("acc", f"{ctx.wrap16(acc)} {op} "
+                           f"({instr.operands[0].value})")
+        return True
+
+    @emitter("AND", "OR", "XOR")
+    def _emit_logic(self, instr: AsmInstr, ctx) -> bool:
+        op = {"AND": "&", "OR": "|", "XOR": "^"}[instr.opcode]
+        acc16 = ctx.wrap16(ctx.reg("acc"))
+        value = ctx.read_mem(instr.operands[0])
+        ctx.set_reg("acc", f"{acc16} {op} ({value})")
+        return True
+
+    @emitter("CMPL")
+    def _emit_cmpl(self, instr: AsmInstr, ctx) -> bool:
+        ctx.set_reg("acc", f"~{ctx.wrap16(ctx.reg('acc'))}")
+        return True
+
+    @emitter("NEG")
+    def _emit_neg(self, instr: AsmInstr, ctx) -> bool:
+        ctx.set_reg("acc", ctx.wrap32(f"-{ctx.reg('acc')}"))
+        return True
+
+    @emitter("ABS")
+    def _emit_abs(self, instr: AsmInstr, ctx) -> bool:
+        ctx.set_reg("acc", ctx.wrap32(f"abs({ctx.reg('acc')})"))
+        return True
+
+    @emitter("SATL")
+    def _emit_satl(self, instr: AsmInstr, ctx) -> bool:
+        acc = ctx.reg("acc")
+        ctx.set_reg("acc", f"max(-32768, min(32767, {acc}))")
+        return True
+
+    @emitter("SFL")
+    def _emit_sfl(self, instr: AsmInstr, ctx) -> bool:
+        ctx.set_reg("acc", ctx.wrap32(f"{ctx.reg('acc')} << 1"))
+        return True
+
+    @emitter("SFR")
+    def _emit_sfr(self, instr: AsmInstr, ctx) -> bool:
+        ctx.set_reg("acc", f"{ctx.reg('acc')} >> 1")
+        return True
+
+    @emitter("SACL")
+    def _emit_sacl(self, instr: AsmInstr, ctx) -> bool:
+        ctx.write_mem(instr.operands[0], ctx.reg("acc"))
+        return True
+
+    @emitter("SACH")
+    def _emit_sach(self, instr: AsmInstr, ctx) -> bool:
+        ctx.write_mem(instr.operands[0], f"{ctx.reg('acc')} >> 16")
+        return True
+
+    @emitter("ZALH")
+    def _emit_zalh(self, instr: AsmInstr, ctx) -> bool:
+        value = ctx.read_mem(instr.operands[0])
+        ctx.set_reg("acc", ctx.wrap32(f"({value}) << 16"))
+        return True
+
+    @emitter("ADDS")
+    def _emit_adds(self, instr: AsmInstr, ctx) -> bool:
+        value = ctx.read_mem(instr.operands[0])
+        acc = ctx.reg("acc")
+        ctx.set_reg("acc", ctx.wrap32(f"{acc} + (({value}) & 0xFFFF)"))
+        return True
+
+    def _emit_delay_store(self, ctx, operand, addr) -> str:
+        """Shared DMOV/MACD/LTD tail: load ``addr``, store the raw
+        value (no wrap) one cell up, return the loaded temp."""
+        data = ctx.tmp()
+        ctx.line(f"{data} = {ctx.load(addr)}")
+        if isinstance(addr, int):
+            dest = addr + 1
+        else:
+            dest = ctx.tmp()
+            ctx.line(f"{dest} = {addr} + 1")
+        ctx.store(dest, data)
+        return data
+
+    @emitter("DMOV")
+    def _emit_dmov(self, instr: AsmInstr, ctx) -> bool:
+        operand = instr.operands[0]
+        addr = ctx.mem_addr(operand)
+        self._emit_delay_store(ctx, operand, addr)
+        ctx.post_bump(operand, addr)
+        return True
+
+    @emitter("LT")
+    def _emit_lt(self, instr: AsmInstr, ctx) -> bool:
+        ctx.set_reg("t", ctx.read_mem(instr.operands[0]))
+        return True
+
+    @emitter("MPY")
+    def _emit_mpy(self, instr: AsmInstr, ctx) -> bool:
+        t = ctx.reg("t")
+        value = ctx.read_mem(instr.operands[0])
+        ctx.set_reg("p", ctx.wrap32(f"{t} * ({value})"))
+        return True
+
+    @emitter("MPYK")
+    def _emit_mpyk(self, instr: AsmInstr, ctx) -> bool:
+        t = ctx.reg("t")
+        ctx.set_reg("p", ctx.wrap32(
+            f"{t} * ({instr.operands[0].value})"))
+        return True
+
+    @emitter("PAC", "APAC", "SPAC")
+    def _emit_pac_group(self, instr: AsmInstr, ctx) -> bool:
+        p = ctx.reg("p")
+        pm = ctx.mode("pm")
+        if instr.opcode == "PAC":
+            ctx.set_reg("acc", f"{p} >> {pm}")
+        else:
+            sign = "+" if instr.opcode == "APAC" else "-"
+            acc = ctx.reg("acc")
+            ctx.set_reg("acc", ctx.wrap32(
+                f"{acc} {sign} ({p} >> {pm})"))
+        return True
+
+    @emitter("SPM")
+    def _emit_spm(self, instr: AsmInstr, ctx) -> bool:
+        ctx.set_mode("pm", repr(instr.operands[0].value))
+        return True
+
+    @emitter("LARK", "LRLK")
+    def _emit_load_ar(self, instr: AsmInstr, ctx) -> bool:
+        ctx.set_reg(instr.operands[0].name,
+                    repr(instr.operands[1].value))
+        return True
+
+    @emitter("LAR")
+    def _emit_lar(self, instr: AsmInstr, ctx) -> bool:
+        ctx.set_reg(instr.operands[0].name,
+                    ctx.read_mem(instr.operands[1]))
+        return True
+
+    @emitter("SAR")
+    def _emit_sar(self, instr: AsmInstr, ctx) -> bool:
+        ctx.write_mem(instr.operands[1],
+                      ctx.reg(instr.operands[0].name))
+        return True
+
+    @emitter("MAC", "MACD")
+    def _emit_mac(self, instr: AsmInstr, ctx) -> bool:
+        table = instr.operands[0].name
+        operand = instr.operands[1]
+        tbl, tbl_len = ctx.pmem_table(table)
+        ctx.helper("_mac_oob", (
+            "def _mac_oob(n, i):\n"
+            "    raise SimulationError(\n"
+            "        f\"MAC read past end of table {n!r} "
+            "(index {i})\")"))
+        addr = ctx.mem_addr(operand)
+        if instr.opcode == "MACD":
+            data = self._emit_delay_store(ctx, operand, addr)
+        else:
+            data = ctx.tmp()
+            ctx.line(f"{data} = {ctx.load(addr)}")
+        ctx.post_bump(operand, addr)
+        idx = ctx.tmp()
+        ctx.line(f"{idx} = {ctx.reg('mac_idx')}")
+        ctx.line(f"if not 0 <= {idx} < {tbl_len}:")
+        with ctx.indented():
+            ctx.line(f"_mac_oob({table!r}, {idx})")
+        ctx.set_reg("mac_idx", f"{idx} + 1")
+        acc = ctx.reg("acc")
+        p = ctx.reg("p")
+        pm = ctx.mode("pm")
+        ctx.set_reg("acc", ctx.wrap32(f"{acc} + ({p} >> {pm})"))
+        ctx.set_reg("p", ctx.wrap32(f"{tbl}[{idx}] * {data}"))
+        return True
+
+    @emitter("LTA", "LTS", "LTP")
+    def _emit_lt_combo(self, instr: AsmInstr, ctx) -> bool:
+        p = ctx.reg("p")
+        pm = ctx.mode("pm")
+        if instr.opcode == "LTP":
+            ctx.set_reg("acc", f"{p} >> {pm}")
+        else:
+            sign = "+" if instr.opcode == "LTA" else "-"
+            acc = ctx.reg("acc")
+            ctx.set_reg("acc", ctx.wrap32(
+                f"{acc} {sign} ({p} >> {pm})"))
+        ctx.set_reg("t", ctx.read_mem(instr.operands[0]))
+        return True
+
+    @emitter("LTD")
+    def _emit_ltd(self, instr: AsmInstr, ctx) -> bool:
+        acc = ctx.reg("acc")
+        p = ctx.reg("p")
+        pm = ctx.mode("pm")
+        ctx.set_reg("acc", ctx.wrap32(f"{acc} + ({p} >> {pm})"))
+        operand = instr.operands[0]
+        addr = ctx.mem_addr(operand)
+        data = self._emit_delay_store(ctx, operand, addr)
+        ctx.set_reg("t", data)
+        ctx.post_bump(operand, addr)
+        return True
+
+    @emitter("B")
+    def _emit_b(self, instr: AsmInstr, ctx) -> bool:
+        ctx.jump(instr.operands[0].name)
+        return True
+
+    @emitter("BANZ")
+    def _emit_banz(self, instr: AsmInstr, ctx) -> bool:
+        label = instr.operands[0].name
+        areg = instr.operands[1].name
+        value = ctx.tmp()
+        ctx.line(f"{value} = {ctx.reg(areg)}")
+        ctx.set_reg(areg, ctx.wrap16(f"{value} - 1"))
+        ctx.jump_if(f"{value} != 0", label)
+        return True
+
+    @emitter("MAR")
+    def _emit_mar(self, instr: AsmInstr, ctx) -> bool:
+        operand = instr.operands[0]
+        ctx.post_bump(operand, ctx.mem_addr(operand))
+        return True
+
+    @emitter("NOP")
+    def _emit_nop(self, instr: AsmInstr, ctx) -> bool:
+        return True
 
     # ------------------------------------------------------------------
     # Loop realization

@@ -19,9 +19,10 @@ Word layout::
              absolute address, branch target (instruction word address),
              or program-memory table index (MAC/MACD)
 
-    special  MPYK uses the reserved opcode prefix 0b1111 with a 12-bit
-             signed immediate in [11:0] (the real part also gives MPYK a
-             dedicated prefix for its 13-bit immediate)
+    special  MPYK uses the reserved opcode prefix 0b111 with a 13-bit
+             signed immediate in [12:0], matching the 13-bit immediate
+             the real part gives MPYK (and the selector's operand
+             predicate)
 
 Post-modify codes index ``POST_CODES`` (the AGU stride table).
 """
@@ -46,7 +47,7 @@ OPCODES: List[str] = [
     "LACS", "B", "BANZ",
 ]
 OPCODE_OF = {name: number for number, name in enumerate(OPCODES)}
-MPYK_PREFIX = 0b1111 << 12
+MPYK_PREFIX = 0b111 << 13
 
 POST_CODES = [-8, -4, -2, -1, 0, 1, 2, 4]
 
@@ -149,9 +150,9 @@ def _encode(instr: AsmInstr, labels: Dict[str, int],
     opcode = instr.opcode
     if opcode == "MPYK":
         value = instr.operands[0].value
-        if not -2048 <= value <= 2047:
-            raise EncodingError(f"MPYK immediate {value} exceeds 12 bits")
-        return [MPYK_PREFIX | (value & 0xFFF)]
+        if not -4096 <= value <= 4095:
+            raise EncodingError(f"MPYK immediate {value} exceeds 13 bits")
+        return [MPYK_PREFIX | (value & 0x1FFF)]
     if opcode not in OPCODE_OF:
         raise EncodingError(f"no encoding for opcode {opcode!r}")
     word = OPCODE_OF[opcode] << 10
@@ -234,10 +235,10 @@ def disassemble(image: MachineImage) -> CodeSeq:
         address = cursor
         word = image.words[cursor]
         cursor += 1
-        if (word & MPYK_PREFIX) == MPYK_PREFIX and (word >> 12) == 0xF:
-            value = word & 0xFFF
-            if value >= 2048:
-                value -= 4096
+        if (word >> 13) == 0b111:
+            value = word & 0x1FFF
+            if value >= 4096:
+                value -= 8192
             decoded.append((address,
                             AsmInstr(opcode="MPYK",
                                      operands=(Imm(value),))))

@@ -200,6 +200,18 @@ def main(argv=None) -> int:
             f"{stage} {seconds:.2f}s"
             for stage, seconds in sorted(timings.items(),
                                          key=lambda kv: -kv[1])))
+    decode = report.sim_stats.get("decode_cache")
+    jit = report.sim_stats.get("jit")
+    if decode is not None and jit is not None:
+        print(f"  sim tiers: decode cache {decode['hits']} hits / "
+              f"{decode['misses']} misses / "
+              f"{decode['fallbacks']} fallbacks; "
+              f"jit {jit['blocks_emitted']} blocks emitted "
+              f"({jit['loop_blocks']} fused loops), "
+              f"{jit['blocks_closure']} closure blocks, "
+              f"{jit['fallbacks']} program fallbacks, "
+              f"source cache {jit['source_cache_hits']} hits / "
+              f"{jit['source_cache_misses']} misses")
 
     if args.json is not None:
         args.json.write_text(json.dumps(report.to_json(), indent=2) + "\n")

@@ -2,7 +2,8 @@
 
 One generated program fans out over the full conformance matrix::
 
-    {RECORD, baseline} x {tc25, m56, risc16, asip} x {Machine, FastMachine}
+    {RECORD, baseline} x {tc25, m56, risc16, asip}
+                       x {Machine, FastMachine, JitMachine}
 
 (the baseline compiler only exists for the TC25 family, so its cells
 only appear there).  Every cell's final output environment is compared
@@ -13,7 +14,7 @@ against the independent IR-level oracle, and disagreements are
                           program;
 - ``sim-crash``           the simulator raised while executing
                           compiled code;
-- ``simulator``           the two simulators disagree on the *same*
+- ``simulator``           the simulator tiers disagree on the *same*
                           compiled code (a decode/translation bug);
 - ``overflow-semantics``  both simulators agree, the oracle disagrees,
                           but flipping the oracle's overflow mode
@@ -42,7 +43,7 @@ from repro.verify.oracle import Oracle, OracleError
 from repro.verify.progen import ProgenConfig, generate_inputs, generate_program
 
 DEFAULT_TARGETS: Tuple[str, ...] = ("tc25", "m56", "risc16", "asip")
-SIM_NAMES: Tuple[str, ...] = ("reference", "fast")
+SIM_NAMES: Tuple[str, ...] = ("reference", "fast", "jit")
 
 
 class MismatchClass:
@@ -284,7 +285,7 @@ def check_program(program: Program,
                 cell = Cell(compiler_name, target_name, sim_name)
                 try:
                     results = run_many(compiled, input_sets,
-                                       fast_sim=(sim_name == "fast"),
+                                       sim=sim_name,
                                        target=run_target)
                 except Exception as exc:
                     per_sim[sim_name] = None
@@ -310,8 +311,9 @@ def _classify(program: Program, verdict: ProgramVerdict,
     """Append outcomes for the sims that ran, with triage classes."""
     ran = {name: outs for name, outs in per_sim.items()
            if outs is not None}
-    sims_disagree = (len(ran) == 2
-                     and ran["reference"] != ran["fast"])
+    ran_outputs = list(ran.values())
+    sims_disagree = any(outputs != ran_outputs[0]
+                        for outputs in ran_outputs[1:])
     saturating: Optional[List[Dict[str, object]]] = None
 
     for sim_name, outputs_sets in ran.items():
@@ -401,6 +403,9 @@ class ConformanceReport:
     elapsed_seconds: float = 0.0
     budget_exhausted: bool = False
     jobs: int = 1
+    #: decode/jit cache+codegen counters captured at the end of the run
+    #: (this process only; parallel workers keep their own counters).
+    sim_stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     @property
     def mismatches(self) -> List[Tuple[ProgramVerdict, CellOutcome]]:
@@ -452,7 +457,7 @@ class ConformanceReport:
         lines = [
             f"conformance: {len(self.verdicts)} programs x "
             f"{{record,baseline}} x {{{','.join(self.targets)}}} x "
-            f"{{reference,fast}} = {self.cells_checked} cells "
+            f"{{{','.join(SIM_NAMES)}}} = {self.cells_checked} cells "
             f"in {self.elapsed_seconds:.1f}s "
             f"({self.programs_per_second:.1f} programs/s, "
             f"jobs={self.jobs})",
@@ -516,6 +521,7 @@ class ConformanceReport:
                 stage: round(seconds, 4)
                 for stage, seconds in sorted(self.stage_timings().items())
             },
+            "simulators": self.sim_stats,
         }
         return record
 
@@ -580,6 +586,10 @@ def run_conformance(count: int = 20,
             if on_program is not None:
                 on_program(program, input_sets, verdict)
     report.elapsed_seconds = time.monotonic() - started
+    from repro.sim.decode import decode_cache_stats
+    from repro.sim.jit import jit_cache_stats
+    report.sim_stats = {"decode_cache": decode_cache_stats(),
+                        "jit": jit_cache_stats()}
     return report
 
 

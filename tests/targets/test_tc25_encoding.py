@@ -50,7 +50,7 @@ def test_roundtrip_simulates_identically(name, make):
 
 def test_opcode_table_is_stable_and_unique():
     assert len(OPCODES) == len(set(OPCODES))
-    assert len(OPCODES) <= 60          # 6-bit space minus MPYK prefix
+    assert len(OPCODES) <= 56          # 6-bit space minus MPYK prefix
     assert OPCODES[0] == "NOP"         # format anchors
 
 
