@@ -1,0 +1,258 @@
+"""Compile-service throughput benchmark: the dedup ladder end to end.
+
+PR 6 made batch compiles cheap (farm) and PR 5 made repeats free
+(artifact cache); the serve layer composes them behind one socket.
+This bench boots a real server, drives the seeded hot/cold workload of
+:mod:`repro.serve.traffic` over concurrent connections, and enforces
+the three contracts the service exists to provide:
+
+- **zero recompiles** -- within one run, each (program, compiler,
+  target) cell is farm-compiled at most once; every other request in
+  the cell is answered by the in-flight map or the artifact store;
+- **hot repeats are all-hot** -- a second pass over the identical
+  workload dispatches *nothing* to the farm: 100% of keyed requests
+  come back ``cache`` (or ``coalesced`` behind a concurrent twin);
+- **identity** -- listings, outputs and cycle counts match a direct
+  in-process ``repro.api`` call byte for byte (modulo the JSON wire).
+
+Results land in ``BENCH_SERVE.json`` at the repository root:
+sustained requests/second, p50/p95 latency, served-by breakdown and
+the server's own dedup/cache counters for both passes.
+
+Run:  python benchmarks/bench_serve_speed.py             (full load)
+or :  python benchmarks/bench_serve_speed.py --quick     (CI smoke)
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import shutil
+import sys
+import tempfile
+import threading
+from pathlib import Path
+from typing import Dict, List, Optional
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.serve.client import ServeClient                  # noqa: E402
+from repro.serve.server import CompileService, ReproServer  # noqa: E402
+from repro.serve.traffic import (                           # noqa: E402
+    TrafficConfig, build_requests, drive,
+)
+
+REQUESTS = 200
+QUICK_REQUESTS = 60
+COLD_PROGRAMS = 20
+QUICK_COLD = 8
+CONNECTIONS = 4
+
+
+class LiveServer:
+    """A server on a background thread with its own event loop."""
+
+    def __init__(self, cache_dir: Path, use_pool: bool,
+                 workers: Optional[int]) -> None:
+        self._ready = threading.Event()
+        self._box: Dict[str, object] = {}
+        self._thread = threading.Thread(
+            target=self._serve, args=(cache_dir, use_pool, workers),
+            daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout=120):
+            raise RuntimeError("server failed to start")
+        if "error" in self._box:
+            raise RuntimeError(self._box["error"])
+
+    def _serve(self, cache_dir: Path, use_pool: bool,
+               workers: Optional[int]) -> None:
+        async def main() -> None:
+            try:
+                service = CompileService(cache_dir=cache_dir,
+                                         use_pool=use_pool,
+                                         workers=workers)
+                server = ReproServer(service, host="127.0.0.1", port=0)
+                await server.start()
+            except Exception as exc:               # noqa: BLE001
+                self._box["error"] = repr(exc)
+                self._ready.set()
+                return
+            self._box["port"] = server.port
+            self._ready.set()
+            await server.serve_until_shutdown()
+
+        asyncio.run(main())
+
+    @property
+    def port(self) -> int:
+        return self._box["port"]
+
+    def shutdown(self) -> None:
+        try:
+            with ServeClient(port=self.port) as client:
+                client.shutdown()
+        except OSError:
+            pass
+        self._thread.join(timeout=60)
+
+
+def check_identity(port: int, seed: int) -> Dict[str, object]:
+    """Serve responses vs direct ``repro.api`` calls, byte for byte.
+
+    The wire adds one JSON round trip, so the direct results are
+    JSON-normalized before comparison -- any value the trip would
+    change (it shouldn't) counts as a mismatch.
+    """
+    from repro.api import compile_kernel
+    from repro.dspstone import kernel
+    from repro.serve.traffic import HOT_KERNELS
+
+    checked = 0
+    mismatches: List[str] = []
+    with ServeClient(port=port) as client:
+        for name in HOT_KERNELS:
+            for target in ("tc25", "m56", "risc16", "asip"):
+                direct = compile_kernel(name, target=target)
+                served = client.compile(kernel=name, target=target)
+                checked += 1
+                if served["result"]["listing"] != direct.listing() \
+                        or served["result"]["words"] != direct.words():
+                    mismatches.append(f"compile:{name}/{target}")
+            inputs = kernel(name).inputs(seed=seed)
+            direct_out, direct_cycles = \
+                compile_kernel(name).run(inputs)
+            served = client.simulate(kernel=name, inputs=inputs,
+                                     sim="jit")
+            checked += 1
+            if served["result"]["outputs"] != json.loads(
+                    json.dumps(direct_out)) \
+                    or served["result"]["cycles"] != direct_cycles:
+                mismatches.append(f"simulate:{name}")
+    return {"checked": checked, "identical": not mismatches,
+            "mismatches": mismatches}
+
+
+def measure(requests: int, cold_programs: int, connections: int,
+            cache_dir: Path, use_pool: bool,
+            workers: Optional[int], seed: int) -> Dict[str, object]:
+    """Two passes of the identical workload against one server."""
+    server = LiveServer(cache_dir, use_pool, workers)
+    try:
+        config = TrafficConfig(requests=requests,
+                               cold_programs=cold_programs,
+                               connections=connections, seed=seed)
+        items = build_requests(config)
+        cold = drive("127.0.0.1", server.port, items,
+                     connections=connections)
+        warm = drive("127.0.0.1", server.port, items,
+                     connections=connections)
+        identity = check_identity(server.port, seed)
+    finally:
+        server.shutdown()
+
+    warm_counts = warm.served_by_counts()
+    return {
+        "requests": requests,
+        "cold_programs": cold_programs,
+        "connections": connections,
+        "seed": seed,
+        "pool": "process" if use_pool else "serial",
+        "cold_pass": cold.to_json(),
+        "warm_pass": warm.to_json(),
+        "recompiles_cold": cold.recompiles(),
+        "warm_farm_dispatches": warm_counts.get("farm", 0),
+        "identity": identity,
+    }
+
+
+def render(report: Dict[str, object]) -> str:
+    lines = [f"{'pass':6s} {'req/s':>8s} {'p50 ms':>8s} {'p95 ms':>8s} "
+             f"{'farm':>5s} {'cache':>6s} {'coal':>5s}",
+             "-" * 52]
+    for label in ("cold_pass", "warm_pass"):
+        row = report[label]
+        served = row["served_by"]
+        lines.append(
+            f"{label.split('_')[0]:6s} "
+            f"{row['requests_per_second']:>8.1f} "
+            f"{row['latency_p50_ms']:>8.2f} "
+            f"{row['latency_p95_ms']:>8.2f} "
+            f"{served.get('farm', 0):>5d} {served.get('cache', 0):>6d} "
+            f"{served.get('coalesced', 0):>5d}")
+    lines.append("-" * 52)
+    lines.append(f"recompiles (cold pass): {report['recompiles_cold']}")
+    lines.append(f"farm dispatches on hot repeat pass: "
+                 f"{report['warm_farm_dispatches']}")
+    identity = report["identity"]
+    lines.append(f"identity vs direct repro.api: "
+                 f"{identity['checked']} checked, "
+                 + ("all identical" if identity["identical"]
+                    else f"MISMATCHES: {identity['mismatches']}"))
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help=f"CI smoke: {QUICK_REQUESTS} requests, "
+                             f"{QUICK_COLD} cold programs")
+    parser.add_argument("--requests", type=int, default=None)
+    parser.add_argument("--cold-programs", type=int, default=None)
+    parser.add_argument("--connections", type=int,
+                        default=CONNECTIONS)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--serial", action="store_true",
+                        help="serve without a process pool")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="farm worker processes")
+    parser.add_argument("--cache-dir", type=Path, default=None,
+                        help="persistent cache dir (default: a "
+                             "throwaway temp dir, so every run starts "
+                             "cold)")
+    parser.add_argument("--output",
+                        default=str(ROOT / "BENCH_SERVE.json"),
+                        help="where the report JSON is written")
+    args = parser.parse_args(argv)
+
+    requests = args.requests or (QUICK_REQUESTS if args.quick
+                                 else REQUESTS)
+    cold_programs = args.cold_programs if args.cold_programs is not None \
+        else (QUICK_COLD if args.quick else COLD_PROGRAMS)
+
+    scratch = None
+    cache_dir = args.cache_dir
+    if cache_dir is None:
+        scratch = tempfile.mkdtemp(prefix="bench-serve-")
+        cache_dir = Path(scratch) / "cache"
+    try:
+        report = measure(requests, cold_programs, args.connections,
+                         cache_dir, use_pool=not args.serial,
+                         workers=args.jobs, seed=args.seed)
+    finally:
+        if scratch is not None:
+            shutil.rmtree(scratch, ignore_errors=True)
+
+    print(render(report))
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+
+    if report["recompiles_cold"] != 0:
+        print("FAIL: repeated artifact cells recompiled during the "
+              "cold pass", file=sys.stderr)
+        return 1
+    if report["warm_farm_dispatches"] != 0:
+        print("FAIL: hot repeat pass dispatched to the farm",
+              file=sys.stderr)
+        return 1
+    if not report["identity"]["identical"]:
+        print("FAIL: serve results diverge from direct repro.api",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,8 @@ Commands:
 - ``selftest``                  -- Sec. 4.5 fault-coverage run
 - ``verify``                    -- differential conformance fuzzing
                                   (forwards to ``python -m repro.verify``)
+- ``serve``                     -- long-running compile service
+                                  (forwards to ``python -m repro.serve``)
 """
 
 from __future__ import annotations
@@ -138,11 +140,14 @@ def main(argv=None) -> int:
     """CLI entry point; returns a process exit code."""
     if argv is None:
         argv = sys.argv[1:]
-    # ``verify`` owns its whole argument tail (argparse subparsers
-    # cannot pass through unknown options); forward it verbatim.
+    # ``verify`` and ``serve`` own their whole argument tails (argparse
+    # subparsers cannot pass through unknown options); forward verbatim.
     if argv and argv[0] == "verify":
         from repro.verify.__main__ import main as verify_main
         return verify_main(list(argv[1:]))
+    if argv and argv[0] == "serve":
+        from repro.serve.__main__ import main as serve_main
+        return serve_main(list(argv[1:]))
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Retargetable code generation for embedded core "
@@ -185,6 +190,9 @@ def main(argv=None) -> int:
     commands.add_parser(
         "verify", help="differential conformance fuzzing "
                        "(see python -m repro.verify --help)")
+    commands.add_parser(
+        "serve", help="long-running compile/simulate/verify service "
+                      "(see python -m repro serve --help)")
 
     args = parser.parse_args(argv)
     handler = {

@@ -60,6 +60,10 @@ class CacheStats:
     evictions: int = 0
     corrupt_entries: int = 0
     store_failures: int = 0
+    #: Read hits whose entry mtime was refreshed -- the LRU size bound
+    #: sorts by mtime, so touched (hot) entries outlive cold ones even
+    #: when they were written first.
+    touches: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -77,6 +81,7 @@ class CacheStats:
             "evictions": self.evictions,
             "corrupt_entries": self.corrupt_entries,
             "store_failures": self.store_failures,
+            "touches": self.touches,
         }
 
 
@@ -153,10 +158,7 @@ class ArtifactCache:
             return None
         self.stats.hits += 1
         compiled.stats["artifact_cache"] = "hit"
-        try:
-            os.utime(path)             # refresh LRU position
-        except OSError:
-            pass
+        self._touch(path)
         return compiled
 
     def get_source(self, key: str) -> Optional[str]:
@@ -169,11 +171,16 @@ class ArtifactCache:
             self.stats.misses += 1
             return None
         self.stats.hits += 1
-        try:
-            os.utime(path)             # refresh LRU position
-        except OSError:
-            pass
+        self._touch(path)
         return source
+
+    def _touch(self, path: Path) -> None:
+        """Refresh an entry's LRU position (counted in ``stats``)."""
+        try:
+            os.utime(path)
+        except OSError:
+            return                 # entry evicted under us: still a hit
+        self.stats.touches += 1
 
     # -- store ----------------------------------------------------------
 

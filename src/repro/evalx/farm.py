@@ -16,9 +16,14 @@ shared engine:
   (plain dicts), everything else by registry name, and the worker
   rebuilds the program and fans it over the matrix;
 - :func:`compile_many` / :func:`verify_many` run a job list either
-  serially or on a ``concurrent.futures`` process pool.  Results come
-  back in job order in both modes (``Executor.map`` preserves
-  ordering), so callers are oblivious to how the work was scheduled;
+  serially, on a per-call ``concurrent.futures`` process pool, or on a
+  caller-owned persistent executor (:func:`make_farm_executor`).
+  Results come back in job order in all modes (``Executor.map``
+  preserves ordering), so callers are oblivious to how the work was
+  scheduled.  Identical jobs within one submission are keyed by
+  content hash and dispatched once, the shared result fanned back out
+  to every duplicate -- a batch of N equal kernels compiles once even
+  when the artifact cache is cold;
 - a worker process keeps compilers (and, for verify jobs, the whole
   :class:`~repro.verify.diff.VerifySession` of targets, compilers and
   oracles) alive between jobs, so BURS label caches, memoized target
@@ -39,10 +44,12 @@ farm simply runs serially in-process -- same results, same order.
 from __future__ import annotations
 
 import concurrent.futures
+import json
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from time import perf_counter
-from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, \
+    TYPE_CHECKING
 
 from repro.codegen.compiled import CompiledProgram
 
@@ -71,6 +78,13 @@ class CompileJob:
     target: str = "tc25"
     options: object = None
     fresh: bool = False
+    #: Canonical serialized program (``json.dumps(program_to_spec(p),
+    #: sort_keys=True)``).  When set, the worker compiles *this*
+    #: program instead of looking ``kernel`` up in the DSPStone
+    #: registry -- the compile service farms arbitrary client programs
+    #: this way.  A string (not a dict) so the job stays hashable and
+    #: two jobs carrying the same program compare equal.
+    program_spec: Optional[str] = None
 
 
 @dataclass
@@ -131,6 +145,10 @@ def run_job(job: CompileJob) -> FarmResult:
             from repro.dspstone import hand_reference
             compiled = hand_reference(job.kernel,
                                       _resolve_target(job.target))
+        elif job.program_spec is not None:
+            from repro.verify.corpus import program_from_spec
+            program = program_from_spec(json.loads(job.program_spec))
+            compiled = _compiler_for(job).compile(program)
         else:
             from repro.dspstone import kernel
             program = kernel(job.kernel).program
@@ -251,58 +269,163 @@ def _verify_worker_init(cache_dir: Optional[str],
 # Driver side
 # ----------------------------------------------------------------------
 
+def jobs_override() -> Optional[int]:
+    """The single ``REPRO_JOBS`` environment override, if set and sane.
+
+    One variable sizes every worker pool -- the farm's
+    :func:`default_workers`, the ``repro.verify`` CLI's ``--jobs``
+    default and the compile service all read it through this function,
+    so CI and a deployed server agree on pool width.
+    """
+    override = os.environ.get("REPRO_JOBS", "").strip()
+    if override:
+        try:
+            return max(1, int(override))
+        except ValueError:
+            pass                 # ignore garbage, fall back to defaults
+    return None
+
+
 def default_workers() -> int:
-    """Worker count the farm would use: one per core, at most 8."""
+    """Worker count the farm would use: ``REPRO_JOBS`` when set,
+    otherwise one per core, at most 8."""
+    override = jobs_override()
+    if override is not None:
+        return override
     return max(1, min(os.cpu_count() or 1, 8))
 
 
-def compile_many(jobs: Sequence[CompileJob],
-                 parallel: Optional[bool] = None,
-                 max_workers: Optional[int] = None) -> List[FarmResult]:
-    """Run all jobs; results are returned in job order.
+def compile_job_key(job: CompileJob) -> Tuple:
+    """Content key of a compile job: two jobs with equal keys produce
+    byte-identical artifacts (registry names are stable and
+    ``program_spec`` is canonical JSON), so a batch dispatches each
+    key once.  ``fresh`` jobs are cold-start *measurements* -- each
+    instance must really compile, so every one gets a unique key."""
+    if job.fresh:
+        return ("fresh", id(job))
+    return (job.kernel, job.compiler, job.target, repr(job.options),
+            job.program_spec)
 
-    ``parallel=None`` auto-detects: a process pool when the machine has
-    more than one core and there is more than one job, serial
-    otherwise.  ``parallel=True`` requests a pool but still falls back
-    to serial execution when the pool cannot be started (restricted
-    environments, missing fork support) -- the results are identical
-    either way, only the wall clock differs.
+
+def verify_job_key(job: VerifyJob) -> Tuple:
+    """Content key of a verify job (``None`` for unserializable inputs,
+    which then bypass dedup rather than risking a wrong merge)."""
+    try:
+        return (json.dumps(job.program_spec, sort_keys=True),
+                json.dumps(list(job.input_sets), sort_keys=True),
+                job.targets, job.fault, job.seed)
+    except (TypeError, ValueError):
+        return None
+
+
+def _dedup(jobs: Sequence, key_of: Callable) -> Tuple[List, List[int]]:
+    """Collapse duplicate jobs: (unique jobs, slot index per input job).
+
+    First occurrence wins the slot; an unkeyable job (``key_of``
+    returns ``None``) always gets its own slot.
     """
-    jobs = list(jobs)
-    workers = max_workers if max_workers is not None else default_workers()
+    unique: List = []
+    slots: Dict[Tuple, int] = {}
+    indices: List[int] = []
+    for job in jobs:
+        key = key_of(job)
+        slot = slots.get(key) if key is not None else None
+        if slot is None:
+            slot = len(unique)
+            unique.append(job)
+            if key is not None:
+                slots[key] = slot
+        indices.append(slot)
+    return unique, indices
+
+
+def _fan_out(jobs: Sequence, indices: List[int], results: List) -> List:
+    """Expand unique-job results back to one result per input job.
+
+    Duplicates share the payload (compiled program / verdict) but get
+    their own result object, so callers may annotate results freely.
+    """
+    return [replace(results[slot], job=job)
+            for job, slot in zip(jobs, indices)]
+
+
+def _run_pool(jobs: Sequence, worker: Callable,
+              parallel: Optional[bool], workers: int,
+              executor: Optional[concurrent.futures.Executor],
+              pool_kwargs: dict) -> List:
+    """Shared scheduling core: persistent executor > fresh pool > serial.
+
+    Any pool failure (refusal to start, death mid-run) falls back to
+    recomputing the whole list serially -- safe because jobs are pure
+    functions of their specs.
+    """
+    if executor is not None:
+        try:
+            return list(executor.map(worker, jobs))
+        except Exception:                          # noqa: BLE001
+            pass
     if parallel is None:
         parallel = workers > 1 and len(jobs) > 1
     if parallel and len(jobs) > 1 and workers > 1:
         try:
             with concurrent.futures.ProcessPoolExecutor(
-                    max_workers=min(workers, len(jobs))) as pool:
-                return list(pool.map(run_job, jobs))
+                    max_workers=min(workers, len(jobs)),
+                    **pool_kwargs) as pool:
+                return list(pool.map(worker, jobs))
         except Exception:                          # noqa: BLE001
             pass          # pool refused to start or died: run serially
-    return [run_job(job) for job in jobs]
+    return [worker(job) for job in jobs]
+
+
+def compile_many(jobs: Sequence[CompileJob],
+                 parallel: Optional[bool] = None,
+                 max_workers: Optional[int] = None,
+                 executor: Optional[concurrent.futures.Executor] = None
+                 ) -> List[FarmResult]:
+    """Run all jobs; results are returned in job order.
+
+    Identical jobs within one submission are dispatched **once**: jobs
+    are keyed by content (:func:`compile_job_key`) and the single
+    result is fanned back out to every duplicate, so a batch holding
+    the same kernel N times compiles it once even with a cold cache.
+    ``fresh`` jobs are exempt (they exist to measure cold compiles).
+
+    ``parallel=None`` auto-detects: a process pool when the machine has
+    more than one core and there is more than one (unique) job, serial
+    otherwise.  ``parallel=True`` requests a pool but still falls back
+    to serial execution when the pool cannot be started (restricted
+    environments, missing fork support) -- the results are identical
+    either way, only the wall clock differs.  ``executor`` substitutes
+    a caller-owned persistent pool (the long-running compile service
+    keeps one warm across batches) for the per-call pool.
+    """
+    jobs = list(jobs)
+    unique, indices = _dedup(jobs, compile_job_key)
+    workers = max_workers if max_workers is not None else default_workers()
+    results = _run_pool(unique, run_job, parallel, workers, executor, {})
+    return _fan_out(jobs, indices, results)
 
 
 def verify_many(jobs: Sequence[VerifyJob],
                 parallel: Optional[bool] = None,
                 max_workers: Optional[int] = None,
                 cache_dir: Optional[object] = None,
-                cache_max_bytes: Optional[int] = None
+                cache_max_bytes: Optional[int] = None,
+                executor: Optional[concurrent.futures.Executor] = None
                 ) -> List[VerifyResult]:
     """Run conformance jobs; results are returned in job order.
 
-    Scheduling rules match :func:`compile_many` -- auto-detected
-    parallelism, serial fallback whenever the pool cannot start (or
-    dies mid-run: the whole list is then recomputed serially, which is
-    safe because jobs are pure functions of their specs).
-
-    Workers are pointed at ``cache_dir`` (default: the driver's active
-    :mod:`repro.cache` directory, if any), so all processes share one
-    persistent artifact store.
+    Scheduling and batch-level dedup rules match :func:`compile_many`
+    (content keys from :func:`verify_job_key`; duplicates share one
+    verdict).  Workers are pointed at ``cache_dir`` (default: the
+    driver's active :mod:`repro.cache` directory, if any), so all
+    processes share one persistent artifact store; a caller-owned
+    ``executor`` is assumed to have been initialized the same way (see
+    :func:`make_farm_executor`).
     """
     jobs = list(jobs)
+    unique, indices = _dedup(jobs, verify_job_key)
     workers = max_workers if max_workers is not None else default_workers()
-    if parallel is None:
-        parallel = workers > 1 and len(jobs) > 1
     if cache_dir is None:
         from repro.cache import active_cache
         active = active_cache()
@@ -310,14 +433,44 @@ def verify_many(jobs: Sequence[VerifyJob],
             cache_dir = active.root
             if cache_max_bytes is None:
                 cache_max_bytes = active.max_bytes
-    if parallel and len(jobs) > 1 and workers > 1:
-        try:
-            with concurrent.futures.ProcessPoolExecutor(
-                    max_workers=min(workers, len(jobs)),
-                    initializer=_verify_worker_init,
-                    initargs=(str(cache_dir) if cache_dir else None,
-                              cache_max_bytes)) as pool:
-                return list(pool.map(run_verify_job, jobs))
-        except Exception:                          # noqa: BLE001
-            pass          # pool refused to start or died: run serially
-    return [run_verify_job(job) for job in jobs]
+    pool_kwargs = {
+        "initializer": _verify_worker_init,
+        "initargs": (str(cache_dir) if cache_dir else None,
+                     cache_max_bytes),
+    }
+    results = _run_pool(unique, run_verify_job, parallel, workers,
+                        executor, pool_kwargs)
+    return _fan_out(jobs, indices, results)
+
+
+def make_farm_executor(max_workers: Optional[int] = None,
+                       cache_dir: Optional[object] = None,
+                       cache_max_bytes: Optional[int] = None
+                       ) -> Optional[concurrent.futures.Executor]:
+    """A persistent process pool suitable for ``executor=`` arguments.
+
+    Workers are initialized against the shared artifact cache exactly
+    like :func:`verify_many`'s per-call pools.  Returns ``None`` when
+    process pools are unavailable (the caller then lets each
+    ``compile_many`` call fall back to serial in-process execution).
+    """
+    workers = max_workers if max_workers is not None else default_workers()
+    if cache_dir is None:
+        from repro.cache import active_cache
+        active = active_cache()
+        if active is not None:
+            cache_dir = active.root
+            if cache_max_bytes is None:
+                cache_max_bytes = active.max_bytes
+    try:
+        pool = concurrent.futures.ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_verify_worker_init,
+            initargs=(str(cache_dir) if cache_dir else None,
+                      cache_max_bytes))
+        # Force worker start-up now so failures surface here, not on
+        # the first batch.
+        pool.submit(os.getpid).result(timeout=60)
+    except Exception:                              # noqa: BLE001
+        return None
+    return pool

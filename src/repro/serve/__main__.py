@@ -1,0 +1,84 @@
+"""Run the compile service: ``python -m repro serve`` (or
+``python -m repro.serve``).
+
+Examples::
+
+    # serve on the default port with the default artifact cache
+    python -m repro serve
+
+    # CI smoke: fixed port, small batching window, serial farm
+    python -m repro serve --port 8357 --window-ms 5 --serial
+
+The worker pool is sized by ``--jobs``, defaulting to the same
+``REPRO_JOBS``-aware heuristic the farm and the verify CLI use, so a
+deployed server and CI agree on pool width.  Stop with Ctrl-C or a
+``{"op": "shutdown"}`` request.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+from pathlib import Path
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro serve`` argument parser."""
+    from repro.serve.server import DEFAULT_MAX_BATCH, DEFAULT_PORT, \
+        DEFAULT_WINDOW
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="long-running compile/simulate/verify service: "
+                    "content-hashed requests, artifact-cache hot path, "
+                    "in-flight dedup, farm-batched cold path")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=DEFAULT_PORT,
+                        help=f"listen port (default {DEFAULT_PORT}; "
+                             f"0 picks a free port)")
+    parser.add_argument("--window-ms", type=float,
+                        default=DEFAULT_WINDOW * 1e3,
+                        help="batching window in milliseconds: how long "
+                             "the first cold request waits for "
+                             "companions (default "
+                             f"{DEFAULT_WINDOW * 1e3:.0f})")
+    parser.add_argument("--max-batch", type=int,
+                        default=DEFAULT_MAX_BATCH,
+                        help="max jobs per farm submission "
+                             f"(default {DEFAULT_MAX_BATCH})")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="farm worker processes (default: "
+                             "$REPRO_JOBS if set, else one per core, "
+                             "at most 8)")
+    parser.add_argument("--serial", action="store_true",
+                        help="no process pool: compile in-process "
+                             "(debugging, restricted environments)")
+    parser.add_argument("--cache-dir", type=Path, default=None,
+                        help="artifact cache directory "
+                             "(default .repro-cache/)")
+    parser.add_argument("--cache-max-bytes", type=int, default=None,
+                        help="artifact cache size bound")
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    from repro.serve.server import serve_forever
+    args = build_parser().parse_args(argv)
+    try:
+        asyncio.run(serve_forever(
+            host=args.host,
+            port=args.port,
+            cache_dir=args.cache_dir,
+            cache_max_bytes=args.cache_max_bytes,
+            window=args.window_ms / 1e3,
+            max_batch=args.max_batch,
+            workers=args.jobs,
+            use_pool=not args.serial))
+    except KeyboardInterrupt:
+        print("repro.serve: interrupted, shutting down", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

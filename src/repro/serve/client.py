@@ -1,0 +1,171 @@
+"""Blocking client for the compile service.
+
+A thin socket wrapper over the NDJSON protocol: one request line out,
+responses matched back by ``id``.  Responses arrive in *completion*
+order, so :meth:`ServeClient.request_many` pipelines a whole batch on
+one connection and collects the answers however they land -- that is
+the intended way to feed the server's batching window from a single
+client.
+
+Usage::
+
+    from repro.serve.client import ServeClient
+
+    with ServeClient(port=8357) as client:
+        reply = client.compile(kernel="fir", target="m56")
+        print(reply["result"]["listing"])
+        sim = client.simulate(kernel="fir", inputs={...}, sim="jit")
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Dict, List, Optional, Sequence
+
+
+class ServeClientError(RuntimeError):
+    """The server answered with an error envelope."""
+
+    def __init__(self, response: dict) -> None:
+        super().__init__(f"{response.get('error_type', 'Error')}: "
+                         f"{response.get('error', 'unknown error')}")
+        self.response = response
+
+
+class ServeClient:
+    """One connection to a running ``python -m repro serve``."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8357,
+                 timeout: float = 120.0) -> None:
+        self._sock = socket.create_connection((host, port),
+                                              timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._next_id = 0
+        self._parked: Dict[object, dict] = {}
+
+    # -- wire -----------------------------------------------------------
+
+    def _send(self, payload: dict) -> object:
+        if payload.get("id") is None:
+            self._next_id += 1
+            payload = {**payload, "id": self._next_id}
+        self._file.write(json.dumps(payload).encode("utf-8") + b"\n")
+        self._file.flush()
+        return payload["id"]
+
+    def _read_response(self) -> dict:
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return json.loads(line)
+
+    def _await_id(self, request_id: object) -> dict:
+        """The response for one id, parking out-of-order arrivals."""
+        if request_id in self._parked:
+            return self._parked.pop(request_id)
+        while True:
+            response = self._read_response()
+            if response.get("id") == request_id:
+                return response
+            self._parked[response.get("id")] = response
+
+    # -- public API -----------------------------------------------------
+
+    def request(self, payload: dict, check: bool = True) -> dict:
+        """Send one request and block for its response."""
+        request_id = self._send(payload)
+        response = self._await_id(request_id)
+        if check and not response.get("ok", False):
+            raise ServeClientError(response)
+        return response
+
+    def request_many(self, payloads: Sequence[dict],
+                     check: bool = True) -> List[dict]:
+        """Pipeline many requests; responses in *request* order.
+
+        All lines go out before any response is read, so duplicates in
+        the batch genuinely exercise the server's in-flight coalescing
+        and batching window.
+        """
+        ids = [self._send(payload) for payload in payloads]
+        responses = [self._await_id(request_id) for request_id in ids]
+        if check:
+            for response in responses:
+                if not response.get("ok", False):
+                    raise ServeClientError(response)
+        return responses
+
+    def ping(self) -> dict:
+        """Round-trip liveness check."""
+        return self.request({"op": "ping"})
+
+    def compile(self, kernel: Optional[str] = None,
+                source: Optional[str] = None,
+                program: Optional[dict] = None,
+                target: str = "tc25",
+                compiler: str = "record") -> dict:
+        """Compile one program (kernel name, MiniDFL source or spec)."""
+        return self.request(_program_payload(
+            "compile", kernel, source, program, target, compiler))
+
+    def simulate(self, kernel: Optional[str] = None,
+                 source: Optional[str] = None,
+                 program: Optional[dict] = None,
+                 target: str = "tc25", compiler: str = "record",
+                 inputs: Optional[dict] = None,
+                 sim: str = "jit") -> dict:
+        """Compile + simulate with ``inputs`` on the ``sim`` tier."""
+        payload = _program_payload("simulate", kernel, source, program,
+                                   target, compiler)
+        payload["inputs"] = inputs or {}
+        payload["sim"] = sim
+        return self.request(payload)
+
+    def verify(self, program: dict,
+               input_sets: Sequence[dict],
+               targets: Optional[Sequence[str]] = None) -> dict:
+        """Run one conformance matrix check on a serialized program."""
+        payload = {"op": "verify", "program": program,
+                   "input_sets": list(input_sets)}
+        if targets is not None:
+            payload["targets"] = list(targets)
+        return self.request(payload)
+
+    def stats(self) -> dict:
+        """The server's counter snapshot (see ``stats_json``)."""
+        return self.request({"op": "stats"})["result"]
+
+    def shutdown(self) -> dict:
+        """Ask the server to stop accepting work and exit."""
+        return self.request({"op": "shutdown"})
+
+    def close(self) -> None:
+        """Close the socket (idempotent)."""
+        try:
+            self._file.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+def _program_payload(op: str, kernel, source, program,
+                     target: str, compiler: str) -> dict:
+    payload: Dict[str, object] = {"op": op, "target": target,
+                                  "compiler": compiler}
+    if kernel is not None:
+        payload["kernel"] = kernel
+    if source is not None:
+        payload["source"] = source
+    if program is not None:
+        payload["program"] = program
+    return payload

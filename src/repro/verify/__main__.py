@@ -52,6 +52,14 @@ def _parse_targets(text: str):
     return names
 
 
+def _default_jobs() -> int:
+    """``--jobs`` default: the single ``REPRO_JOBS`` override the farm
+    honors (see :func:`repro.evalx.farm.jobs_override`), else 1 --
+    serial stays the no-surprises default for interactive runs."""
+    from repro.evalx.farm import jobs_override
+    return jobs_override() or 1
+
+
 def _parse_fault(text: str) -> Fault:
     try:
         original, replacement = text.split(":")
@@ -81,10 +89,11 @@ def build_parser() -> argparse.ArgumentParser:
                              f"(default {','.join(DEFAULT_TARGETS)})")
     parser.add_argument("--inputs", type=int, default=2,
                         help="input sets per program (default 2)")
-    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+    parser.add_argument("--jobs", type=int, default=_default_jobs(),
+                        metavar="N",
                         help="worker processes for the matrix checks "
-                             "(default 1 = serial; same triage report "
-                             "at any value)")
+                             "(default: $REPRO_JOBS if set, else 1 = "
+                             "serial; same triage report at any value)")
     parser.add_argument("--cache", action=argparse.BooleanOptionalAction,
                         default=True,
                         help="use the persistent compilation-artifact "

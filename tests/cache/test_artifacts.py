@@ -180,6 +180,26 @@ def test_size_bound_evicts_oldest_first(cache):
     assert cache.get(keys[0]) is None, "oldest entry must be evicted"
 
 
+def test_read_hits_touch_mtime_and_are_counted(cache):
+    """A hit refreshes the entry's LRU position (mtime) and bumps the
+    ``touches`` counter; misses touch nothing."""
+    import os
+    program = _program()
+    key = cache.key_for(program, "record", RecordOptions(), "tc25")
+    cache.put(key, _fresh_compile(program))
+    stale = 1_000_000_000             # far in the past
+    os.utime(cache._path(key), (stale, stale))
+
+    assert cache.get(key) is not None
+    assert cache.stats.touches == 1
+    assert cache._path(key).stat().st_mtime > stale, \
+        "hit must refresh the entry's eviction clock"
+
+    assert cache.get("ff" + "0" * 62) is None
+    assert cache.stats.touches == 1   # misses don't touch
+    assert cache.stats.to_json()["touches"] == 1
+
+
 # ----------------------------------------------------------------------
 # cached_compile wiring (RecordCompiler.compile consults the cache)
 # ----------------------------------------------------------------------

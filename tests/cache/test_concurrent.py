@@ -1,0 +1,163 @@
+"""The artifact cache under multi-process contention.
+
+The farm's workers and the compile service's server process all hammer
+one cache directory concurrently.  The store's contract under that
+load: a reader sees either *nothing* (a clean miss) or a *complete,
+valid* artifact -- never a torn entry -- because every write goes to a
+private temp file and lands via ``os.replace``.  These tests race real
+processes (not threads) against one directory and check exactly that,
+plus the hygiene conditions: no temp-file litter, no corrupt-entry
+counts, byte-identical payloads on every hit.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+
+from repro.cache import ArtifactCache
+
+ROUNDS = 30
+
+
+def _build_artifact():
+    """One real compiled program (cheap kernel, deterministic)."""
+    from repro.api import _resolve_target
+    from repro.codegen.pipeline import RecordCompiler
+    from repro.dspstone import kernel
+    compiler = RecordCompiler(_resolve_target("tc25"), None)
+    return compiler.compile(kernel("real_update").program)
+
+
+def _writer(root, key, rounds, first_put, queue) -> None:
+    """Overwrite the same entry as fast as possible."""
+    try:
+        cache = ArtifactCache(root)
+        compiled = _build_artifact()
+        for index in range(rounds):
+            cache.put(key, compiled)
+            if index == 0:
+                first_put.set()
+        queue.put(("writer", cache.stats.store_failures))
+    except BaseException as exc:                       # noqa: BLE001
+        first_put.set()
+        queue.put(("writer-crash", repr(exc)))
+
+
+def _reader(root, key, expected_listing, rounds, first_put,
+            queue) -> None:
+    """Read the entry in a tight loop; grade every hit."""
+    try:
+        first_put.wait(timeout=120)
+        cache = ArtifactCache(root)
+        hits = 0
+        wrong = 0
+        for _ in range(rounds):
+            loaded = cache.get(key)
+            if loaded is None:
+                continue
+            hits += 1
+            if loaded.listing() != expected_listing:
+                wrong += 1
+        queue.put(("reader", hits, wrong,
+                   cache.stats.corrupt_entries))
+    except BaseException as exc:                       # noqa: BLE001
+        queue.put(("reader-crash", repr(exc)))
+
+
+def test_racing_put_and_get_never_shows_a_torn_entry(tmp_path):
+    """One process rewrites an entry while another reads it: every
+    read is a clean miss or a complete artifact, never garbage."""
+    root = tmp_path / "cache"
+    cache = ArtifactCache(root)
+    from repro.dspstone import kernel
+    program = kernel("real_update").program
+    expected = _build_artifact().listing()
+    key = cache.key_for(program, "record", None, "tc25")
+    assert key is not None
+
+    queue = multiprocessing.Queue()
+    first_put = multiprocessing.Event()
+    writer = multiprocessing.Process(
+        target=_writer, args=(root, key, ROUNDS, first_put, queue))
+    reader = multiprocessing.Process(
+        target=_reader,
+        args=(root, key, expected, ROUNDS * 3, first_put, queue))
+    writer.start()
+    reader.start()
+    writer.join(timeout=300)
+    reader.join(timeout=300)
+    assert not writer.is_alive() and not reader.is_alive()
+
+    outcomes = {}
+    for _ in range(2):
+        entry = queue.get(timeout=30)
+        outcomes[entry[0]] = entry[1:]
+    assert "writer" in outcomes, outcomes
+    assert "reader" in outcomes, outcomes
+    (store_failures,) = outcomes["writer"]
+    hits, wrong, corrupt = outcomes["reader"]
+    assert store_failures == 0
+    assert wrong == 0, f"{wrong} hits returned a wrong artifact"
+    assert corrupt == 0, "reader saw a torn entry"
+    assert hits > 0, "reader never hit despite synchronized start"
+
+    # hygiene: the final state is complete entries, zero temp litter
+    leftovers = [path for path in root.rglob("*")
+                 if path.is_file() and path.suffix != ".pkl"]
+    assert leftovers == []
+    final = ArtifactCache(root).get(key)
+    assert final is not None and final.listing() == expected
+
+
+def test_two_processes_computing_the_same_key_converge(tmp_path):
+    """Two independent processes compile + put the same program: both
+    succeed, and the surviving entry equals what either produced --
+    the last atomic replace simply wins with identical bytes."""
+    root = tmp_path / "cache"
+    cache = ArtifactCache(root)
+    from repro.dspstone import kernel
+    program = kernel("real_update").program
+    key = cache.key_for(program, "record", None, "tc25")
+    assert key is not None
+
+    queue = multiprocessing.Queue()
+    events = [multiprocessing.Event(), multiprocessing.Event()]
+    racers = [multiprocessing.Process(
+        target=_writer, args=(root, key, 1, event, queue))
+        for event in events]
+    for racer in racers:
+        racer.start()
+    for racer in racers:
+        racer.join(timeout=300)
+    results = [queue.get(timeout=30) for _ in racers]
+    assert all(tag == "writer" and failures == 0
+               for tag, failures in results), results
+
+    loaded = cache.get(key)
+    assert loaded is not None
+    assert loaded.listing() == _build_artifact().listing()
+    assert cache.stats.corrupt_entries == 0
+
+
+def test_interrupted_write_is_invisible_to_readers(tmp_path):
+    """A write that dies mid-flight (simulated: temp file left on
+    disk, no rename) must look like a miss for its key and leave
+    sibling entries untouched."""
+    root = tmp_path / "cache"
+    cache = ArtifactCache(root)
+    compiled = _build_artifact()
+    key = "ab" + "0" * 62
+    assert cache.put(key, compiled)
+
+    # simulate a crashed writer: partial temp bytes beside the entry
+    entry = root / key[:2] / f"{key}.pkl"
+    torn = entry.with_name(f".{key}.99999.0.tmp")
+    torn.write_bytes(pickle.dumps(compiled)[:40])
+
+    loaded = cache.get(key)
+    assert loaded is not None              # the real entry is intact
+    assert loaded.listing() == compiled.listing()
+    assert cache.stats.corrupt_entries == 0
+    missing = cache.get("ab" + "f" * 62)   # the in-flight key: a miss
+    assert missing is None

@@ -86,3 +86,122 @@ def test_auto_mode_runs_everything():
 
 def test_default_workers_bounded():
     assert 1 <= default_workers() <= 8
+
+
+# ----------------------------------------------------------------------
+# Batch-level dedup
+# ----------------------------------------------------------------------
+
+def test_duplicate_jobs_compile_once_and_fan_back_out(monkeypatch):
+    """Five copies of one job dispatch a single compile; every copy
+    still gets its own result object carrying its own job."""
+    import repro.evalx.farm as farm
+
+    calls = []
+    real_run_job = farm.run_job
+
+    def counting_run_job(job):
+        calls.append(job)
+        return real_run_job(job)
+
+    monkeypatch.setattr(farm, "run_job", counting_run_job)
+    job = CompileJob(kernel="real_update")
+    jobs = [job, CompileJob(kernel="fir"), job, job,
+            CompileJob(kernel="real_update")]      # equal by content
+    results = farm.compile_many(jobs, parallel=False)
+
+    assert len(calls) == 2                         # one per unique key
+    assert [result.job for result in results] == jobs
+    assert all(result.ok for result in results)
+    listings = {result.compiled.listing()
+                for result in results if result.job.kernel == "real_update"}
+    assert len(listings) == 1
+    # duplicates share the artifact, not the result wrapper
+    assert results[0] is not results[2]
+    assert results[0].compiled is results[2].compiled
+
+
+def test_dedup_matches_undeduped_serial_run():
+    """Fan-out must be invisible: a list with duplicates returns the
+    same fingerprint as compiling every entry individually."""
+    jobs = [_JOBS[0], _JOBS[1], _JOBS[0], _JOBS[1], _JOBS[0]]
+    deduped = compile_many(jobs, parallel=False)
+    individually = [compile_many([job], parallel=False)[0]
+                    for job in jobs]
+    assert _fingerprint(deduped) == _fingerprint(individually)
+
+
+def test_fresh_jobs_are_exempt_from_dedup(monkeypatch):
+    """``fresh`` jobs measure cold compiles -- every instance must
+    really run, even when equal by content."""
+    import repro.evalx.farm as farm
+
+    calls = []
+    real_run_job = farm.run_job
+
+    def counting_run_job(job):
+        calls.append(job)
+        return real_run_job(job)
+
+    monkeypatch.setattr(farm, "run_job", counting_run_job)
+    jobs = [CompileJob(kernel="real_update", fresh=True)
+            for _ in range(3)]
+    results = farm.compile_many(jobs, parallel=False)
+    assert len(calls) == 3
+    assert all(result.ok for result in results)
+
+
+def test_verify_jobs_dedup_on_content(monkeypatch):
+    import repro.evalx.farm as farm
+    from repro.dspstone import kernel
+    from repro.verify.corpus import program_to_spec
+
+    spec = program_to_spec(kernel("real_update").program)
+    inputs = kernel("real_update").inputs(seed=0)
+    job = farm.VerifyJob(program_spec=spec, input_sets=(inputs,),
+                         targets=("tc25",))
+    twin = farm.VerifyJob(program_spec=spec, input_sets=(inputs,),
+                          targets=("tc25",))
+
+    calls = []
+    real_run = farm.run_verify_job
+
+    def counting_run(verify_job):
+        calls.append(verify_job)
+        return real_run(verify_job)
+
+    monkeypatch.setattr(farm, "run_verify_job", counting_run)
+    results = farm.verify_many([job, twin, job], parallel=False)
+    assert len(calls) == 1
+    assert [result.job for result in results] == [job, twin, job]
+    assert all(result.ok and result.verdict.ok for result in results)
+
+
+# ----------------------------------------------------------------------
+# REPRO_JOBS: the single worker-count override
+# ----------------------------------------------------------------------
+
+def test_repro_jobs_overrides_default_workers(monkeypatch):
+    from repro.evalx.farm import jobs_override
+    monkeypatch.setenv("REPRO_JOBS", "5")
+    assert jobs_override() == 5
+    assert default_workers() == 5
+
+
+def test_repro_jobs_garbage_and_floor(monkeypatch):
+    from repro.evalx.farm import jobs_override
+    monkeypatch.setenv("REPRO_JOBS", "not-a-number")
+    assert jobs_override() is None
+    assert 1 <= default_workers() <= 8
+    monkeypatch.setenv("REPRO_JOBS", "0")
+    assert jobs_override() == 1          # floor: at least one worker
+    monkeypatch.delenv("REPRO_JOBS")
+    assert jobs_override() is None
+
+
+def test_verify_cli_jobs_default_follows_repro_jobs(monkeypatch):
+    from repro.verify.__main__ import _default_jobs
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    assert _default_jobs() == 1
+    monkeypatch.setenv("REPRO_JOBS", "3")
+    assert _default_jobs() == 3

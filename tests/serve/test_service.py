@@ -1,0 +1,320 @@
+"""The compile service, in-process: dedup layers, identity, failure.
+
+``CompileService.handle`` is exercised without sockets (serial farm,
+no process pool), which keeps these tests fast and makes the dedup
+ladder directly observable: the first request for an artifact is
+``farm``, concurrent duplicates are ``coalesced``, later repeats are
+``cache`` -- and every one of them returns byte-identical results to
+a direct ``repro.api`` call.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+import repro.cache
+from repro.serve.server import CompileService, canonical_target_name
+
+
+@pytest.fixture()
+def service_factory(tmp_path):
+    """Build serial (poolless) services on a private cache dir; undo
+    the service's global cache configuration afterwards."""
+    previous = repro.cache._ACTIVE
+    services = []
+
+    def build(**kwargs):
+        kwargs.setdefault("cache_dir", tmp_path / "cache")
+        kwargs.setdefault("use_pool", False)
+        kwargs.setdefault("window", 0.005)
+        service = CompileService(**kwargs)
+        services.append(service)
+        return service
+
+    yield build
+    repro.cache._ACTIVE = previous
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+def compile_payload(request_id, kernel="real_update", target="tc25",
+                    **extra):
+    return {"id": request_id, "op": "compile", "kernel": kernel,
+            "target": target, "compiler": "record", **extra}
+
+
+# ----------------------------------------------------------------------
+# The dedup ladder: farm -> coalesced -> cache
+# ----------------------------------------------------------------------
+
+def test_first_request_farms_then_repeats_hit_cache(service_factory):
+    async def scenario():
+        service = service_factory()
+        try:
+            first = await service.handle(compile_payload(1))
+            again = await service.handle(compile_payload(2))
+            return first, again
+        finally:
+            await service.close()
+
+    first, again = run(scenario())
+    assert first["ok"] and first["served_by"] == "farm"
+    assert again["ok"] and again["served_by"] == "cache"
+    assert again["result"] == first["result"]
+    assert again["key"] == first["key"]
+
+
+def test_concurrent_duplicates_coalesce_onto_one_compile(
+        service_factory):
+    async def scenario():
+        service = service_factory()
+        try:
+            responses = await asyncio.gather(*[
+                service.handle(compile_payload(index))
+                for index in range(5)])
+            return responses, service.stats
+        finally:
+            await service.close()
+
+    responses, stats = run(scenario())
+    served = sorted(response["served_by"] for response in responses)
+    assert served.count("farm") == 1
+    assert served.count("coalesced") + served.count("cache") == 4
+    assert stats.coalesced + stats.cache_hits == 4
+    listings = {response["result"]["listing"]
+                for response in responses}
+    assert len(listings) == 1
+
+
+def test_asip_alias_keys_match_worker_store(service_factory):
+    """Regression: the request alias 'asip' resolves to a decorated
+    target name; the hot path must key on the resolved name or asip
+    cells recompile forever (the other aliases match by accident)."""
+    assert canonical_target_name("asip") != "asip"
+    assert canonical_target_name("tc25") == "tc25"
+
+    async def scenario():
+        service = service_factory()
+        try:
+            first = await service.handle(
+                compile_payload(1, target="asip"))
+            again = await service.handle(
+                compile_payload(2, target="asip"))
+            return first, again
+        finally:
+            await service.close()
+
+    first, again = run(scenario())
+    assert first["served_by"] == "farm"
+    assert again["served_by"] == "cache"
+
+
+def test_kernel_and_spec_forms_share_one_artifact(service_factory):
+    """The same program arriving by registry name and by serialized
+    spec must land on the same content key (second form is hot)."""
+    from repro.dspstone import kernel
+    from repro.verify.corpus import program_to_spec
+    spec = program_to_spec(kernel("real_update").program)
+
+    async def scenario():
+        service = service_factory()
+        try:
+            by_name = await service.handle(compile_payload(1))
+            by_spec = await service.handle({
+                "id": 2, "op": "compile", "program": spec,
+                "target": "tc25", "compiler": "record"})
+            return by_name, by_spec
+        finally:
+            await service.close()
+
+    by_name, by_spec = run(scenario())
+    assert by_name["served_by"] == "farm"
+    assert by_spec["served_by"] == "cache"
+    assert by_spec["result"]["listing"] == \
+        by_name["result"]["listing"]
+
+
+# ----------------------------------------------------------------------
+# Identity against the direct API
+# ----------------------------------------------------------------------
+
+def test_compile_and_simulate_match_direct_api(service_factory):
+    from repro.api import compile_kernel
+    from repro.dspstone import kernel
+    direct = compile_kernel("fir", target="m56")
+    inputs = kernel("fir").inputs(seed=3)
+    direct_outputs, direct_cycles = direct.run(inputs)
+
+    async def scenario():
+        service = service_factory()
+        try:
+            compiled = await service.handle(
+                compile_payload(1, kernel="fir", target="m56"))
+            simulated = await service.handle({
+                "id": 2, "op": "simulate", "kernel": "fir",
+                "target": "m56", "compiler": "record",
+                "inputs": inputs, "sim": "fast"})
+            return compiled, simulated
+        finally:
+            await service.close()
+
+    compiled, simulated = run(scenario())
+    assert compiled["result"]["listing"] == direct.listing()
+    assert simulated["result"]["outputs"] == direct_outputs
+    assert simulated["result"]["cycles"] == direct_cycles
+
+
+def test_verify_op_reports_clean_matrix(service_factory):
+    from repro.dspstone import kernel
+    from repro.verify.corpus import program_to_spec
+    spec = program_to_spec(kernel("real_update").program)
+    inputs = kernel("real_update").inputs(seed=1)
+
+    async def scenario():
+        service = service_factory()
+        try:
+            first, second = await asyncio.gather(
+                service.handle({"id": 1, "op": "verify",
+                                "program": spec,
+                                "input_sets": [inputs],
+                                "targets": ["tc25", "risc16"]}),
+                service.handle({"id": 2, "op": "verify",
+                                "program": spec,
+                                "input_sets": [inputs],
+                                "targets": ["tc25", "risc16"]}))
+            return first, second
+        finally:
+            await service.close()
+
+    first, second = run(scenario())
+    assert first["ok"] and first["result"]["ok"]
+    assert first["result"]["cells"] > 0
+    assert first["result"]["mismatches"] == []
+    # identical concurrent verifies coalesce on the verify key
+    served = sorted((first["served_by"], second["served_by"]))
+    assert served == ["coalesced", "farm"]
+    assert second["result"] == first["result"]
+
+
+# ----------------------------------------------------------------------
+# Cancellation: a dead client must not poison shared work
+# ----------------------------------------------------------------------
+
+def test_cancelled_owner_leaves_peers_and_store_intact(
+        service_factory):
+    """The first requester disconnects mid-compile: the coalesced
+    peer still gets its artifact and the store still goes hot."""
+    async def scenario():
+        service = service_factory()
+        try:
+            owner = asyncio.ensure_future(
+                service.handle(compile_payload(1, kernel="fir")))
+            for _ in range(400):
+                if service._artifact_inflight:
+                    break
+                await asyncio.sleep(0.005)
+            assert service._artifact_inflight, "owner never registered"
+            peer = asyncio.ensure_future(
+                service.handle(compile_payload(2, kernel="fir")))
+            await asyncio.sleep(0.01)
+            owner.cancel()
+            peer_response = await peer
+            # The cancel may land too late (the compile finished in
+            # the same loop tick); both outcomes are legal -- what
+            # matters is that the peer and the store are unharmed.
+            try:
+                owner_response = await owner
+                assert owner_response["ok"]
+            except asyncio.CancelledError:
+                pass
+            repeat = await service.handle(
+                compile_payload(3, kernel="fir"))
+            return peer_response, repeat
+        finally:
+            await service.close()
+
+    peer_response, repeat = run(scenario())
+    assert peer_response["ok"]
+    assert peer_response["served_by"] in ("coalesced", "cache")
+    assert repeat["served_by"] == "cache"
+
+
+def test_cancelled_waiter_does_not_cancel_shared_compile(
+        service_factory):
+    """A coalesced waiter disconnects: the owner and the artifact are
+    unaffected (the shield points the right way)."""
+    async def scenario():
+        service = service_factory()
+        try:
+            owner = asyncio.ensure_future(
+                service.handle(compile_payload(1, kernel="fir")))
+            for _ in range(400):
+                if service._artifact_inflight:
+                    break
+                await asyncio.sleep(0.005)
+            waiter = asyncio.ensure_future(
+                service.handle(compile_payload(2, kernel="fir")))
+            await asyncio.sleep(0.01)
+            waiter.cancel()
+            owner_response = await owner
+            try:
+                waiter_response = await waiter
+                assert waiter_response["ok"]   # cancel landed too late
+            except asyncio.CancelledError:
+                pass
+            return owner_response
+        finally:
+            await service.close()
+
+    owner_response = run(scenario())
+    assert owner_response["ok"]
+    assert owner_response["served_by"] == "farm"
+
+
+# ----------------------------------------------------------------------
+# Failure envelopes
+# ----------------------------------------------------------------------
+
+def test_errors_become_envelopes_and_service_survives(
+        service_factory):
+    async def scenario():
+        service = service_factory()
+        try:
+            bad_protocol = await service.handle({"op": "frobnicate",
+                                                 "id": 1})
+            bad_kernel = await service.handle(
+                compile_payload(2, kernel="no_such_kernel"))
+            alive = await service.handle({"id": 3, "op": "ping"})
+            return bad_protocol, bad_kernel, alive, service.stats
+        finally:
+            await service.close()
+
+    bad_protocol, bad_kernel, alive, stats = run(scenario())
+    assert not bad_protocol["ok"]
+    assert bad_protocol["error_type"] == "ProtocolError"
+    assert not bad_kernel["ok"]
+    assert bad_kernel["id"] == 2
+    assert alive["ok"] and alive["result"] == {"pong": True}
+    assert stats.errors == 2
+
+
+def test_stats_snapshot_has_dedup_counters(service_factory):
+    async def scenario():
+        service = service_factory()
+        try:
+            await service.handle(compile_payload(1))
+            await service.handle(compile_payload(2))
+            return service.stats_json()
+        finally:
+            await service.close()
+
+    snapshot = run(scenario())
+    assert snapshot["pool"] == "serial"
+    assert snapshot["cache_hits"] == 1
+    assert snapshot["requests"] == 2
+    assert snapshot["inflight"] == 0
+    assert "compile_batcher" in snapshot and "cache" in snapshot

@@ -1,0 +1,116 @@
+"""The NDJSON wire: a real server on a real socket, real clients.
+
+One live server per test module (serial farm, private cache dir);
+clients connect over TCP exactly as ``python -m repro serve`` users
+would.  Covers pipelining with completion-order responses, dedup
+observable from outside, abrupt client disconnects, and shutdown.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import threading
+
+import pytest
+
+import repro.cache
+from repro.serve.client import ServeClient, ServeClientError
+from repro.serve.server import CompileService, ReproServer
+
+
+@pytest.fixture(scope="module")
+def live_server(tmp_path_factory):
+    """A serving thread with its own event loop; yields (host, port)."""
+    tmp_path = tmp_path_factory.mktemp("serve-wire")
+    previous = repro.cache._ACTIVE
+    ready = threading.Event()
+    box = {}
+
+    def serve() -> None:
+        async def main() -> None:
+            service = CompileService(cache_dir=tmp_path / "cache",
+                                     use_pool=False, window=0.005)
+            server = ReproServer(service, host="127.0.0.1", port=0)
+            await server.start()
+            box["host"], box["port"] = server.host, server.port
+            box["service"] = service
+            ready.set()
+            await server.serve_until_shutdown()
+
+        asyncio.run(main())
+
+    thread = threading.Thread(target=serve, daemon=True)
+    thread.start()
+    assert ready.wait(timeout=30), "server failed to start"
+    yield box["host"], box["port"]
+    try:
+        with ServeClient(host=box["host"], port=box["port"]) as client:
+            client.shutdown()
+    except OSError:
+        pass                         # already down
+    thread.join(timeout=30)
+    repro.cache._ACTIVE = previous
+
+
+def test_ping_and_stats(live_server):
+    host, port = live_server
+    with ServeClient(host=host, port=port) as client:
+        assert client.ping()["result"] == {"pong": True}
+        stats = client.stats()
+        assert stats["pool"] == "serial"
+
+
+def test_pipelined_duplicates_compile_once(live_server):
+    host, port = live_server
+    payload = {"op": "compile", "kernel": "dot_product",
+               "target": "risc16", "compiler": "record"}
+    with ServeClient(host=host, port=port) as client:
+        responses = client.request_many([dict(payload)
+                                         for _ in range(4)])
+    served = sorted(response["served_by"] for response in responses)
+    assert served.count("farm") <= 1
+    assert all(response["ok"] for response in responses)
+    listings = {response["result"]["listing"]
+                for response in responses}
+    assert len(listings) == 1
+    # and a fresh connection sees the artifact as hot
+    with ServeClient(host=host, port=port) as client:
+        repeat = client.request(dict(payload))
+    assert repeat["served_by"] == "cache"
+
+
+def test_error_envelope_keeps_connection_usable(live_server):
+    host, port = live_server
+    with ServeClient(host=host, port=port) as client:
+        with pytest.raises(ServeClientError):
+            client.compile(kernel="no_such_kernel")
+        assert client.ping()["ok"]
+
+
+def test_abrupt_disconnect_mid_request_leaves_server_up(live_server):
+    host, port = live_server
+    raw = socket.create_connection((host, port), timeout=30)
+    raw.sendall(b'{"id": 1, "op": "compile", "kernel": "fir", '
+                b'"target": "risc16"}\n')
+    raw.close()                       # gone before the response lands
+    with ServeClient(host=host, port=port) as client:
+        assert client.ping()["ok"]
+        # the orphaned compile still went through store-or-farm; a
+        # repeat must not recompile
+        response = client.compile(kernel="fir", target="risc16")
+    assert response["served_by"] in ("cache", "coalesced", "farm")
+
+
+def test_bad_json_line_answers_protocol_error(live_server):
+    host, port = live_server
+    raw = socket.create_connection((host, port), timeout=30)
+    try:
+        raw.sendall(b"this is not json\n")
+        line = raw.makefile("rb").readline()
+    finally:
+        raw.close()
+    import json
+    response = json.loads(line)
+    assert not response["ok"]
+    assert response["error_type"] == "ProtocolError"
