@@ -1,0 +1,333 @@
+"""Campaign-engine benchmark: shard invariance, warm resume, 10^5 scale.
+
+The campaign engine (`repro.verify.campaign`) turns the conformance
+fuzzer into an instrument that can check a hundred thousand programs
+on one machine: sharded over `run_conformance` work units, checkpointed
+to an atomic state file, deduplicating failures into fingerprinted
+classes.  This bench enforces the three contracts that make a campaign
+trustworthy at that scale:
+
+- **shard invariance** -- the same fixed seed range produces a
+  byte-identical merged triage at shard counts {1, 4, 8} (quick mode:
+  {1, 4}).  If sharding leaked into results, a resumed or re-sharded
+  campaign could not be compared against an old one;
+- **warm resume** -- a campaign interrupted by a wall-clock budget and
+  resumed against a warm artifact cache completes with ZERO fresh
+  compiles: every shard re-runs compile-side entirely from the cache;
+- **scale** (full mode only) -- a 10^5-program campaign (profile
+  "small", target tc25: both compilers x all three simulator tiers,
+  6 matrix cells per program) completes on one machine; the report
+  records the sustained programs/sec.
+
+Results land in ``BENCH_CAMPAIGN.json`` at the repository root.
+
+Run:  python benchmarks/bench_campaign.py             (full, ~35 min)
+or :  python benchmarks/bench_campaign.py --quick     (CI smoke, ~2k
+      programs; uses ``.repro-cache/`` so GitHub's actions/cache can
+      persist warmth across CI runs; ``--state-dir`` keeps the state
+      files for artifact upload)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+from pathlib import Path
+from time import perf_counter
+from typing import Dict, List, Optional
+
+import repro.cache
+from repro.verify.campaign import (
+    CampaignConfig, merged_triage_text, run_campaign,
+)
+
+ROOT = Path(__file__).resolve().parent.parent
+
+SEED = 0
+PROFILE = "small"
+TARGETS = ("tc25", "risc16")
+INVARIANCE_PROGRAMS = 300
+INVARIANCE_SHARDS = (1, 4, 8)
+QUICK_PROGRAMS = 2000
+QUICK_SHARDS = (1, 4)
+SCALE_PROGRAMS = 100_000
+SCALE_SHARDS = 64
+#: The scale stage runs tc25 alone: it is the paper's flagship DSP and
+#: the only target with two compilers, so each program still covers
+#: six matrix cells (record+baseline x reference/fast/jit) while the
+#: campaign sustains ~2x the programs/sec of the two-target matrix.
+SCALE_TARGETS = ("tc25",)
+
+
+def _config(programs: int, shards: int,
+            targets=TARGETS) -> CampaignConfig:
+    return CampaignConfig(seed=SEED, programs=programs, shards=shards,
+                          targets=targets, profile=PROFILE)
+
+
+def _run(config: CampaignConfig, state_path: Path, cache_dir: Path,
+         resume: bool = False, budget: Optional[float] = None,
+         progress=None):
+    """One timed campaign invocation against the shared artifact cache."""
+    repro.cache.configure(cache_dir)
+    try:
+        started = perf_counter()
+        result = run_campaign(config, state_path, resume=resume,
+                              budget_seconds=budget, progress=progress)
+        wall = perf_counter() - started
+    finally:
+        repro.cache.configure(None)
+    return result, wall
+
+
+def _shard_compiles(state: dict, shard_indices) -> Dict[str, int]:
+    """Fresh-compile / cache-hit totals over a set of done shards."""
+    fresh = hits = 0
+    for shard in state["shards"]:
+        if shard["index"] in shard_indices and shard["status"] == "done":
+            fresh += shard.get("compiles", 0)
+            hits += shard.get("artifact_hits", 0)
+    return {"compiles": fresh, "artifact_hits": hits}
+
+
+def stage_invariance(programs: int, shard_counts, state_dir: Path,
+                     cache_dir: Path) -> Dict[str, object]:
+    """The same seed range at several shard counts: one triage."""
+    rows: List[Dict[str, object]] = []
+    texts: List[str] = []
+    for shards in shard_counts:
+        state_path = state_dir / f"invariance-{shards}.json"
+        result, wall = _run(_config(programs, shards), state_path,
+                            cache_dir)
+        if not (result.complete and result.ok):
+            raise RuntimeError(
+                f"invariance campaign at {shards} shards did not "
+                f"complete: {result.errors}")
+        texts.append(merged_triage_text(result.state))
+        rows.append({
+            "shards": shards,
+            "seconds": round(wall, 3),
+            "programs_per_second": round(programs / wall, 2),
+            "mismatches": result.mismatch_count,
+        })
+        print(f"  {shards} shard(s): {wall:.1f}s "
+              f"({programs / wall:.1f} programs/s)")
+    return {
+        "programs": programs,
+        "shard_counts": list(shard_counts),
+        "triage_identical": len(set(texts)) == 1,
+        "runs": rows,
+    }
+
+
+def stage_resume(programs: int, shards: int, state_dir: Path,
+                 cache_dir: Path) -> Dict[str, object]:
+    """Interrupt on a budget, resume warm: zero fresh compiles.
+
+    The range matches the invariance stage, so its artifacts are
+    already in the shared cache -- exactly the state of a real resumed
+    campaign, where every interrupted-then-retried shard recompiles
+    programs the first attempt already paid for.
+    """
+    state_path = state_dir / "resume.json"
+    config = _config(programs, shards)
+    stopped, first_wall = _run(config, state_path, cache_dir,
+                               budget=0.0)
+    done_before = {shard["index"] for shard in stopped.state["shards"]
+                   if shard["status"] == "done"}
+    resumed, resume_wall = _run(config, state_path, cache_dir,
+                                resume=True)
+    if not (resumed.complete and resumed.ok):
+        raise RuntimeError(f"resume did not complete: {resumed.errors}")
+    resumed_shards = {shard["index"]
+                      for shard in resumed.state["shards"]
+                      if shard["status"] == "done"} - done_before
+    counts = _shard_compiles(resumed.state, resumed_shards)
+    attempted = counts["compiles"] + counts["artifact_hits"]
+    # Third invocation: resuming a *finished* campaign is free.
+    finished, noop_wall = _run(config, state_path, cache_dir,
+                               resume=True)
+    print(f"  interrupted at {len(done_before)}/{shards} shards; "
+          f"resume ran {len(resumed_shards)} shards in "
+          f"{resume_wall:.1f}s with {counts['compiles']} fresh "
+          f"compiles / {counts['artifact_hits']} cache hits")
+    return {
+        "programs": programs,
+        "shards": shards,
+        "budget_stopped_after_shards": len(done_before),
+        "resume_shards": len(resumed_shards),
+        "resume_seconds": round(resume_wall, 3),
+        "resume_compiles": counts["compiles"],
+        "resume_artifact_hits": counts["artifact_hits"],
+        "resume_hit_rate": (round(counts["artifact_hits"] / attempted, 4)
+                            if attempted else 0.0),
+        "zero_recompile": counts["compiles"] == 0,
+        "noop_resume_shards": finished.shards_run,
+        "noop_resume_seconds": round(noop_wall, 3),
+    }
+
+
+def stage_scale(programs: int, shards: int, state_dir: Path,
+                cache_dir: Path) -> Dict[str, object]:
+    """The 10^5-program campaign itself (resumable while it runs)."""
+    state_path = state_dir / "scale.json"
+    config = _config(programs, shards, targets=SCALE_TARGETS)
+    resume = state_path.exists()    # a killed bench picks up its range
+    result, wall = _run(config, state_path, cache_dir, resume=resume,
+                        progress=print)
+    if not (result.complete and result.ok):
+        raise RuntimeError(f"scale campaign did not complete: "
+                           f"{result.errors}")
+    counts = _shard_compiles(result.state,
+                             {shard["index"]
+                              for shard in result.state["shards"]})
+    rate = (result.programs_run / wall if wall and result.programs_run
+            else 0.0)
+    print(f"  {result.programs_run} programs in {wall:.1f}s "
+          f"({rate:.1f} programs/s sustained), "
+          f"{result.mismatch_count} mismatches")
+    return {
+        "programs": programs,
+        "shards": shards,
+        "targets": list(SCALE_TARGETS),
+        "profile": PROFILE,
+        "seconds": round(wall, 3),
+        "programs_run_this_invocation": result.programs_run,
+        "programs_per_second": round(rate, 2),
+        "accumulated_shard_seconds": result.state["elapsed_seconds"],
+        "compiles": counts["compiles"],
+        "artifact_hits": counts["artifact_hits"],
+        "mismatches": result.mismatch_count,
+        "classes": len(result.state["classes"]),
+    }
+
+
+def render(report: Dict[str, object]) -> str:
+    invariance = report["invariance"]
+    resume = report["resume"]
+    lines = [
+        f"invariance: {invariance['programs']} programs at shard counts "
+        f"{invariance['shard_counts']} -> triage byte-identical: "
+        + ("yes" if invariance["triage_identical"] else "NO"),
+        f"resume: budget-interrupted at "
+        f"{resume['budget_stopped_after_shards']} shards, warm resume "
+        f"ran {resume['resume_shards']} shards with "
+        f"{resume['resume_compiles']} fresh compiles "
+        f"(hit rate {resume['resume_hit_rate']:.0%}) -> "
+        f"zero-recompile: "
+        + ("yes" if resume["zero_recompile"] else "NO"),
+    ]
+    scale = report.get("scale")
+    if scale:
+        lines.append(
+            f"scale: {scale['programs']} programs x "
+            f"{{{','.join(scale['targets'])}}} (profile "
+            f"{scale['profile']}) in {scale['seconds']:.0f}s = "
+            f"{scale['programs_per_second']:.1f} programs/s sustained, "
+            f"{scale['mismatches']} mismatches, "
+            f"{scale['classes']} classes")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke: ~2k programs, shard counts "
+                             "{1,4}, no 10^5 scale stage")
+    parser.add_argument("--programs", type=int, default=None,
+                        help="override the invariance-range size "
+                             f"(default {INVARIANCE_PROGRAMS}, quick "
+                             f"{QUICK_PROGRAMS})")
+    parser.add_argument("--scale-programs", type=int,
+                        default=SCALE_PROGRAMS,
+                        help="programs in the scale stage "
+                             f"(default {SCALE_PROGRAMS})")
+    parser.add_argument("--cache-dir", type=Path, default=None,
+                        help="persistent artifact cache dir for "
+                             "--quick (default .repro-cache/); full "
+                             "runs use a throwaway temp dir")
+    parser.add_argument("--state-dir", type=Path, default=None,
+                        help="where campaign state files live "
+                             "(default: throwaway temp dir); pass a "
+                             "real dir to keep them, e.g. for CI "
+                             "artifact upload or to resume a killed "
+                             "scale run")
+    parser.add_argument("--output",
+                        default=str(ROOT / "BENCH_CAMPAIGN.json"),
+                        help="where the report JSON is written")
+    args = parser.parse_args(argv)
+
+    scratch: List[str] = []
+
+    def _dir(chosen: Optional[Path], prefix: str) -> Path:
+        if chosen is not None:
+            chosen.mkdir(parents=True, exist_ok=True)
+            return chosen
+        path = tempfile.mkdtemp(prefix=prefix)
+        scratch.append(path)
+        return Path(path)
+
+    if args.quick:
+        cache_dir = args.cache_dir or repro.cache.default_cache_dir()
+    else:
+        cache_dir = _dir(args.cache_dir, "bench-campaign-cache-")
+    state_dir = _dir(args.state_dir, "bench-campaign-state-")
+    programs = args.programs or (QUICK_PROGRAMS if args.quick
+                                 else INVARIANCE_PROGRAMS)
+    shard_counts = QUICK_SHARDS if args.quick else INVARIANCE_SHARDS
+
+    try:
+        print(f"invariance: {programs} programs x "
+              f"{{{','.join(TARGETS)}}}, profile {PROFILE}")
+        invariance = stage_invariance(programs, shard_counts,
+                                      state_dir, cache_dir)
+        print("resume:")
+        resume = stage_resume(programs, max(shard_counts), state_dir,
+                              cache_dir)
+        report: Dict[str, object] = {
+            "seed": SEED,
+            "profile": PROFILE,
+            "targets": list(TARGETS),
+            "quick": bool(args.quick),
+            "invariance": invariance,
+            "resume": resume,
+        }
+        if not args.quick:
+            print(f"scale: {args.scale_programs} programs over "
+                  f"{SCALE_SHARDS} shards")
+            report["scale"] = stage_scale(args.scale_programs,
+                                          SCALE_SHARDS, state_dir,
+                                          cache_dir)
+    finally:
+        for path in scratch:
+            shutil.rmtree(path, ignore_errors=True)
+
+    print(render(report))
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    if not report["invariance"]["triage_identical"]:
+        print("FAIL: merged triage differed across shard counts",
+              file=sys.stderr)
+        return 1
+    if report["invariance"]["runs"][0]["mismatches"]:
+        print("FAIL: the clean matrix produced mismatches",
+              file=sys.stderr)
+        return 1
+    if not report["resume"]["zero_recompile"]:
+        print("FAIL: warm resume recompiled "
+              f"{report['resume']['resume_compiles']} programs",
+              file=sys.stderr)
+        return 1
+    if report["resume"]["noop_resume_shards"]:
+        print("FAIL: resuming a finished campaign re-ran shards",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

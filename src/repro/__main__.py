@@ -11,7 +11,9 @@ Commands:
 - ``cube``                      -- the Fig. 1 processor cube
 - ``selftest``                  -- Sec. 4.5 fault-coverage run
 - ``verify``                    -- differential conformance fuzzing
-                                  (forwards to ``python -m repro.verify``)
+                                  (forwards to ``python -m repro.verify``;
+                                  ``verify campaign`` runs the sharded,
+                                  resumable conformance campaign engine)
 - ``serve``                     -- long-running compile service
                                   (forwards to ``python -m repro.serve``)
 """
@@ -188,7 +190,8 @@ def main(argv=None) -> int:
     selftest_parser.add_argument("--programs", type=int, default=12)
 
     commands.add_parser(
-        "verify", help="differential conformance fuzzing "
+        "verify", help="differential conformance fuzzing; 'verify "
+                       "campaign' runs sharded resumable campaigns "
                        "(see python -m repro.verify --help)")
     commands.add_parser(
         "serve", help="long-running compile/simulate/verify service "

@@ -49,6 +49,14 @@ DEFAULT_MAX_BYTES = 256 * 1024 * 1024
 
 _KEY_FORMAT = 1
 
+#: When the store crosses ``max_bytes``, evict down to this fraction
+#: of it.  Stopping at the bound itself would put the very next store
+#: straight back over it -- a full directory scan per put, exactly the
+#: quadratic behaviour the amortized estimate exists to avoid.  The
+#: 10% headroom turns enforcement into one scan per ~tens of MB of
+#: fresh artifacts.
+EVICTION_LOW_WATER = 0.9
+
 
 @dataclass
 class CacheStats:
@@ -96,6 +104,9 @@ class ArtifactCache:
     def __post_init__(self) -> None:
         self.root = Path(self.root)
         self._tmp_counter = 0
+        #: Running estimate of the store's disk footprint, seeded by a
+        #: full scan on this process's first store (see _note_store).
+        self._approx_bytes: Optional[int] = None
 
     # -- keys -----------------------------------------------------------
 
@@ -205,7 +216,7 @@ class ArtifactCache:
                 pass
             return False
         self.stats.stores += 1
-        self._enforce_size_bound()
+        self._note_store(len(source.encode("utf-8")))
         return True
 
     def put(self, key: str, compiled: CompiledProgram) -> bool:
@@ -240,7 +251,7 @@ class ArtifactCache:
                 pass
             return False
         self.stats.stores += 1
-        self._enforce_size_bound()
+        self._note_store(len(payload))
         return True
 
     # -- size bound -----------------------------------------------------
@@ -265,17 +276,41 @@ class ArtifactCache:
         """Number of artifacts currently stored."""
         return len(self._entries())
 
+    def _note_store(self, size: int) -> None:
+        """Amortized size-bound enforcement after one store.
+
+        Scanning the whole store on every put is O(entries) -- fatal
+        at campaign scale, where 10^5 programs write ~2x10^5 artifacts
+        and a per-put scan makes the run quadratic in its own cache.
+        Each process instead keeps a running footprint estimate: one
+        full scan the first time it stores, pure arithmetic per put
+        after that, and a real scan-and-evict only when the estimate
+        crosses ``max_bytes`` (which also resets the estimate to the
+        measured truth).  The estimate does not see concurrent
+        writers, so the bound is approximate between enforcement
+        points; eviction order is still global LRU whenever it runs.
+        """
+        if self._approx_bytes is None:
+            self._approx_bytes = sum(
+                entry_size for _mtime, entry_size, _path
+                in self._entries())
+        else:
+            self._approx_bytes += size
+        if self._approx_bytes > self.max_bytes:
+            self._enforce_size_bound()
+
     def _enforce_size_bound(self) -> None:
         entries = self._entries()
         total = sum(size for _mtime, size, _path in entries)
-        if total <= self.max_bytes:
-            return
-        for _mtime, size, path in sorted(entries):
-            try:
-                path.unlink()
-            except OSError:
-                continue                 # a concurrent worker beat us
-            self.stats.evictions += 1
-            total -= size
-            if total <= self.max_bytes:
-                break
+        if total > self.max_bytes:
+            floor = int(self.max_bytes * EVICTION_LOW_WATER)
+            for _mtime, size, path in sorted(entries):
+                try:
+                    path.unlink()
+                except OSError:
+                    continue             # a concurrent worker beat us
+                self.stats.evictions += 1
+                total -= size
+                if total <= floor:
+                    break
+        self._approx_bytes = total

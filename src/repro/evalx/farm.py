@@ -204,6 +204,53 @@ class VerifyResult:
         return self.error is None
 
 
+@dataclass(frozen=True)
+class ShardJob:
+    """One campaign shard: a contiguous run of conformance indices.
+
+    A shard is pure work-description -- ``(seed, start, count)`` names
+    the exact program subrange of the campaign's global index space
+    (case ``index`` is a pure function of ``(seed, index, config)``),
+    ``targets``/``inputs_per_program``/``fault`` the matrix, and
+    ``config`` the :class:`~repro.verify.progen.ProgenConfig` (a frozen
+    dataclass, picklable as-is; ``None`` for defaults).  Workers run
+    the shard as a serial :func:`repro.verify.diff.run_conformance`
+    over ``[start, start + count)`` and return a plain-dict digest, so
+    the result pickles small and merges deterministically whatever
+    order shards complete in.
+    """
+
+    seed: int
+    start: int
+    count: int
+    targets: Tuple[str, ...] = ("tc25", "m56", "risc16", "asip")
+    inputs_per_program: int = 2
+    fault: Optional[Tuple[str, str]] = None
+    config: object = None
+
+
+@dataclass
+class ShardResult:
+    """Outcome of one shard: a triage digest or a captured error.
+
+    ``payload`` carries the shard's deterministic triage slice (the
+    ``mismatches`` list in :meth:`ConformanceReport.triage_json` shape,
+    plus program/cell tallies) and its performance counters (compiles,
+    artifact hits, elapsed) -- everything the campaign state file
+    checkpoints per shard.
+    """
+
+    job: ShardJob
+    payload: Optional[dict] = None
+    error: Optional[str] = None
+    error_type: Optional[str] = None
+    seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
 # One VerifySession per worker process: targets, compilers (with their
 # label caches) and oracles persist across every verify job the worker
 # handles, mirroring what _POOL does for compile jobs.
@@ -248,6 +295,45 @@ def run_verify_job(job: VerifyJob) -> VerifyResult:
                             seconds=perf_counter() - started)
     return VerifyResult(job=job, verdict=verdict,
                         seconds=perf_counter() - started)
+
+
+def run_shard_job(job: ShardJob) -> ShardResult:
+    """Execute one campaign shard; never raises.
+
+    The shard runs serially inside this process (campaign parallelism
+    is *across* shards), against the worker's pooled
+    :class:`~repro.verify.diff.VerifySession` and whatever artifact
+    cache :func:`_verify_worker_init` configured, so consecutive shards
+    in one worker stay warm exactly like consecutive verify jobs do.
+    """
+    started = perf_counter()
+    try:
+        from repro.verify.diff import run_conformance
+        fault = None
+        if job.fault is not None:
+            from repro.selftest.generator import Fault
+            fault = Fault(job.fault[0], job.fault[1])
+        report = run_conformance(
+            count=job.count, seed=job.seed, targets=job.targets,
+            inputs_per_program=job.inputs_per_program, config=job.config,
+            fault=fault, start=job.start, session=_verify_session())
+        counts = report.compile_counts()
+        payload = {
+            "start": job.start,
+            "count": job.count,
+            "programs": len(report.verdicts),
+            "cells": report.cells_checked,
+            "compiles": counts["compiles"],
+            "artifact_hits": counts["artifact_hits"],
+            "elapsed_seconds": round(report.elapsed_seconds, 3),
+            "mismatches": report.triage_json()["mismatches"],
+        }
+    except Exception as exc:                          # noqa: BLE001
+        return ShardResult(job=job, error=str(exc),
+                           error_type=type(exc).__name__,
+                           seconds=perf_counter() - started)
+    return ShardResult(job=job, payload=payload,
+                       seconds=perf_counter() - started)
 
 
 def _verify_worker_init(cache_dir: Optional[str],

@@ -140,6 +140,92 @@ def program_from_spec(spec: dict) -> Program:
 
 
 # ----------------------------------------------------------------------
+# Failure-class fingerprints
+# ----------------------------------------------------------------------
+#
+# A campaign checking 10^5-10^6 programs against one real bug produces
+# thousands of mismatches that are all the *same* bug wearing different
+# generated clothes.  The failure-class fingerprint collapses them: it
+# hashes the triage class, the matrix cell, and the *normalized* shrunk
+# program -- alpha-renamed symbols, scrubbed program name, bucketed
+# constants -- so two reproducers differing only in generator
+# accidents (symbol numbering, which scalar got picked, a 37 where
+# another seed drew 41) dedup to one class, while genuinely different
+# shapes (a MAC loop vs a straight-line add) stay distinct.
+
+def normalize_spec(spec: dict) -> dict:
+    """Canonical form of a program spec for fingerprinting.
+
+    Symbols are renamed ``s0, s1, ...`` in first-use order (writes
+    before reads, body order), the program name is dropped, and
+    constants outside ``{-1, 0, 1}`` are bucketed to ``2`` (the
+    shrinker drives constants toward 0/1, so surviving magnitudes are
+    generator noise, not bug structure).  Purely a fingerprint-side
+    view: the stored reproducer keeps its real names and constants.
+    """
+    renames: Dict[str, str] = {}
+
+    def rename(name: str) -> str:
+        if name not in renames:
+            renames[name] = f"s{len(renames)}"
+        return renames[name]
+
+    def norm_expr(expr: dict) -> dict:
+        if expr["kind"] == "const":
+            value = expr["value"]
+            return {"kind": "const",
+                    "value": value if value in (-1, 0, 1) else 2}
+        if expr["kind"] == "ref":
+            return {"kind": "ref", "symbol": rename(expr["symbol"]),
+                    "index": expr.get("index")}
+        return {"kind": "compute", "op": expr["op"],
+                "children": [norm_expr(child)
+                             for child in expr["children"]]}
+
+    def norm_items(items: List[dict]) -> List[dict]:
+        normed: List[dict] = []
+        for item in items:
+            if item["kind"] == "block":
+                normed.append({"kind": "block", "writes": [{
+                    "symbol": rename(write["symbol"]),
+                    "index": write.get("index"),
+                    "expr": norm_expr(write["expr"]),
+                } for write in item["writes"]]})
+            else:
+                normed.append({"kind": "loop", "var": item["var"],
+                               "count": item["count"],
+                               "body": norm_items(item["body"])})
+        return normed
+
+    body = norm_items(spec["body"])
+    symbols = sorted(
+        ({"name": rename(entry["name"]), "size": entry["size"],
+          "role": entry["role"], "init": entry["init"]}
+         for entry in spec["symbols"]),
+        key=lambda entry: int(entry["name"][1:]))
+    return {"symbols": symbols, "body": body}
+
+
+def failure_fingerprint(mismatch_class: str,
+                        cell: Optional[Dict[str, str]],
+                        program_spec: dict) -> str:
+    """The dedup key of one failure class.
+
+    ``triage class + matrix cell (compiler/target/sim) + hash of the
+    normalized shrunk spec``, digested to 16 hex chars.  Everything
+    hashed is deterministic, so the same bug found by any seed, shard
+    count or campaign produces the same fingerprint.
+    """
+    import hashlib
+    payload = json.dumps({
+        "class": mismatch_class,
+        "cell": cell or {},
+        "spec": normalize_spec(program_spec),
+    }, sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+# ----------------------------------------------------------------------
 # Corpus entries
 # ----------------------------------------------------------------------
 
@@ -158,6 +244,9 @@ class CorpusEntry:
             was observed in; replay checks the full matrix regardless.
         mismatch_class: classification recorded at shrink time.
         note: free-text triage note.
+        fingerprint: failure-class fingerprint recorded at shrink time
+            (see :func:`failure_fingerprint`); auto-filing dedups on
+            it, so one bug never accumulates near-identical entries.
     """
 
     name: str
@@ -168,6 +257,12 @@ class CorpusEntry:
     cell: Optional[Dict[str, str]] = None
     mismatch_class: str = ""
     note: str = ""
+    fingerprint: str = ""
+
+    def class_fingerprint(self) -> str:
+        """The entry's failure-class fingerprint (stored or derived)."""
+        return self.fingerprint or failure_fingerprint(
+            self.mismatch_class, self.cell, self.program_spec)
 
     @property
     def program(self) -> Program:
@@ -186,6 +281,7 @@ class CorpusEntry:
             "cell": self.cell,
             "mismatch_class": self.mismatch_class,
             "note": self.note,
+            "fingerprint": self.fingerprint,
         }
 
     @staticmethod
@@ -204,6 +300,7 @@ class CorpusEntry:
             cell=payload.get("cell"),
             mismatch_class=payload.get("mismatch_class", ""),
             note=payload.get("note", ""),
+            fingerprint=payload.get("fingerprint", ""),
         )
 
     def write(self, directory: Path) -> Path:

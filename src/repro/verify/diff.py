@@ -552,7 +552,9 @@ def run_conformance(count: int = 20,
                     budget_seconds: Optional[float] = None,
                     fault=None,
                     on_program: Optional[Callable] = None,
-                    jobs: int = 1
+                    jobs: int = 1,
+                    start: int = 0,
+                    session: Optional[VerifySession] = None
                     ) -> ConformanceReport:
     """Generate ``count`` programs and check each across the matrix.
 
@@ -563,6 +565,17 @@ def run_conformance(count: int = 20,
     identical to a serial run -- only the wall clock changes.  When the
     pool cannot start, the fan-out silently degrades to the serial
     loop.
+
+    ``start`` offsets the generated index range to ``[start, start +
+    count)`` without changing any program: case ``index`` is a pure
+    function of ``(seed, index, config)``, so a campaign shard covering
+    ``start=200, count=100`` checks exactly the programs a whole-range
+    run would have checked at indices 200..299.  ``session`` lets a
+    long-lived caller (a campaign shard worker) reuse pooled
+    targets/compilers across calls in the serial path; by default the
+    serial loop pools one session across its own programs, which is
+    byte-identical to fresh-per-program checks (see
+    :class:`VerifySession`).
     """
     jobs = max(1, int(jobs))
     report = ConformanceReport(seed=seed, count=count,
@@ -571,9 +584,12 @@ def run_conformance(count: int = 20,
     if jobs > 1:
         _run_conformance_parallel(report, started, count, seed, targets,
                                   inputs_per_program, config,
-                                  budget_seconds, fault, on_program, jobs)
+                                  budget_seconds, fault, on_program,
+                                  jobs, start)
     else:
-        for index in range(count):
+        if session is None:
+            session = VerifySession()
+        for index in range(start, start + count):
             if budget_seconds is not None \
                     and time.monotonic() - started > budget_seconds:
                 report.budget_exhausted = True
@@ -581,7 +597,8 @@ def run_conformance(count: int = 20,
             program_seed, program, input_sets = _generate_case(
                 seed, index, inputs_per_program, config)
             verdict = check_program(program, input_sets, targets=targets,
-                                    fault=fault, seed=program_seed)
+                                    fault=fault, seed=program_seed,
+                                    session=session)
             report.verdicts.append(verdict)
             if on_program is not None:
                 on_program(program, input_sets, verdict)
@@ -600,13 +617,13 @@ def _run_conformance_parallel(report: ConformanceReport, started: float,
                               config: Optional[ProgenConfig],
                               budget_seconds: Optional[float],
                               fault, on_program: Optional[Callable],
-                              jobs: int) -> None:
+                              jobs: int, start: int = 0) -> None:
     """Fan program checks out to farm workers, aggregating in job order."""
     from repro.evalx.farm import VerifyJob, verify_many
     from repro.verify.corpus import program_to_spec
 
     cases = [_generate_case(seed, index, inputs_per_program, config)
-             for index in range(count)]
+             for index in range(start, start + count)]
     job_list = [
         VerifyJob(program_spec=program_to_spec(program),
                   input_sets=tuple(input_sets),

@@ -3,19 +3,49 @@
 Clean entries must pass the full conformance matrix; fault entries
 must still be detected when their decoder fault is re-injected (and
 must pass *without* it -- the program is innocent, the fault is the
-bug).  This runs in tier-1; the open-ended fuzz loop is behind the
-``slow`` marker.
+bug).  On top of the matrix replay, every entry is replayed on each
+simulator tier *individually* -- reference, fast, and jit -- so a
+regression in one tier cannot hide behind the aggregate verdict, and
+a corpus entry filed against one tier still exercises the other two.
+This runs in tier-1; the open-ended fuzz loop is behind the ``slow``
+marker.
 """
 
 import pytest
 
-from repro.selftest.generator import Fault
+from repro.selftest.generator import Fault, FaultySim
+from repro.sim.harness import run_many
 from repro.verify.corpus import load_corpus
 from repro.verify.diff import (
-    Cell, check_program, instruction_count, run_conformance, still_fails,
+    Cell, DEFAULT_TARGETS, SIM_NAMES, VerifySession, check_program,
+    instruction_count, run_conformance, still_fails,
 )
 
 ENTRIES = load_corpus()
+
+#: One pooled session for the whole module: targets, compilers and
+#: oracles are caches whose hits are byte-identical to cold builds
+#: (the VerifySession pooling contract), so sharing is free.
+SESSION = VerifySession()
+
+
+def _oracle_outputs(program, inputs, target_name):
+    """Expected output symbols per the IR oracle at the target's width."""
+    target = SESSION.target(target_name)
+    env = SESSION.oracle(target.fpc.width).run(program, inputs)
+    return {name: env[name] for name, symbol in program.symbols.items()
+            if symbol.role == "output" and name in env}
+
+
+def _tier_outputs(program, inputs, target_name, sim, fault=None):
+    """Output symbols from compiling and running on ONE simulator tier."""
+    target = SESSION.target(target_name)
+    compiled = SESSION.compiler("record", target_name).compile(program)
+    run_target = FaultySim(target, fault) if fault else None
+    (env, _state), = run_many(compiled, [inputs], sim=sim,
+                              target=run_target)
+    return {name: env[name] for name, symbol in program.symbols.items()
+            if symbol.role == "output" and name in env}
 
 
 def test_corpus_is_checked_in():
@@ -40,6 +70,33 @@ def test_corpus_entry_replays(entry):
         f"{entry.name}: recorded fault no longer detected"
     assert check_program(program, [entry.inputs], targets=targets).ok, \
         f"{entry.name}: reproducer fails even without the fault"
+
+
+@pytest.mark.parametrize("sim", SIM_NAMES)
+@pytest.mark.parametrize("entry", ENTRIES, ids=lambda e: e.name)
+def test_corpus_entry_replays_per_tier(entry, sim):
+    """Each tier -- reference, fast, AND jit -- replays every entry."""
+    program = entry.program
+    if entry.fault is None:
+        for target_name in DEFAULT_TARGETS:
+            expected = _oracle_outputs(program, entry.inputs, target_name)
+            got = _tier_outputs(program, entry.inputs, target_name, sim)
+            assert got == expected, \
+                f"{entry.name}: {sim} tier diverges on {target_name}"
+        return
+
+    # Fault entries: the decoder fault is injected at decode level, so
+    # every tier must diverge from the oracle with it -- and agree
+    # without it.
+    target_name = entry.cell["target"] if entry.cell else "tc25"
+    expected = _oracle_outputs(program, entry.inputs, target_name)
+    clean = _tier_outputs(program, entry.inputs, target_name, sim)
+    assert clean == expected, \
+        f"{entry.name}: {sim} tier fails even without the fault"
+    faulty = _tier_outputs(program, entry.inputs, target_name, sim,
+                           fault=Fault(*entry.fault))
+    assert faulty != expected, \
+        f"{entry.name}: {sim} tier does not detect the recorded fault"
 
 
 @pytest.mark.parametrize(

@@ -1,0 +1,155 @@
+"""Failure-class fingerprints: normalization, stability, dedup filing.
+
+The fingerprint's job is collapsing "one bug, thousands of generated
+witnesses" down to one class: it must be blind to generator accidents
+(symbol names, program names, which large constant a seed happened to
+draw) and sharp on everything structural (operators, shapes, cells,
+triage classes).  The filing tests pin the consumer-visible promise:
+a class already in the corpus directory is never filed twice, by the
+campaign engine or by the single-run ``--write-corpus`` path.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+import repro.cache
+from repro.verify.corpus import (
+    CorpusEntry, failure_fingerprint, load_corpus, normalize_spec,
+)
+
+CELL = {"compiler": "record", "target": "tc25", "sim": "fast"}
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_cache():
+    repro.cache.configure(None)
+    yield
+    repro.cache.configure(None)
+
+
+def _spec(name="prog", x="x", y="y", const=37, op="ADD"):
+    """A one-block program spec: ``y = x <op> const``."""
+    return {
+        "name": name,
+        "symbols": [
+            {"name": x, "size": 1, "role": "input", "init": None},
+            {"name": y, "size": 1, "role": "output", "init": None},
+        ],
+        "body": [{"kind": "block", "writes": [{
+            "symbol": y, "index": None,
+            "expr": {"kind": "compute", "op": op, "children": [
+                {"kind": "ref", "symbol": x, "index": None},
+                {"kind": "const", "value": const},
+            ]},
+        }]}],
+    }
+
+
+# ----------------------------------------------------------------------
+# normalize_spec
+# ----------------------------------------------------------------------
+
+def test_normalization_ignores_generator_accidents():
+    """Names and large-constant values are generator noise."""
+    a = normalize_spec(_spec(name="fuzz-17", x="v3", y="acc", const=37))
+    b = normalize_spec(_spec(name="fuzz-99", x="in0", y="out7",
+                             const=-1400))
+    assert a == b
+    assert "name" not in a
+
+
+def test_normalization_keeps_structure():
+    base = normalize_spec(_spec())
+    assert normalize_spec(_spec(op="SUB")) != base
+    assert normalize_spec(_spec(const=0)) != base, \
+        "shrinker-relevant constants (-1, 0, 1) must stay distinct"
+    assert normalize_spec(_spec(const=1)) != normalize_spec(_spec(const=0))
+
+
+def test_normalization_renames_in_first_use_order():
+    normalized = normalize_spec(_spec(x="zulu", y="alpha"))
+    write = normalized["body"][0]["writes"][0]
+    assert write["symbol"] == "s0", "written symbol is used first"
+    assert write["expr"]["children"][0]["symbol"] == "s1"
+    assert [entry["name"] for entry in normalized["symbols"]] \
+        == ["s0", "s1"]
+
+
+def test_normalization_does_not_mutate_input():
+    spec = _spec()
+    snapshot = copy.deepcopy(spec)
+    normalize_spec(spec)
+    assert spec == snapshot
+
+
+# ----------------------------------------------------------------------
+# failure_fingerprint
+# ----------------------------------------------------------------------
+
+def test_fingerprint_stable_across_accidents():
+    a = failure_fingerprint("compiler", CELL, _spec(x="v3", const=37))
+    b = failure_fingerprint("compiler", CELL, _spec(x="w9", const=50))
+    assert a == b
+    assert len(a) == 16 and int(a, 16) >= 0
+
+
+def test_fingerprint_separates_classes_cells_and_shapes():
+    base = failure_fingerprint("compiler", CELL, _spec())
+    assert failure_fingerprint("overflow", CELL, _spec()) != base
+    other_cell = dict(CELL, sim="jit")
+    assert failure_fingerprint("compiler", other_cell, _spec()) != base
+    assert failure_fingerprint("compiler", CELL, _spec(op="MUL")) != base
+
+
+def test_corpus_entry_fingerprint_round_trips():
+    entry = CorpusEntry(name="t", seed=7, program_spec=_spec(),
+                        cell=CELL, mismatch_class="compiler",
+                        fingerprint=failure_fingerprint(
+                            "compiler", CELL, _spec()))
+    reloaded = CorpusEntry.from_json(entry.to_json())
+    assert reloaded.fingerprint == entry.fingerprint
+    assert reloaded.class_fingerprint() == entry.fingerprint
+
+
+def test_legacy_entry_derives_fingerprint():
+    """Entries filed before the fingerprint field still dedup."""
+    entry = CorpusEntry(name="old", seed=1, program_spec=_spec(),
+                        cell=CELL, mismatch_class="compiler")
+    payload = entry.to_json()
+    payload["fingerprint"] = ""
+    reloaded = CorpusEntry.from_json(payload)
+    assert reloaded.class_fingerprint() \
+        == failure_fingerprint("compiler", CELL, _spec())
+
+
+# ----------------------------------------------------------------------
+# Dedup filing (satellite: corpus auto-filing dedups by class)
+# ----------------------------------------------------------------------
+
+def test_write_corpus_files_each_class_once(tmp_path, capsys):
+    """The same fault re-found on a second run files nothing new."""
+    from repro.verify.__main__ import main
+
+    corpus_dir = tmp_path / "corpus"
+    argv = ["--count", "4", "--seed", "1", "--targets", "tc25",
+            "--inject-fault", "ADD:SUB", "--write-corpus",
+            "--corpus-dir", str(corpus_dir), "--max-shrink", "3",
+            "--no-cache"]
+    assert main(list(argv)) == 0
+    capsys.readouterr()
+    first = sorted(corpus_dir.glob("*.json"))
+    assert first, "the seeded fault must file at least one reproducer"
+    fingerprints = [entry.class_fingerprint()
+                    for entry in load_corpus(corpus_dir)]
+    assert all(fingerprints), "filed entries must carry fingerprints"
+    assert len(set(fingerprints)) == len(fingerprints), \
+        "one run must not file the same class twice"
+
+    assert main(list(argv)) == 0
+    out = capsys.readouterr().out
+    assert sorted(corpus_dir.glob("*.json")) == first, \
+        "a re-run must not file duplicate classes"
+    assert "not filed" in out
