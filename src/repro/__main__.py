@@ -16,6 +16,8 @@ Commands:
                                   resumable conformance campaign engine)
 - ``serve``                     -- long-running compile service
                                   (forwards to ``python -m repro.serve``)
+- ``tune``                      -- measurement-driven knob autotuner
+                                  (forwards to ``python -m repro.tune``)
 """
 
 from __future__ import annotations
@@ -150,6 +152,9 @@ def main(argv=None) -> int:
     if argv and argv[0] == "serve":
         from repro.serve.__main__ import main as serve_main
         return serve_main(list(argv[1:]))
+    if argv and argv[0] == "tune":
+        from repro.tune.__main__ import main as tune_main
+        return tune_main(list(argv[1:]))
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Retargetable code generation for embedded core "
@@ -196,6 +201,9 @@ def main(argv=None) -> int:
     commands.add_parser(
         "serve", help="long-running compile/simulate/verify service "
                       "(see python -m repro serve --help)")
+    commands.add_parser(
+        "tune", help="measurement-driven knob autotuner "
+                     "(see python -m repro tune --help)")
 
     args = parser.parse_args(argv)
     handler = {

@@ -88,33 +88,52 @@ class CompilationResult:
 def compile_program(program: Program,
                     target: Union[str, TargetModel, None] = None,
                     compiler: str = "record",
-                    options=None) -> CompilationResult:
-    """Compile an already-lowered Program."""
+                    options=None,
+                    tuning_db=None) -> CompilationResult:
+    """Compile an already-lowered Program.
+
+    ``compiler="tuned"`` is the record pipeline steered by a tuning
+    database (see :mod:`repro.tune`): ``tuning_db`` may be a
+    :class:`~repro.tune.db.TuningDB`, a path to one, or ``None`` for
+    the conventional ``.repro-tune.json``; ``options`` becomes the
+    fallback for programs the database has no entry for.
+    """
     target_model = _resolve_target(target)
     if compiler == "record":
         built = RecordCompiler(target_model, options).compile(program)
+    elif compiler == "tuned":
+        from repro.tune.db import TuningDB
+        from repro.tune.tuned import TunedCompiler
+        if tuning_db is None or isinstance(tuning_db, (str, bytes)) \
+                or hasattr(tuning_db, "__fspath__"):
+            tuning_db = TuningDB.load(tuning_db)
+        built = TunedCompiler(target_model, db=tuning_db,
+                              default_options=options).compile(program)
     elif compiler == "baseline":
         built = BaselineCompiler(target_model, options).compile(program)
     elif compiler == "hand":
         built = hand_reference(program.name, target_model)
     else:
         raise ValueError(f"unknown compiler {compiler!r}; expected "
-                         "'record', 'baseline' or 'hand'")
+                         "'record', 'tuned', 'baseline' or 'hand'")
     return CompilationResult(program=program, compiled=built)
 
 
 def compile_source(source: str,
                    target: Union[str, TargetModel, None] = None,
                    compiler: str = "record",
-                   options=None) -> CompilationResult:
+                   options=None,
+                   tuning_db=None) -> CompilationResult:
     """Compile MiniDFL source text end to end."""
-    return compile_program(compile_dfl(source), target, compiler, options)
+    return compile_program(compile_dfl(source), target, compiler,
+                           options, tuning_db=tuning_db)
 
 
 def compile_kernel(name: str,
                    target: Union[str, TargetModel, None] = None,
                    compiler: str = "record",
-                   options=None) -> CompilationResult:
+                   options=None,
+                   tuning_db=None) -> CompilationResult:
     """Compile one of the DSPStone kernels by name."""
     return compile_program(kernel(name).program, target, compiler,
-                           options)
+                           options, tuning_db=tuning_db)

@@ -31,7 +31,7 @@ from pathlib import Path
 from typing import Callable, Optional
 
 from repro.cache.artifacts import (
-    ArtifactCache, CacheStats, DEFAULT_MAX_BYTES,
+    ArtifactCache, CacheStats, DEFAULT_MAX_BYTES, options_payload,
 )
 from repro.cache.version import code_version, set_code_version
 from repro.codegen.compiled import CompiledProgram
@@ -45,6 +45,7 @@ __all__ = [
     "code_version",
     "configure",
     "default_cache_dir",
+    "options_payload",
     "set_code_version",
 ]
 

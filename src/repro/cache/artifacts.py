@@ -29,6 +29,7 @@ Design constraints, in order:
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import json
 import logging
@@ -47,7 +48,32 @@ logger = logging.getLogger("repro.cache")
 #: plus tens of thousands of fuzz programs (~10 KB per artifact).
 DEFAULT_MAX_BYTES = 256 * 1024 * 1024
 
-_KEY_FORMAT = 1
+_KEY_FORMAT = 2
+
+
+def options_payload(options: object) -> object:
+    """Canonical JSON-able form of a compiler-options value.
+
+    One normalization for every subsystem that hashes options -- the
+    artifact cache, the compile service (which keys requests through
+    :meth:`ArtifactCache.key_for`), the farm, and the tuner's
+    measurement records.  Options classes with a canonical
+    ``to_dict()`` (``RecordOptions``) use it; other frozen dataclasses
+    (``BaselineOptions``) serialize field-wise; anything else falls
+    back to ``repr``.  ``None`` normalizes to ``None`` -- callers must
+    substitute the compiler's default options themselves when they
+    want default-vs-explicit-default to hash identically (see
+    :func:`repro.serve.server.default_options`).
+    """
+    if options is None:
+        return None
+    to_dict = getattr(options, "to_dict", None)
+    if callable(to_dict):
+        return {"class": type(options).__name__, "fields": to_dict()}
+    if dataclasses.is_dataclass(options) and not isinstance(options, type):
+        return {"class": type(options).__name__,
+                "fields": dataclasses.asdict(options)}
+    return repr(options)
 
 #: When the store crosses ``max_bytes``, evict down to this fraction
 #: of it.  Stopping at the bound itself would put the very next store
@@ -124,7 +150,7 @@ class ArtifactCache:
                 "format": _KEY_FORMAT,
                 "program": program_to_spec(program),
                 "compiler": compiler_name,
-                "options": repr(options),
+                "options": options_payload(options),
                 "target": target_name,
                 "code": code_version(),
             }, sort_keys=True)
@@ -139,6 +165,9 @@ class ArtifactCache:
 
     def _source_path(self, key: str) -> Path:
         return self.root / "jit" / key[:2] / f"{key}.py"
+
+    def _record_path(self, key: str) -> Path:
+        return self.root / "meas" / key[:2] / f"{key}.json"
 
     # -- lookup ---------------------------------------------------------
 
@@ -185,6 +214,39 @@ class ArtifactCache:
         self._touch(path)
         return source
 
+    def get_record(self, key: str) -> Optional[dict]:
+        """Load a JSON measurement record (the tuner's entries), or
+        ``None`` on miss or any disk problem.
+
+        Records get the same corruption discipline as artifacts: a
+        truncated or non-dict entry is dropped and re-measured, never
+        surfaced.
+        """
+        path = self._record_path(key)
+        try:
+            payload = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError):
+            self.stats.misses += 1
+            return None
+        try:
+            record = json.loads(payload)
+            if not isinstance(record, dict):
+                raise TypeError(
+                    f"record entry holds {type(record).__name__}")
+        except Exception as exc:                       # noqa: BLE001
+            self.stats.corrupt_entries += 1
+            self.stats.misses += 1
+            logger.warning("dropping corrupt record entry %s (%s: %s)",
+                           path.name, type(exc).__name__, exc)
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.stats.hits += 1
+        self._touch(path)
+        return record
+
     def _touch(self, path: Path) -> None:
         """Refresh an entry's LRU position (counted in ``stats``)."""
         try:
@@ -217,6 +279,41 @@ class ArtifactCache:
             return False
         self.stats.stores += 1
         self._note_store(len(source.encode("utf-8")))
+        return True
+
+    def put_record(self, key: str, record: dict) -> bool:
+        """Store a JSON measurement record atomically.
+
+        The blob is canonical (``sort_keys``), so racing writers of
+        the same key -- farm workers measuring one deduped cell --
+        produce identical bytes and either winner is correct.
+        """
+        try:
+            blob = json.dumps(record, sort_keys=True) + "\n"
+        except (TypeError, ValueError) as exc:
+            self.stats.store_failures += 1
+            logger.warning("measurement record %s not JSON-able (%s); "
+                           "not cached", key[:12], exc)
+            return False
+        path = self._record_path(key)
+        tmp = path.with_name(
+            f".{path.stem}.{os.getpid()}.{self._tmp_counter}.tmp")
+        self._tmp_counter += 1
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp.write_text(blob, encoding="utf-8")
+            os.replace(tmp, path)
+        except OSError as exc:
+            self.stats.store_failures += 1
+            logger.warning("cannot store record entry %s (%s); "
+                           "continuing uncached", path.name, exc)
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            return False
+        self.stats.stores += 1
+        self._note_store(len(blob.encode("utf-8")))
         return True
 
     def put(self, key: str, compiled: CompiledProgram) -> bool:
@@ -259,7 +356,7 @@ class ArtifactCache:
     def _entries(self) -> List[Tuple[float, int, Path]]:
         """(mtime, size, path) of every entry; unreadable ones skipped."""
         entries = []
-        for pattern in ("*/*.pkl", "jit/*/*.py"):
+        for pattern in ("*/*.pkl", "jit/*/*.py", "meas/*/*.json"):
             for path in self.root.glob(pattern):
                 try:
                     stat = path.stat()

@@ -233,9 +233,18 @@ def compact_code(code: CodeSeq, model: SlotModel,
     Runs are delimited by anything that is not a plain instruction
     (labels, loop markers) -- moves never migrate across control flow.
     """
-    compactor = {"greedy": greedy_compaction,
-                 "optimal": optimal_compaction,
-                 "none": lambda instrs, _model: list(instrs)}[strategy]
+    compactors = {"greedy": greedy_compaction,
+                  "optimal": optimal_compaction,
+                  "none": lambda instrs, _model: list(instrs)}
+    compactor = compactors.get(strategy)
+    if compactor is None:
+        # The tuner (and the service) feed strategy names
+        # programmatically; a raw KeyError here would read as an
+        # internal crash rather than a bad configuration.
+        from repro.codegen.pipeline import CompileError
+        raise CompileError(
+            f"unknown compaction strategy {strategy!r}; "
+            f"choose from {', '.join(sorted(compactors))}")
     result = CodeSeq()
     run: List[AsmInstr] = []
 

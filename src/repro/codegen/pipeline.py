@@ -21,7 +21,7 @@ ablation benchmarks can quantify each design choice separately.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 from time import perf_counter
 from typing import Dict, List, Optional, Set, Tuple, TYPE_CHECKING
 
@@ -66,6 +66,42 @@ class RecordOptions:
     # calls of the same compiler instance.  OFF reproduces the cold
     # per-compile path (the bench_compile_speed baseline).
     label_cache: bool = True
+
+    def to_dict(self) -> dict:
+        """Canonical JSON-able form: every field, plain types only.
+
+        This is *the* serialization of a RECORD configuration: the
+        artifact-cache key, the tuner's measurement records and
+        tuning database, and farm job payloads all go through it, so
+        an options value written by any one subsystem is readable --
+        and hashes identically -- in every other.
+        """
+        payload: Dict[str, object] = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if isinstance(value, tuple):
+                value = list(value)
+            payload[spec.name] = value
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "RecordOptions":
+        """Inverse of :meth:`to_dict`; rejects unknown fields loudly.
+
+        Unknown keys raise (rather than being dropped) because a
+        silently ignored knob would make a tuning-database entry or a
+        measurement record lie about what was measured.
+        """
+        known = {spec.name for spec in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown RecordOptions field(s) {', '.join(unknown)}; "
+                f"known: {', '.join(sorted(known))}")
+        kwargs = dict(payload)
+        if kwargs.get("scalar_order") is not None:
+            kwargs["scalar_order"] = tuple(kwargs["scalar_order"])
+        return cls(**kwargs)
 
 
 class CompileError(Exception):

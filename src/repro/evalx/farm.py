@@ -251,6 +251,81 @@ class ShardResult:
         return self.error is None
 
 
+# ----------------------------------------------------------------------
+# Tuner measurement jobs
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class MeasureJob:
+    """One autotuner measurement cell, picklable by construction.
+
+    Every ingredient travels as a *canonical JSON string* (sorted
+    keys), not a dict, so the job stays hashable and two jobs
+    measuring the same cell compare equal -- which is what lets
+    :func:`measure_many` dedup a batch the way :func:`compile_many`
+    does.  ``program_spec`` is the corpus form of the program,
+    ``options_json`` a :meth:`RecordOptions.to_dict` blob,
+    ``inputs_json`` the list of input environments to accumulate
+    cycles over, ``sim`` the simulator tier to measure with.
+    """
+
+    program_spec: str
+    target: str = "tc25"
+    options_json: str = "{}"
+    inputs_json: str = "[]"
+    sim: str = "jit"
+
+
+@dataclass
+class MeasureResult:
+    """Outcome of one measurement: a record dict or a captured error."""
+
+    job: MeasureJob
+    payload: Optional[dict] = None
+    error: Optional[str] = None
+    error_type: Optional[str] = None
+    #: Whether the cell replayed a cached record (``cached`` never
+    #: travels inside the payload -- records are canonical -- so the
+    #: flag rides alongside it).
+    cached: bool = False
+    seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def run_measure_job(job: MeasureJob) -> MeasureResult:
+    """Execute one measurement; never raises -- errors travel in the
+    result.  (A *compile* failure of the measured configuration is not
+    an error: it comes back as a record with an ``error`` field, so
+    the tuner can disqualify the configuration and keep searching.)"""
+    started = perf_counter()
+    try:
+        from repro.codegen.pipeline import RecordOptions
+        from repro.tune.measure import measure_cell
+        from repro.verify.corpus import program_from_spec
+        program = program_from_spec(json.loads(job.program_spec))
+        options = RecordOptions.from_dict(json.loads(job.options_json))
+        measurement = measure_cell(program, job.target, options,
+                                   json.loads(job.inputs_json),
+                                   sim=job.sim)
+    except Exception as exc:                          # noqa: BLE001
+        return MeasureResult(job=job, error=str(exc),
+                             error_type=type(exc).__name__,
+                             seconds=perf_counter() - started)
+    return MeasureResult(job=job, payload=measurement.to_json(),
+                         cached=measurement.cached,
+                         seconds=perf_counter() - started)
+
+
+def measure_job_key(job: MeasureJob) -> Tuple:
+    """Content key of a measurement job (every field is already
+    canonical, so the job tuple itself is the key)."""
+    return (job.program_spec, job.target, job.options_json,
+            job.inputs_json, job.sim)
+
+
 # One VerifySession per worker process: targets, compilers (with their
 # label caches) and oracles persist across every verify job the worker
 # handles, mirroring what _POOL does for compile jobs.
@@ -525,6 +600,41 @@ def verify_many(jobs: Sequence[VerifyJob],
                      cache_max_bytes),
     }
     results = _run_pool(unique, run_verify_job, parallel, workers,
+                        executor, pool_kwargs)
+    return _fan_out(jobs, indices, results)
+
+
+def measure_many(jobs: Sequence[MeasureJob],
+                 parallel: Optional[bool] = None,
+                 max_workers: Optional[int] = None,
+                 cache_dir: Optional[object] = None,
+                 cache_max_bytes: Optional[int] = None,
+                 executor: Optional[concurrent.futures.Executor] = None
+                 ) -> List[MeasureResult]:
+    """Run tuner measurement jobs; results come back in job order.
+
+    Scheduling, batch dedup and worker cache initialization all match
+    :func:`verify_many`: identical cells measure once per batch, every
+    worker shares the driver's persistent artifact cache (compiles hit
+    it; measurement records land in it), and any pool failure falls
+    back to serial execution with identical results.
+    """
+    jobs = list(jobs)
+    unique, indices = _dedup(jobs, measure_job_key)
+    workers = max_workers if max_workers is not None else default_workers()
+    if cache_dir is None:
+        from repro.cache import active_cache
+        active = active_cache()
+        if active is not None:
+            cache_dir = active.root
+            if cache_max_bytes is None:
+                cache_max_bytes = active.max_bytes
+    pool_kwargs = {
+        "initializer": _verify_worker_init,
+        "initargs": (str(cache_dir) if cache_dir else None,
+                     cache_max_bytes),
+    }
+    results = _run_pool(unique, run_measure_job, parallel, workers,
                         executor, pool_kwargs)
     return _fan_out(jobs, indices, results)
 

@@ -78,15 +78,30 @@ def _outputs_match(spec: KernelSpec, reference: Dict[str, object],
     return True
 
 
+def _record_options_for(spec: KernelSpec,
+                        record_options: Optional[RecordOptions],
+                        tuning_db) -> Optional[RecordOptions]:
+    """The record-column options for one kernel row: the tuning
+    database's oracle-gated best when one is stored, the caller's
+    ``record_options`` otherwise."""
+    if tuning_db is None:
+        return record_options
+    tuned = tuning_db.options_for(spec.program, "tc25")
+    return tuned if tuned is not None else record_options
+
+
 def _farm_builds(specs, record_options: Optional[RecordOptions],
-                 parallel: Optional[bool]) -> Dict[str, Dict[str, object]]:
+                 parallel: Optional[bool],
+                 tuning_db=None) -> Dict[str, Dict[str, object]]:
     """Compile every (kernel, compiler) cell through the compile farm."""
     from repro.evalx.farm import CompileJob, compile_many
     jobs = []
     for spec in specs:
         jobs.append(CompileJob(kernel=spec.name, compiler="baseline"))
-        jobs.append(CompileJob(kernel=spec.name, compiler="record",
-                               options=record_options))
+        jobs.append(CompileJob(
+            kernel=spec.name, compiler="record",
+            options=_record_options_for(spec, record_options,
+                                        tuning_db)))
     results = compile_many(jobs, parallel=parallel)
     built: Dict[str, Dict[str, object]] = {}
     for result in results:
@@ -102,7 +117,8 @@ def _farm_builds(specs, record_options: Optional[RecordOptions],
 
 def compute_table1(target: Optional[TC25] = None, seeds: int = 3,
                    record_options: Optional[RecordOptions] = None,
-                   parallel: Optional[bool] = None) -> List[Table1Row]:
+                   parallel: Optional[bool] = None,
+                   tuning_db=None) -> List[Table1Row]:
     """Build, verify and measure every Table 1 row.
 
     With the stock target (``target=None``) the per-cell compiles run
@@ -110,12 +126,22 @@ def compute_table1(target: Optional[TC25] = None, seeds: int = 3,
     machines, serial otherwise -- results are identical).  A custom
     target instance forces the in-process path, since only registry
     names travel to farm workers.
+
+    ``tuning_db`` (a :class:`~repro.tune.db.TuningDB` or a path to
+    one) steers the record column with per-kernel autotuned options
+    where the database has an entry; every cell is still verified
+    against the reference interpreter, so a stale entry cannot smuggle
+    a wrong answer into the table.
     """
+    if tuning_db is not None and not hasattr(tuning_db, "options_for"):
+        from repro.tune.db import TuningDB
+        tuning_db = TuningDB.load(tuning_db)
     specs = list(all_kernels())
     built = None
     if target is None:
         target = TC25()
-        built = _farm_builds(specs, record_options, parallel)
+        built = _farm_builds(specs, record_options, parallel,
+                             tuning_db=tuning_db)
     fpc = FixedPointContext(target.word_bits)
     rows: List[Table1Row] = []
     for spec in specs:
@@ -126,7 +152,10 @@ def compute_table1(target: Optional[TC25] = None, seeds: int = 3,
             record = built[spec.name]["record"]
         else:
             baseline = BaselineCompiler(target).compile(program)
-            record = RecordCompiler(target, record_options).compile(program)
+            record = RecordCompiler(
+                target,
+                _record_options_for(spec, record_options, tuning_db)
+            ).compile(program)
 
         verified = True
         cycles = {"hand": 0, "baseline": 0, "record": 0}

@@ -328,7 +328,10 @@ class M56(TargetModel):
         elif strategy == "anneal":
             assignment = annealed_assignment(weights, symbols, seed=0)
         else:
-            raise ValueError(f"unknown bank strategy {strategy!r}")
+            from repro.codegen.pipeline import CompileError
+            raise CompileError(
+                f"unknown bank_assignment strategy {strategy!r}; "
+                "choose from anneal, greedy, single")
         for name in symbols:
             assignment.setdefault(name, "x")
         return assignment
@@ -366,8 +369,14 @@ class M56(TargetModel):
             # bank the concatenated layout is what matters.
             return {bank: general_offset_assignment(sequence, 2).layout
                     for bank, sequence in sequences.items()}
-        solver = {"liao": liao_order, "naive": naive_order,
-                  "absolute": naive_order}[strategy]
+        solvers = {"liao": liao_order, "naive": naive_order,
+                   "absolute": naive_order}
+        solver = solvers.get(strategy)
+        if solver is None:
+            from repro.codegen.pipeline import CompileError
+            raise CompileError(
+                f"unknown offset_assignment strategy {strategy!r}; "
+                f"choose from goa, {', '.join(sorted(solvers))}")
         return {bank: solver(sequence)
                 for bank, sequence in sequences.items()}
 

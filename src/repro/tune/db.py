@@ -1,0 +1,126 @@
+"""The persisted tuning database: per-kernel best configurations.
+
+One atomic JSON file (the :mod:`repro.verify.campaign` state-file
+discipline: tmp + ``os.replace``) mapping ``(program, target)`` keys
+to the oracle-gated best :class:`RecordOptions` the tuner found, plus
+the measured evidence (tuned vs default cycles).  Programs are keyed
+structurally -- a digest of the corpus spec form -- so a DSPStone
+kernel, the same kernel rebuilt from MiniDFL source, and a progen
+program with the same shape all resolve to the same entry, however the
+caller constructed the ``Program``.
+
+The database is a *hint*, not a correctness input: a stale entry (new
+code version, refactored backend) simply configures a compile that is
+itself oracle-checkable, so entries survive code changes and the
+stored ``code_version`` field is informational.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.codegen.pipeline import RecordOptions
+
+DB_FORMAT = 1
+
+
+def default_db_path() -> Path:
+    """The conventional location: ``.repro-tune.json`` in the cwd."""
+    return Path(".repro-tune.json")
+
+
+def program_digest(program) -> Optional[str]:
+    """Structural digest of a lowered program (16 hex chars), or
+    ``None`` for programs the corpus spec form cannot express."""
+    from repro.verify.corpus import program_to_spec
+    try:
+        blob = json.dumps(program_to_spec(program), sort_keys=True)
+    except Exception:                                  # noqa: BLE001
+        return None
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+def entry_key(digest: str, target_name: str) -> str:
+    """The database key of one (program, target) cell."""
+    return f"{digest}@{target_name}"
+
+
+@dataclass
+class TuningDB:
+    """An in-memory view of one tuning-database file."""
+
+    path: Path
+    entries: Dict[str, dict] = field(default_factory=dict)
+
+    @staticmethod
+    def load(path: Optional[object] = None) -> "TuningDB":
+        """Read a database (a missing file is an empty database)."""
+        path = Path(path) if path is not None else default_db_path()
+        if not path.exists():
+            return TuningDB(path=path)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError) as exc:
+            raise ValueError(f"cannot read tuning db {path}: {exc}")
+        if payload.get("format") != DB_FORMAT:
+            raise ValueError(f"unsupported tuning db format "
+                             f"{payload.get('format')!r} in {path}")
+        return TuningDB(path=path,
+                        entries=dict(payload.get("entries", {})))
+
+    def save(self) -> None:
+        """Atomically persist (tmp + ``os.replace``); a reader only
+        ever sees a complete database."""
+        payload = {"format": DB_FORMAT, "entries": self.entries}
+        path = Path(self.path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(payload, indent=2, sort_keys=True)
+                       + "\n")
+        os.replace(tmp, path)
+
+    # -- queries --------------------------------------------------------
+
+    def lookup(self, program, target_name: str) -> Optional[dict]:
+        """The stored entry for one (program, target), or ``None``."""
+        digest = program_digest(program)
+        if digest is None:
+            return None
+        return self.entries.get(entry_key(digest, target_name))
+
+    def options_for(self, program, target_name: str
+                    ) -> Optional[RecordOptions]:
+        """The tuned options for one (program, target), or ``None``.
+
+        An entry whose options no longer deserialize (a knob was
+        renamed away) is treated as absent rather than crashing the
+        compile -- the database is a hint.
+        """
+        entry = self.lookup(program, target_name)
+        if entry is None:
+            return None
+        try:
+            return RecordOptions.from_dict(entry["options"])
+        except Exception:                              # noqa: BLE001
+            return None
+
+    # -- updates --------------------------------------------------------
+
+    def record(self, program, target_name: str, entry: dict) -> bool:
+        """Store one tuned entry; returns whether the program keyed.
+
+        ``entry`` must carry at least ``options`` (a canonical
+        :meth:`RecordOptions.to_dict` dict); the tuner adds the
+        measured evidence (``tuned_cycles``, ``default_cycles``,
+        ``program``, ``code_version``).
+        """
+        digest = program_digest(program)
+        if digest is None:
+            return False
+        self.entries[entry_key(digest, target_name)] = entry
+        return True

@@ -1,0 +1,114 @@
+"""The optimization-knob space the tuner searches.
+
+One table (:data:`KNOBS`) names every :class:`RecordOptions` field the
+paper's argument turns on -- selection metric, algebraic-variant
+budget, loop/peephole transformations, offset/bank assignment,
+compaction -- and the candidate values worth measuring for each.  The
+space is deliberately *target-aware*: the memory-layout knobs
+(``offset_assignment``, ``bank_assignment``) and ``compaction`` only
+reach code on targets whose backend hooks read them (the M56's banked
+address assigner and parallel-move packer), so for other targets those
+axes are pruned rather than measured into a table of identical rows.
+
+The survey literature (PAPERS.md, "Instruction Selection: A Survey")
+is the motivation for searching at all: no single metric or heuristic
+wins on every kernel, so the space keeps both values of every
+either-way knob -- including the ones whose defaults exist for
+Table 1 fidelity rather than cycle count (``fuse_shift_idioms``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Sequence, Tuple
+
+from repro.codegen.pipeline import RecordOptions
+
+#: Candidate values per knob, in measurement order.  The default value
+#: of each knob need not be listed first (or at all): the screening
+#: pass always measures the default configuration separately and only
+#: enqueues values that *differ* from the default.
+KNOBS: Tuple[Tuple[str, Tuple[object, ...]], ...] = (
+    ("metric", ("size", "speed")),
+    ("variant_limit", (1, 8, 64, 256)),
+    ("promote_accumulators", (True, False)),
+    ("repeat_idioms", (True, False)),
+    ("fuse_shift_idioms", (False, True)),
+    ("peephole", (True, False)),
+    ("minimize_modes", (True, False)),
+    ("offset_assignment", ("liao", "naive", "goa", "absolute")),
+    ("bank_assignment", ("greedy", "single", "anneal")),
+    ("compaction", ("greedy", "optimal", "none")),
+)
+
+#: Knobs that only reach code through the M56 backend hooks
+#: (``assign_addresses`` reads offset/bank strategies, ``compact``
+#: reads the compaction strategy).  Measuring them elsewhere would
+#: spend budget re-measuring the default configuration under an alias.
+_M56_ONLY = ("offset_assignment", "bank_assignment", "compaction")
+
+
+def relevant_knobs(target_name: str
+                   ) -> List[Tuple[str, Tuple[object, ...]]]:
+    """The searchable ``(knob, values)`` axes for one target."""
+    banked = target_name.startswith("m56")
+    return [(knob, values) for knob, values in KNOBS
+            if banked or knob not in _M56_ONLY]
+
+
+def screening_candidates(default: RecordOptions, target_name: str
+                         ) -> List[Tuple[str, RecordOptions]]:
+    """Stage-1 candidates: every single-knob deviation from ``default``.
+
+    Returns ``(knob, options)`` pairs in deterministic knob-table
+    order, so a truncated budget always drops the same tail.
+    """
+    candidates: List[Tuple[str, RecordOptions]] = []
+    for knob, values in relevant_knobs(target_name):
+        base = getattr(default, knob)
+        for value in values:
+            if value != base:
+                candidates.append(
+                    (knob, replace(default, **{knob: value})))
+    return candidates
+
+
+def cross_candidates(default: RecordOptions,
+                     movers: Dict[str, Sequence[object]]
+                     ) -> List[RecordOptions]:
+    """Stage-2 candidates: the cross-product over the knobs that moved.
+
+    ``movers`` maps each promising knob to the values worth combining
+    (the screening winners); the default value of each knob is added
+    automatically, so every combination of "improved knob settings
+    plus leave-the-rest-alone" is enumerated.  Combinations identical
+    to the default configuration are skipped (already measured), and
+    enumeration order is deterministic: knobs in :data:`KNOBS` order,
+    values in listed order.
+    """
+    order = [knob for knob, _values in KNOBS if knob in movers]
+    axes: List[List[object]] = []
+    for knob in order:
+        base = getattr(default, knob)
+        values = [base] + [value for value in movers[knob]
+                           if value != base]
+        axes.append(values)
+
+    results: List[RecordOptions] = []
+
+    def expand(index: int, settings: Dict[str, object]) -> None:
+        if index == len(order):
+            if settings:
+                results.append(replace(default, **settings))
+            return
+        knob = order[index]
+        for value in axes[index]:
+            if value == getattr(default, knob):
+                expand(index + 1, settings)
+            else:
+                settings[knob] = value
+                expand(index + 1, settings)
+                del settings[knob]
+
+    expand(0, {})
+    return results

@@ -1,0 +1,63 @@
+"""A compiler that consults the tuning database per program.
+
+:class:`TunedCompiler` is a drop-in for :class:`RecordCompiler`: it
+looks each program up in a :class:`~repro.tune.db.TuningDB` (by
+structural digest, so *how* the program was built does not matter) and
+compiles with the stored per-kernel best options when one exists, the
+default pipeline otherwise.  Inner compilers are pooled per options
+value, so their BURS label caches and the artifact cache behave
+exactly as they do for plain ``record`` compiles -- a tuned compile of
+a (program, options) pair shares its artifact with any other compile
+of that pair, tuned or not.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional, TYPE_CHECKING
+
+from repro.codegen.pipeline import RecordCompiler, RecordOptions
+from repro.tune.db import TuningDB
+
+if TYPE_CHECKING:   # pragma: no cover
+    from repro.codegen.compiled import CompiledProgram
+    from repro.targets.model import TargetModel
+
+
+class TunedCompiler:
+    """RECORD with per-program options from a tuning database."""
+
+    name = "record"    # artifacts key on (name, options): shared with
+                       # plain record compiles of the same options.
+
+    def __init__(self, target: "TargetModel",
+                 db: Optional[TuningDB] = None,
+                 default_options: Optional[RecordOptions] = None):
+        self.target = target
+        self.db = db if db is not None else TuningDB.load()
+        self.default_options = default_options or RecordOptions()
+        self._compilers: Dict[str, RecordCompiler] = {}
+
+    @property
+    def options(self) -> RecordOptions:
+        """The fallback options (what an untuned program compiles
+        with); per-program tuned options override at compile time."""
+        return self.default_options
+
+    def options_for(self, program) -> RecordOptions:
+        """The options this compiler would use for ``program``."""
+        tuned = self.db.options_for(program, self.target.name)
+        return tuned if tuned is not None else self.default_options
+
+    def _compiler_for(self, options: RecordOptions) -> RecordCompiler:
+        key = json.dumps(options.to_dict(), sort_keys=True)
+        compiler = self._compilers.get(key)
+        if compiler is None:
+            compiler = RecordCompiler(self.target, options)
+            self._compilers[key] = compiler
+        return compiler
+
+    def compile(self, program) -> "CompiledProgram":
+        """Compile with the program's tuned options (or the default)."""
+        return self._compiler_for(self.options_for(program)) \
+            .compile(program)

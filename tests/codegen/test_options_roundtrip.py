@@ -1,0 +1,81 @@
+"""RecordOptions serialization: every field survives the round trip.
+
+The serve layer, the compile farm, the artifact cache and the tuner
+all key on the same canonical ``to_dict()`` form (see
+``repro.cache.options_payload``); a field that silently fell out of
+the round trip would alias distinct configurations to one cache entry.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import fields
+
+import pytest
+
+from repro.cache import options_payload
+from repro.codegen.pipeline import RecordOptions
+
+#: A deliberately non-default value for every field.
+NON_DEFAULT = {
+    "metric": "speed",
+    "algebraic": False,
+    "variant_limit": 7,
+    "promote_accumulators": False,
+    "repeat_idioms": False,
+    "fuse_shift_idioms": True,
+    "peephole": False,
+    "minimize_modes": False,
+    "scalar_order": ("b", "a", "c"),
+    "offset_assignment": "goa",
+    "bank_assignment": "anneal",
+    "compaction": "optimal",
+    "label_cache": False,
+}
+
+
+def test_non_default_table_covers_every_field():
+    names = {spec.name for spec in fields(RecordOptions)}
+    assert set(NON_DEFAULT) == names
+    default = RecordOptions()
+    for name, value in NON_DEFAULT.items():
+        assert getattr(default, name) != value, name
+
+
+@pytest.mark.parametrize("name", sorted(NON_DEFAULT))
+def test_each_field_survives_the_round_trip(name):
+    options = RecordOptions(**{name: NON_DEFAULT[name]})
+    rebuilt = RecordOptions.from_dict(options.to_dict())
+    assert rebuilt == options
+    assert getattr(rebuilt, name) == NON_DEFAULT[name]
+
+
+def test_all_fields_at_once_survive():
+    options = RecordOptions(**NON_DEFAULT)
+    assert RecordOptions.from_dict(options.to_dict()) == options
+
+
+def test_to_dict_is_json_safe():
+    blob = json.dumps(RecordOptions(**NON_DEFAULT).to_dict(),
+                      sort_keys=True)
+    rebuilt = RecordOptions.from_dict(json.loads(blob))
+    assert rebuilt == RecordOptions(**NON_DEFAULT)
+    assert rebuilt.scalar_order == ("b", "a", "c")   # tuple restored
+
+
+def test_unknown_field_is_rejected():
+    with pytest.raises(ValueError, match="no_such_knob"):
+        RecordOptions.from_dict({"no_such_knob": 1})
+
+
+def test_partial_dict_fills_defaults():
+    rebuilt = RecordOptions.from_dict({"metric": "speed"})
+    assert rebuilt == RecordOptions(metric="speed")
+
+
+def test_options_payload_uses_the_canonical_form():
+    options = RecordOptions(**NON_DEFAULT)
+    payload = options_payload(options)
+    assert payload["class"] == "RecordOptions"
+    assert payload["fields"] == options.to_dict()
+    assert options_payload(None) is None

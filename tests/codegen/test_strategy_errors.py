@@ -1,0 +1,43 @@
+"""Unknown strategy names fail as CompileError, naming the choices.
+
+The tuner (and anyone hand-editing a tuning database or serve request)
+can ask for a strategy that does not exist; the dispatch sites must
+answer with a diagnosable :class:`CompileError` rather than a raw
+``KeyError`` from a dict lookup.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codegen.compaction import compact_code
+from repro.codegen.pipeline import CompileError, RecordCompiler, \
+    RecordOptions
+from repro.dspstone import kernel
+
+
+def test_unknown_compaction_strategy():
+    # The strategy is vetted before the slot model is ever consulted.
+    with pytest.raises(CompileError, match="sideways.*greedy"):
+        compact_code([], None, strategy="sideways")
+
+
+@pytest.mark.parametrize("knob,value,expect", [
+    ("compaction", "sideways", "compaction strategy"),
+    ("offset_assignment", "psychic", "offset_assignment strategy"),
+    ("bank_assignment", "coinflip", "bank_assignment strategy"),
+])
+def test_unknown_strategy_through_the_pipeline(m56, knob, value, expect):
+    options = RecordOptions(**{knob: value})
+    with pytest.raises(CompileError, match=expect):
+        RecordCompiler(m56, options).compile(
+            kernel("real_update").program)
+
+
+def test_known_strategies_still_compile(m56):
+    options = RecordOptions(offset_assignment="naive",
+                            bank_assignment="single",
+                            compaction="none")
+    compiled = RecordCompiler(m56, options).compile(
+        kernel("real_update").program)
+    assert compiled.words() > 0

@@ -1,0 +1,115 @@
+"""The tuning database and the TunedCompiler that consults it."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.codegen.pipeline import RecordCompiler, RecordOptions
+from repro.dspstone import kernel
+from repro.tune.db import TuningDB, entry_key, program_digest
+from repro.tune.tuned import TunedCompiler
+
+
+def _db(tmp_path) -> TuningDB:
+    return TuningDB.load(tmp_path / "tune.json")
+
+
+def test_missing_file_is_an_empty_db(tmp_path):
+    db = _db(tmp_path)
+    assert db.entries == {}
+    assert db.lookup(kernel("fir").program, "tc25") is None
+
+
+def test_record_save_load_round_trip(tmp_path):
+    program = kernel("fir").program
+    options = RecordOptions(fuse_shift_idioms=True)
+    db = _db(tmp_path)
+    assert db.record(program, "tc25", {"options": options.to_dict(),
+                                       "tuned_cycles": 90,
+                                       "default_cycles": 128})
+    db.save()
+
+    loaded = TuningDB.load(db.path)
+    entry = loaded.lookup(program, "tc25")
+    assert entry["tuned_cycles"] == 90
+    assert loaded.options_for(program, "tc25") == options
+    # A different target -- and a different program -- miss:
+    assert loaded.lookup(program, "m56") is None
+    assert loaded.lookup(kernel("dot_product").program, "tc25") is None
+
+
+def test_digest_is_structural():
+    fir = kernel("fir").program
+    assert program_digest(fir) == program_digest(kernel("fir").program)
+    assert program_digest(fir) != program_digest(
+        kernel("dot_product").program)
+
+
+def test_undeserializable_entry_is_a_hint_not_a_crash(tmp_path):
+    program = kernel("fir").program
+    db = _db(tmp_path)
+    db.record(program, "tc25",
+              {"options": {"no_such_knob": 1, "metric": "speed"}})
+    assert db.options_for(program, "tc25") is None
+
+
+def test_save_is_atomic_and_versioned(tmp_path):
+    db = _db(tmp_path)
+    db.record(kernel("fir").program, "tc25",
+              {"options": RecordOptions().to_dict()})
+    db.save()
+    payload = json.loads(db.path.read_text())
+    assert payload["format"] == 1
+    assert not list(db.path.parent.glob("*.tmp"))
+    digest = program_digest(kernel("fir").program)
+    assert entry_key(digest, "tc25") in payload["entries"]
+
+
+def test_unsupported_format_rejected(tmp_path):
+    path = tmp_path / "tune.json"
+    path.write_text(json.dumps({"format": 99, "entries": {}}))
+    with pytest.raises(ValueError):
+        TuningDB.load(path)
+
+
+def test_tuned_compiler_applies_stored_options(tmp_path, tc25):
+    fir = kernel("fir").program
+    tuned_options = RecordOptions(fuse_shift_idioms=True)
+    db = _db(tmp_path)
+    db.record(fir, "tc25", {"options": tuned_options.to_dict()})
+
+    compiler = TunedCompiler(tc25, db=db)
+    assert compiler.options_for(fir) == tuned_options
+    # A program without an entry falls back to the default pipeline:
+    dot = kernel("dot_product").program
+    assert compiler.options_for(dot) == RecordOptions()
+
+    built = compiler.compile(fir)
+    reference = RecordCompiler(tc25, tuned_options).compile(fir)
+    assert built.listing() == reference.listing()
+    untuned = RecordCompiler(tc25).compile(fir)
+    assert built.listing() != untuned.listing()
+
+
+def test_tuned_compiler_keys_artifacts_like_record(tmp_path, tc25):
+    compiler = TunedCompiler(tc25, db=_db(tmp_path))
+    assert compiler.name == "record"
+    assert compiler.options == RecordOptions()
+
+
+def test_api_compile_program_tuned(tmp_path):
+    from repro import compile_kernel
+    fir = kernel("fir").program
+    db = _db(tmp_path)
+    db.record(fir, "tc25",
+              {"options": RecordOptions(
+                  fuse_shift_idioms=True).to_dict()})
+    db.save()
+    via_db = compile_kernel("fir", compiler="tuned", tuning_db=db)
+    via_path = compile_kernel("fir", compiler="tuned",
+                              tuning_db=db.path)
+    assert via_db.listing() == via_path.listing()
+    plain = compile_kernel("fir")
+    assert via_db.listing() != plain.listing()

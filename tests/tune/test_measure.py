@@ -1,0 +1,92 @@
+"""Measurement cells: honest, oracle-checked, content-addressed."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro.cache
+from repro.cache import ArtifactCache
+from repro.codegen.pipeline import RecordOptions
+from repro.dspstone import kernel
+from repro.tune.measure import (
+    clear_measure_pools, measure_cell, measurement_key,
+)
+from repro.tune.search import default_input_sets
+
+
+@pytest.fixture(autouse=True)
+def _fresh_pools():
+    clear_measure_pools()
+    yield
+    clear_measure_pools()
+
+
+@pytest.fixture()
+def active(tmp_path):
+    """A tmp artifact cache installed process-wide for one test."""
+    cache = ArtifactCache(tmp_path / "cache")
+    repro.cache._ACTIVE = cache
+    yield cache
+    repro.cache._ACTIVE = None
+
+
+def _cell(name="real_update", target="tc25", **kwargs):
+    program = kernel(name).program
+    inputs = default_input_sets(program, count=2, seed=0)
+    options = RecordOptions(**kwargs)
+    return program, target, options, inputs
+
+
+def test_measure_counts_real_cycles_and_agrees_with_oracle():
+    measurement = measure_cell(*_cell())
+    assert measurement.ok
+    assert measurement.correct
+    assert len(measurement.cycles) == 2
+    assert all(c > 0 for c in measurement.cycles)
+    assert measurement.total_cycles == sum(measurement.cycles)
+    assert measurement.words > 0
+    assert not measurement.cached
+
+
+def test_compile_error_is_a_measurement_not_a_crash(m56):
+    program, _target, _options, inputs = _cell()
+    bad = RecordOptions(compaction="no-such-strategy")
+    measurement = measure_cell(program, "m56", bad, inputs)
+    assert not measurement.ok
+    assert measurement.error_type == "CompileError"
+    assert not measurement.correct
+    assert measurement.total_cycles == 0
+
+
+def test_record_replay_is_byte_identical(active):
+    cell = _cell()
+    first = measure_cell(*cell)
+    second = measure_cell(*cell)
+    assert not first.cached
+    assert second.cached
+    assert json.dumps(first.to_json(), sort_keys=True) \
+        == json.dumps(second.to_json(), sort_keys=True)
+
+
+def test_key_depends_on_every_ingredient():
+    program, target, options, inputs = _cell()
+    base = measurement_key(program, target, options, inputs)
+    assert base is not None
+    assert measurement_key(program, "m56", options, inputs) != base
+    assert measurement_key(program, target,
+                           RecordOptions(metric="speed"),
+                           inputs) != base
+    assert measurement_key(program, target, options,
+                           inputs[:1]) != base
+    assert measurement_key(program, target, options, inputs,
+                           sim="fast") != base
+    other = kernel("complex_multiply").program
+    assert measurement_key(other, target, options, inputs) != base
+
+
+def test_key_is_stable_across_calls():
+    program, target, options, inputs = _cell()
+    assert measurement_key(program, target, options, inputs) \
+        == measurement_key(program, target, options, inputs)

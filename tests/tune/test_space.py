@@ -1,0 +1,71 @@
+"""The knob space: target-aware, default-anchored, deterministic."""
+
+from __future__ import annotations
+
+from dataclasses import fields
+
+from repro.codegen.pipeline import RecordOptions
+from repro.tune.space import (
+    KNOBS, cross_candidates, relevant_knobs, screening_candidates,
+)
+
+
+def test_every_knob_is_a_record_options_field():
+    names = {spec.name for spec in fields(RecordOptions)}
+    for knob, values in KNOBS:
+        assert knob in names
+        assert len(values) >= 2
+
+
+def test_knob_values_include_the_default():
+    default = RecordOptions()
+    for knob, values in KNOBS:
+        assert getattr(default, knob) in values, knob
+
+
+def test_m56_only_knobs_pruned_elsewhere():
+    m56_knobs = {knob for knob, _values in relevant_knobs("m56")}
+    for other in ("tc25", "risc16", "asip"):
+        pruned = {knob for knob, _values in relevant_knobs(other)}
+        assert pruned < m56_knobs
+        for memory_knob in ("offset_assignment", "bank_assignment",
+                            "compaction"):
+            assert memory_knob not in pruned
+
+
+def test_screening_skips_default_values():
+    default = RecordOptions()
+    for knob, options in screening_candidates(default, "m56"):
+        assert getattr(options, knob) != getattr(default, knob)
+        # exactly one knob deviates:
+        others = [spec.name for spec in fields(RecordOptions)
+                  if spec.name != knob]
+        for name in others:
+            assert getattr(options, name) == getattr(default, name)
+
+
+def test_screening_is_deterministic():
+    default = RecordOptions()
+    first = screening_candidates(default, "tc25")
+    second = screening_candidates(default, "tc25")
+    assert first == second
+
+
+def test_cross_candidates_skip_all_default_combo():
+    default = RecordOptions()
+    movers = {"metric": ["speed"], "peephole": [False]}
+    combos = cross_candidates(default, movers)
+    assert default not in combos
+    # 2 x 2 axis values (with leave-alone) minus the all-default combo:
+    assert len(combos) == 3
+    assert RecordOptions(metric="speed", peephole=False) in combos
+
+
+def test_cross_candidates_follow_knob_order():
+    default = RecordOptions()
+    movers = {"peephole": [False], "metric": ["speed"]}
+    combos = cross_candidates(default, movers)
+    # KNOBS lists metric before peephole; the enumeration must not
+    # depend on the movers dict's insertion order.
+    assert combos == cross_candidates(
+        default, {"metric": ["speed"], "peephole": [False]})
